@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper table/figure (or an ablation) with
+pytest-benchmark timing the driver, prints the regenerated rows, and
+asserts the *shape* targets from DESIGN.md — who wins, what is perfect,
+roughly how large — never the authors' absolute numbers.
+
+Heavy drivers run once (``pedantic`` with one round); micro-benchmarks use
+the default calibrated timing loop.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print a Table under a separating blank line (visible with -s and in
+    captured output on failure)."""
+
+    def _show(table):
+        print()
+        print(table.render())
+        return table
+
+    return _show

@@ -1,0 +1,47 @@
+"""Ablation A4 — GP vs random search, hill climbing, forward search.
+
+Run at the paper's full Table-1 budget: the comparison is budget-sensitive
+(at strongly reduced budgets random search is competitive with GP — a
+negative result recorded in EXPERIMENTS.md), and the claim being tested is
+the paper's own configuration.
+"""
+
+from repro.experiments import baseline_comparison
+from repro.planner import GPConfig
+from repro.virolab import planning_problem
+from repro.workloads import chain_problem, distractor_problem
+
+from benchmarks.conftest import run_once
+
+CFG = GPConfig()  # full Table-1 settings
+
+
+def test_ablation_baselines(benchmark, show):
+    table = run_once(
+        benchmark,
+        lambda: baseline_comparison(
+            problems=(planning_problem(), chain_problem(6), distractor_problem(4, 6)),
+            seeds=range(3),
+            config=CFG,
+        ),
+    )
+    show(table)
+    by_key = {
+        (problem, planner): (solve, fitness)
+        for problem, planner, solve, fitness, budget in table.rows
+    }
+    for problem in ("3DSD", "chain-6", "distractor-4x6"):
+        gp_solve, gp_fit = by_key[(problem, "GP (paper)")]
+        rnd_solve, rnd_fit = by_key[(problem, "random search")]
+        hc_solve, hc_fit = by_key[(problem, "hill climbing")]
+        # Shape target: at the paper's budget, GP wins against both
+        # stochastic baselines on every problem family.
+        assert gp_fit >= rnd_fit - 1e-9, problem
+        assert gp_fit >= hc_fit - 1e-9, problem
+    # GP reliably solves the case-study problem at this budget (Table 2).
+    assert by_key[("3DSD", "GP (paper)")][0] >= 2 / 3
+    # Classical forward search is optimal on these fully-observable
+    # symbolic problems — the honest comparison the paper omits.
+    for problem in ("3DSD", "chain-6", "distractor-4x6"):
+        fwd_solve, _ = by_key[(problem, "forward search")]
+        assert fwd_solve == 1.0

@@ -1,0 +1,50 @@
+"""Ablations A6-A8 — the Section-1/2 extension subsystems."""
+
+import pytest
+
+from repro.experiments import checkpoint_value, transfer_tradeoff
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_transfer_tradeoff(benchmark, show):
+    table = run_once(benchmark, transfer_tradeoff)
+    show(table)
+    winners = dict(zip(table.column("bandwidth (Mb/s)"), table.column("winner")))
+    # Shape: compression wins on slow links, plain wins on fast ones, with
+    # a single crossover in between.
+    assert winners[1.0] == "compressed"
+    assert winners[10000.0] == "plain"
+    sequence = [w for _, w in sorted(winners.items())]
+    flips = sum(1 for a, b in zip(sequence, sequence[1:]) if a != b)
+    assert flips == 1
+
+
+def test_ablation_checkpoint_value(benchmark, show):
+    table = run_once(benchmark, lambda: checkpoint_value(seeds=range(3)))
+    show(table)
+    rows = {
+        rate: (plain, ckpt, speedup)
+        for rate, plain, ckpt, speedup in table.rows
+    }
+    # No failures: checkpointing costs only its bookkeeping (< 10%).
+    plain0, ckpt0, _ = rows[0.0]
+    assert ckpt0 <= plain0 * 1.10
+    # Heavy failures: checkpointing wins clearly.
+    _, _, speedup_high = rows[0.8]
+    assert speedup_high > 1.3
+
+
+def test_ablation_scalability(benchmark, show):
+    from repro.experiments import scalability_sweep
+
+    table = run_once(benchmark, scalability_sweep)
+    show(table)
+    makespans = dict(zip(table.column("containers"), table.column("makespan (s)")))
+    # Monotone improvement up to the workflow's concurrency width (3)...
+    assert makespans[1] > makespans[2] > makespans[3]
+    # ...then a plateau: the Figure-10 critical path caps the speedup.
+    assert abs(makespans[6] - makespans[3]) < 0.05 * makespans[3]
+    # The 3-container makespan sits at the theoretical critical path:
+    # (POD + P3DR1 + 3*(POR + P3DR + PSF)) / speed = 175s at speed 2.
+    assert makespans[3] == pytest.approx(175.0, rel=0.05)

@@ -1,0 +1,22 @@
+"""Ablation A3 — population x generations budget."""
+
+from repro.experiments import budget_sweep
+from repro.planner import GPConfig
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_population(benchmark, show):
+    table = run_once(
+        benchmark,
+        lambda: budget_sweep(
+            seeds=range(3),
+            settings=((20, 5), (60, 10), (150, 15)),
+        ),
+    )
+    show(table)
+    fitness = table.column("avg fitness")
+    # More budget never hurts much: the largest setting beats the smallest.
+    assert fitness[-1] >= fitness[0] - 0.02
+    evals = table.column("avg evals")
+    assert evals[-1] > evals[0]

@@ -1,0 +1,23 @@
+"""Ablation A2 — the Smax bloat bound (at the paper's full budget)."""
+
+from repro.experiments import smax_sweep
+from repro.planner import GPConfig
+
+from benchmarks.conftest import run_once
+
+CFG = GPConfig()  # full Table-1 settings
+
+
+def test_ablation_smax(benchmark, show):
+    table = run_once(
+        benchmark,
+        lambda: smax_sweep(seeds=range(3), smax_values=(20, 40, 80), config=CFG),
+    )
+    show(table)
+    sizes = dict(zip(table.column("Smax"), table.column("avg size")))
+    solve = dict(zip(table.column("Smax"), table.column("solve rate")))
+    # Plans always respect the bound.
+    for smax, size in sizes.items():
+        assert size <= smax
+    # Smax = 40 (the paper's choice) solves reliably at the paper's budget.
+    assert solve[40] >= 2 / 3

@@ -1,0 +1,24 @@
+"""Figure 1 — the core/end-user service architecture census."""
+
+from repro.experiments import fig1_architecture
+
+from benchmarks.conftest import run_once
+
+CORE_TYPES = (
+    "information", "brokerage", "matchmaking", "monitoring", "ontology",
+    "storage", "authentication", "scheduling", "simulation", "planning",
+    "coordination",
+)
+
+
+def test_fig01_architecture(benchmark, show):
+    table = run_once(benchmark, fig1_architecture)
+    show(table)
+    rows = dict(zip(table.column("Kind"), table.column("Count")))
+    # Exactly one of each Figure-1 core service...
+    for kind in CORE_TYPES:
+        assert rows[kind] == 1, kind
+    # ...plus application containers hosting end-user services and the UI.
+    assert rows["application-container"] == 4
+    assert rows["end-user"] >= 4
+    assert rows["user-interface"] == 1

@@ -1,0 +1,15 @@
+"""Figure 2 — the planning <-> coordination exchange (2 messages)."""
+
+from repro.experiments import fig2_planning_protocol
+
+from benchmarks.conftest import run_once
+
+
+def test_fig02_planning_protocol(benchmark, show):
+    table, trace = run_once(benchmark, fig2_planning_protocol)
+    show(table)
+    # Exactly the two Figure-2 messages between the two services.
+    assert [(t[0], t[1], t[2], t[3]) for t in trace] == [
+        ("coordination", "planning", "request", "plan"),
+        ("planning", "coordination", "inform", "plan"),
+    ]

@@ -1,0 +1,29 @@
+"""Figure 3 — the eight-step re-planning message flow."""
+
+from repro.experiments import fig3_replanning_protocol
+
+from benchmarks.conftest import run_once
+
+
+def test_fig03_replanning_protocol(benchmark, show):
+    table, trace = run_once(benchmark, fig3_replanning_protocol)
+    show(table)
+    kinds = [(t[0], t[1], t[3]) for t in trace]
+
+    def index(step):
+        assert step in kinds, f"missing protocol step {step}"
+        return kinds.index(step)
+
+    # Steps 1-8 of Figure 3, in causal order (steps 4-7 repeat per
+    # activity/container; we check first occurrences).
+    s1 = index(("coordination", "planning", "replan"))
+    s2 = index(("planning", "information", "lookup"))
+    s3 = index(("information", "planning", "lookup"))
+    s4 = index(("planning", "brokerage", "find-containers"))
+    s5 = index(("brokerage", "planning", "find-containers"))
+    s6 = index(("planning", "ac1", "can-execute"))
+    s7 = index(("ac1", "planning", "can-execute"))
+    s8 = index(("planning", "coordination", "replan"))
+    assert s1 < s2 < s3 < s4 < s5 < s6 < s7 < s8
+    # and the reply is the LAST message of the conversation set
+    assert kinds[-1] == ("planning", "coordination", "replan")

@@ -1,0 +1,16 @@
+"""Figures 4-7 — process description <-> plan tree conversion motifs."""
+
+from repro.experiments import fig4_to_7_conversions
+
+from benchmarks.conftest import run_once
+
+
+def test_fig04_07_conversions(benchmark, show):
+    table = run_once(benchmark, fig4_to_7_conversions)
+    show(table)
+    assert table.column("Round-trip") == ["ok"] * 4
+    trees = dict(zip(table.column("Figure"), table.column("Plan tree")))
+    assert trees["Figure 4 (sequential)"] == "Sequential[A, B, C]"
+    assert trees["Figure 5 (concurrent)"] == "Concurrent[A, B]"
+    assert trees["Figure 6 (selective)"] == "Selective[A, B]"
+    assert trees["Figure 7 (iterative)"] == "Iterative[A, B]"

@@ -1,0 +1,26 @@
+"""Figures 8-9 — crossover and mutation on plan trees."""
+
+from repro.experiments import fig8_crossover, fig9_mutation
+
+from benchmarks.conftest import run_once
+
+
+def test_fig08_crossover(benchmark, show):
+    table = run_once(benchmark, fig8_crossover)
+    show(table)
+    sizes = dict(zip(table.column("Role"), table.column("Size")))
+    assert (
+        sizes["parent a"] + sizes["parent b"]
+        == sizes["child a"] + sizes["child b"]
+    )
+    trees = dict(zip(table.column("Role"), table.column("Tree")))
+    assert trees["child a"] != trees["parent a"]
+
+
+def test_fig09_mutation(benchmark, show):
+    table = run_once(benchmark, fig9_mutation)
+    show(table)
+    trees = dict(zip(table.column("Role"), table.column("Tree")))
+    assert trees["mutated"] != trees["original"]
+    sizes = dict(zip(table.column("Role"), table.column("Size")))
+    assert sizes["mutated"] <= 40

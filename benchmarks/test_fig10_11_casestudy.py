@@ -1,0 +1,18 @@
+"""Figures 10-11 — the case-study process description and plan tree."""
+
+from repro.experiments import fig10_11_case_study
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_11_casestudy(benchmark, show):
+    table = run_once(benchmark, fig10_11_case_study)
+    show(table)
+    rows = dict(zip(table.column("Property"), table.column("Value")))
+    # The paper's exact census: 7 end-user + 6 flow-control activities,
+    # 15 transitions (TR1..TR15), plan tree of 10 nodes.
+    assert rows["end-user activities"] == 7
+    assert rows["flow-control activities"] == 6
+    assert rows["transitions"] == 15
+    assert rows["plan-tree size"] == 10
+    assert rows["tree recovered from graph matches Figure 11"] is True

@@ -1,0 +1,16 @@
+"""Figures 12-13 — ontology schema and case-study instances."""
+
+from repro.experiments import fig12_13_ontology
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_13_ontology(benchmark, show):
+    table = run_once(benchmark, fig12_13_ontology)
+    show(table)
+    rows = dict(zip(table.column("Property"), table.column("Value")))
+    assert rows["schema classes"] == 10           # Figure 12
+    assert rows["Activity instances"] == 13       # A1..A13
+    assert rows["Transition instances"] == 15     # TR1..TR15
+    assert rows["Data instances"] == 12           # D1..D12
+    assert rows["Service instances"] == 4         # POD, P3DR, POR, PSF

@@ -1,0 +1,23 @@
+"""Table 1 — parameter settings (asserts code defaults == paper values)."""
+
+from repro.experiments import table1
+from repro.planner import GPConfig
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_config(benchmark, show):
+    table = run_once(benchmark, table1)
+    show(table)
+    rows = dict(zip(table.column("Parameters"), table.column("Values")))
+    assert rows == {
+        "Population Size": 200,
+        "Number of Generation": 20,
+        "Crossover Rate": 0.7,
+        "Mutation Rate": 0.001,
+        "Smax": 40,
+        "wv": 0.2,
+        "wg": 0.5,
+    }
+    # the implied wr (weights sum to 1)
+    assert GPConfig().weights.efficiency == 0.3

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Quickstart: the library in five minutes.
+
+1. Write a workflow in the paper's process-description language.
+2. Convert it between representations (text, ATN graph, plan tree).
+3. Define a planning problem and let the GP planner find a plan.
+4. Enact the plan on a simulated grid.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.plan import pretty, process_to_tree
+from repro.planner import ActivitySpec, GPConfig, GPPlanner, PlanningProblem
+from repro.process import (
+    ast_to_process,
+    parse_condition,
+    parse_process,
+    unparse,
+    validate_process,
+)
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- 1.
+    text = """
+    BEGIN;
+      fetch;                               # download the input data set
+      {FORK {clean} {profile} JOIN};       # two independent passes
+      {ITERATIVE {COND report.Quality < 3} # refine until good enough
+        {train; evaluate; report_step}};
+    END
+    """
+    ast = parse_process(text)
+    print("parsed:", unparse(ast))
+
+    # ---------------------------------------------------------------- 2.
+    pd = ast_to_process(ast, name="quickstart")
+    validate_process(pd)
+    print(f"\ngraph: {len(pd.end_user_activities())} end-user + "
+          f"{len(pd.flow_control_activities())} flow-control activities, "
+          f"{len(pd.transitions)} transitions")
+    tree = process_to_tree(pd)
+    print("\nplan tree:")
+    print(pretty(tree))
+
+    # ---------------------------------------------------------------- 3.
+    # P = {Sinit, G, T}: initial data, goal specifications, activity set.
+    ready = lambda name: parse_condition(f'{name}.Status = "ready"')  # noqa: E731
+    problem = PlanningProblem.build(
+        "quickstart",
+        initial={"raw": {"Status": "ready"}},
+        goals=(ready("report"),),
+        activities=[
+            ActivitySpec("fetch", precondition=ready("raw"),
+                         effects={"dataset": {"Status": "ready"}}),
+            ActivitySpec("clean", precondition=ready("dataset"),
+                         effects={"clean_data": {"Status": "ready"}}),
+            ActivitySpec("train", precondition=ready("clean_data"),
+                         effects={"model": {"Status": "ready"}}),
+            ActivitySpec("evaluate", precondition=ready("model"),
+                         effects={"metrics": {"Status": "ready"}}),
+            ActivitySpec("report_step", precondition=ready("metrics"),
+                         effects={"report": {"Status": "ready"}}),
+        ],
+    )
+    planner = GPPlanner(GPConfig(population_size=100, generations=10), rng=0)
+    result = planner.plan(problem)
+    print(f"\nGP planner: fitness={result.best_fitness.overall:.3f} "
+          f"(validity={result.best_fitness.validity:.2f}, "
+          f"goal={result.best_fitness.goal:.2f}, "
+          f"size={result.best_plan.size})")
+    print(pretty(result.best_plan))
+
+    # ---------------------------------------------------------------- 4.
+    from repro.grid import EndUserService
+    from repro.services import standard_environment
+
+    services = [
+        EndUserService(spec.name, work=5.0, effects=spec.effects)
+        for spec in problem.activities.values()
+    ]
+    env, core, fleet = standard_environment(services, containers=2)
+    outcome = {}
+
+    def run():
+        reply = yield from core.coordination.call(
+            "coordination",
+            "execute-task",
+            {"problem": problem, "initial_data": {"raw": {"Status": "ready"}},
+             "task": "quickstart"},
+        )
+        outcome.update(reply)
+
+    env.engine.spawn(run(), "user")
+    env.run(max_events=2_000_000)
+    print(f"\nenactment: {outcome['status']} after "
+          f"{outcome['activities_run']} activity executions "
+          f"({env.engine.now:.1f} simulated seconds, "
+          f"{len(env.trace.records)} messages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The spot market: deadlines, costs and advance reservations (Section 1).
+
+Section 1 paints a non-cooperative resource market: soft deadlines,
+brokered acquisition, reservations that may be unsupported or priced
+prohibitively.  This example drives the scheduling service through all
+three regimes on a heterogeneous fleet (slow-and-cheap through
+fast-and-expensive nodes).
+
+Run: ``python examples/spot_market.py``
+"""
+
+from repro.errors import ServiceError
+from repro.grid import EndUserService
+from repro.planner import GPConfig
+from repro.services import standard_environment
+
+
+def main() -> None:
+    env, core, fleet = standard_environment(
+        [EndUserService("RENDER", work=100.0, effects={"OUT": {"Status": "done"}})],
+        containers=3,
+        speeds=(1.0, 2.0, 4.0),
+        cost_rates=(1.0, 2.5, 6.0),
+        reservable=True,
+        planner_config=GPConfig(population_size=20, generations=3),
+    )
+    user = core.coordination
+    candidates = [ac.name for ac in fleet]
+    log = []
+
+    def shop():
+        # 1. Fastest turnaround, price no object.
+        fast = yield from user.call(
+            "scheduling",
+            "schedule",
+            {"service": "RENDER", "candidates": candidates, "work": 100.0},
+        )
+        log.append(("fastest", fast))
+
+        # 2. Cheapest that still meets a soft 60-second deadline.
+        frugal = yield from user.call(
+            "scheduling",
+            "schedule",
+            {"service": "RENDER", "candidates": candidates, "work": 100.0,
+             "deadline": 60.0, "objective": "cost"},
+        )
+        log.append(("cheapest within 60s", frugal))
+
+        # 3. An impossible deadline: the market says no.
+        try:
+            yield from user.call(
+                "scheduling",
+                "schedule",
+                {"service": "RENDER", "candidates": candidates, "work": 100.0,
+                 "deadline": 5.0},
+            )
+        except ServiceError as exc:
+            log.append(("impossible 5s deadline", {"error": str(exc)}))
+
+        # 4. Reserve capacity in advance — note the cost premium.
+        quote = yield from user.call(
+            "scheduling",
+            "quote-reservation",
+            {"container": fast["container"], "duration": 100.0},
+        )
+        booking = yield from user.call(
+            "scheduling",
+            "reserve",
+            {"container": fast["container"], "start": env.engine.now + 10.0,
+             "duration": 100.0},
+        )
+        log.append(("reservation", {"quote": quote, "booking": booking}))
+
+    env.engine.spawn(shop(), "shopper")
+    env.run(max_events=100_000)
+
+    for label, outcome in log:
+        print(f"== {label}")
+        for key, value in outcome.items():
+            print(f"   {key}: {value}")
+        print()
+
+    spot = log[0][1]
+    reserved = log[3][1]
+    premium = reserved["booking"]["cost"] / (spot["estimate"] * 6.0)
+    print(f"advance reservation premium over spot price: {premium:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — reproduction of "Metainformation and Workflow Management for
+Solving Complex Problems in Grid Environments" (IPDPS 2004).
+
+Subpackages:
+
+* :mod:`repro.ontology` — frame-based metainformation (Figures 12-13)
+* :mod:`repro.process` — the ATN process-description language (Section 2)
+* :mod:`repro.plan` — plan trees (Section 3.4.1)
+* :mod:`repro.planner` — the GP planner and baselines (Section 3.4)
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.grid` — simulated grid substrate (nodes, network, containers)
+* :mod:`repro.services` — the Figure-1 core services
+* :mod:`repro.virolab` — the 3D virus-reconstruction case study (Section 4)
+* :mod:`repro.workloads` — synthetic planning-problem generators
+* :mod:`repro.experiments` — table/figure reproduction harness
+"""
+
+__version__ = "1.0.0"

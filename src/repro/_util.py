@@ -1,0 +1,91 @@
+"""Small shared utilities: id generation, RNG plumbing, text helpers.
+
+The library is fully deterministic when seeded: every stochastic component
+(GP planner, workload generators, failure models, virolab synthetic data)
+accepts either a seed or a :class:`numpy.random.Generator`.  ``as_rng``
+normalizes both forms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "IdGenerator",
+    "as_rng",
+    "pairwise",
+    "stable_unique",
+    "indent",
+    "valid_identifier",
+]
+
+T = TypeVar("T")
+
+_IDENT_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_\-]*$")
+
+
+def valid_identifier(name: str) -> bool:
+    """Return True if *name* is usable as an activity/data/service name.
+
+    The Section-2 grammar restricts names to letters followed by letters and
+    digits; we additionally allow ``_`` and ``-`` which appear in the paper's
+    own examples (e.g. ``PD-3DSD``).
+    """
+    return bool(_IDENT_RE.match(name))
+
+
+class IdGenerator:
+    """Deterministic, prefix-scoped id factory.
+
+    Produces ids like ``A1, A2, ...`` per prefix.  Used by the ontology KB,
+    the grid environment and the workload generators so that repeated runs
+    with the same inputs produce identical identifiers (important for
+    reproducible experiment tables).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = {}
+
+    def next(self, prefix: str) -> str:
+        counter = self._counters.setdefault(prefix, itertools.count(1))
+        return f"{prefix}{next(counter)}"
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed-or-generator argument into a Generator.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` seeds a
+    new PCG64; an existing Generator is passed through unchanged (so nested
+    components share one stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def pairwise(items: Sequence[T]) -> Iterator[tuple[T, T]]:
+    """Yield consecutive pairs (a, b), (b, c), ... of *items*."""
+    return zip(items, items[1:])
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Deduplicate preserving first-seen order."""
+    seen: set = set()
+    out: list[T] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every non-empty line of *text* by *prefix*."""
+    return "\n".join(prefix + line if line else line for line in text.splitlines())

@@ -1,0 +1,221 @@
+"""Command-line interface: regenerate paper tables/figures from a shell.
+
+Installed as ``repro-grid`` (see pyproject).  Subcommands:
+
+* ``table1`` / ``table2``    — the evaluation tables
+* ``figures``                — all figure drivers (or a named subset)
+* ``ablations``              — the A1-A5 studies (slow at full budget)
+* ``casestudy``              — enact the real reconstruction on the grid
+* ``validate FILE``          — parse + validate a process-description file
+* ``render [--out DIR]``     — Graphviz DOT for Figures 10-11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    print(table1().render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+
+    result = table2(runs=args.runs, base_seed=args.seed)
+    print(result.table.render())
+    return 0
+
+
+_FIGURES = (
+    "fig1", "fig2", "fig3", "fig4_7", "fig8", "fig9", "fig10_11", "fig12_13",
+)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    drivers = {
+        "fig1": exp.fig1_architecture,
+        "fig2": lambda: exp.fig2_planning_protocol()[0],
+        "fig3": lambda: exp.fig3_replanning_protocol()[0],
+        "fig4_7": exp.fig4_to_7_conversions,
+        "fig8": exp.fig8_crossover,
+        "fig9": exp.fig9_mutation,
+        "fig10_11": exp.fig10_11_case_study,
+        "fig12_13": exp.fig12_13_ontology,
+    }
+    wanted = args.only or list(drivers)
+    for name in wanted:
+        if name not in drivers:
+            print(f"unknown figure {name!r}; choices: {', '.join(drivers)}",
+                  file=sys.stderr)
+            return 2
+        print(drivers[name]().render())
+        print()
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+    from repro.planner import GPConfig
+
+    config = (
+        GPConfig()
+        if args.full
+        else GPConfig(population_size=60, generations=10)
+    )
+    seeds = range(args.seeds)
+    print(exp.weight_sweep(seeds=seeds, config=config).render())
+    print()
+    print(exp.smax_sweep(seeds=seeds, config=config).render())
+    print()
+    print(exp.budget_sweep(seeds=seeds).render())
+    print()
+    print(exp.baseline_comparison(seeds=seeds, config=config).render())
+    print()
+    print(exp.replanning_sweep(cases=max(2, args.seeds)).render())
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.virolab import (
+        planning_problem,
+        process_description,
+        setup_virolab_case,
+        virolab_grid,
+    )
+
+    env, core, fleet = virolab_grid(containers=args.containers)
+    case = setup_virolab_case(
+        core.storage, size=args.size, count=args.images, seed=args.seed
+    )
+    outcome: dict = {}
+
+    def submit():
+        reply = yield from core.coordination.call(
+            "coordination",
+            "execute-task",
+            {
+                "process": process_description(),
+                "initial_data": case["initial_data"],
+                "payload_keys": case["payload_keys"],
+                "work": case["work"],
+                "problem": planning_problem(),
+                "task": "3DSD",
+            },
+        )
+        outcome.update(reply)
+
+    env.engine.spawn(submit(), "user")
+    env.run(max_events=10_000_000)
+    print(f"status: {outcome['status']}")
+    print(f"activities run: {outcome['activities_run']}")
+    print(f"final resolution: {outcome['data']['D12']['Value']:.2f} A")
+    print(f"simulated makespan: {env.engine.now:.1f} s")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    """Write Graphviz DOT files for the Figure-10 ATN and Figure-11 tree."""
+    import pathlib
+
+    from repro.process.dot import plan_tree_to_dot, process_to_dot
+    from repro.virolab import plan_tree, process_description
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "fig10_process.dot").write_text(
+        process_to_dot(process_description()) + "\n"
+    )
+    (out / "fig11_plan_tree.dot").write_text(
+        plan_tree_to_dot(plan_tree(), name="fig11") + "\n"
+    )
+    print(f"wrote {out / 'fig10_process.dot'}")
+    print(f"wrote {out / 'fig11_plan_tree.dot'}")
+    print("render with: dot -Tpng <file> -o <file>.png")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.errors import ProcessError
+    from repro.process import ast_to_process, parse_process, validate_process
+
+    try:
+        text = open(args.file).read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        pd = ast_to_process(parse_process(text), name=args.file)
+        validate_process(pd)
+    except ProcessError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(pd.end_user_activities())} end-user + "
+        f"{len(pd.flow_control_activities())} flow-control activities, "
+        f"{len(pd.transitions)} transitions"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-grid",
+        description="Metainformation & workflow management for grids "
+        "(IPDPS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table-1 parameter settings")
+
+    p2 = sub.add_parser("table2", help="run the Section-5 experiment")
+    p2.add_argument("--runs", type=int, default=10)
+    p2.add_argument("--seed", type=int, default=0)
+
+    pf = sub.add_parser("figures", help="regenerate figure tables")
+    pf.add_argument("only", nargs="*", help=f"subset of: {', '.join(_FIGURES)}")
+
+    pa = sub.add_parser("ablations", help="run the A1-A5 ablation studies")
+    pa.add_argument("--seeds", type=int, default=3)
+    pa.add_argument("--full", action="store_true",
+                    help="use the full Table-1 GP budget (slow)")
+
+    pc = sub.add_parser("casestudy", help="enact the real reconstruction")
+    pc.add_argument("--containers", type=int, default=3)
+    pc.add_argument("--size", type=int, default=24)
+    pc.add_argument("--images", type=int, default=40)
+    pc.add_argument("--seed", type=int, default=0)
+
+    pv = sub.add_parser("validate", help="validate a process-description file")
+    pv.add_argument("file")
+
+    pr = sub.add_parser("render", help="write DOT files for Figures 10-11")
+    pr.add_argument("--out", default="figures")
+
+    return parser
+
+
+_HANDLERS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figures": _cmd_figures,
+    "ablations": _cmd_ablations,
+    "casestudy": _cmd_casestudy,
+    "validate": _cmd_validate,
+    "render": _cmd_render,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

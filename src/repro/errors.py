@@ -1,0 +1,165 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems define
+narrower subclasses here (rather than locally) so that cross-module error
+handling never needs to import deep internals.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OntologyError",
+    "SchemaError",
+    "ValidationError",
+    "UnknownClassError",
+    "UnknownSlotError",
+    "UnknownInstanceError",
+    "ProcessError",
+    "LexError",
+    "ParseError",
+    "ProcessStructureError",
+    "ConditionError",
+    "PlanError",
+    "ConversionError",
+    "TreeSizeError",
+    "PlanningError",
+    "SimulationError",
+    "GridError",
+    "ServiceError",
+    "ServiceNotFoundError",
+    "AuthenticationError",
+    "EnactmentError",
+    "StorageError",
+    "SchedulingError",
+    "VirolabError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# --------------------------------------------------------------------------- #
+# Ontology / metainformation
+# --------------------------------------------------------------------------- #
+class OntologyError(ReproError):
+    """Base class for ontology subsystem errors."""
+
+
+class SchemaError(OntologyError):
+    """An ontology class or slot definition is malformed or conflicting."""
+
+
+class ValidationError(OntologyError):
+    """An instance violates its class schema (missing slot, bad type...)."""
+
+
+class UnknownClassError(OntologyError):
+    """Reference to an ontology class that is not in the knowledge base."""
+
+
+class UnknownSlotError(OntologyError):
+    """Reference to a slot not defined on the class (or its ancestors)."""
+
+
+class UnknownInstanceError(OntologyError):
+    """Reference to an instance id that is not in the knowledge base."""
+
+
+# --------------------------------------------------------------------------- #
+# Process descriptions
+# --------------------------------------------------------------------------- #
+class ProcessError(ReproError):
+    """Base class for process-description errors."""
+
+
+class LexError(ProcessError):
+    """The process-description text contains an unrecognizable token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class ParseError(ProcessError):
+    """The token stream does not conform to the Section-2 BNF grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class ProcessStructureError(ProcessError):
+    """A process-description graph violates a structural rule of Section 3.1
+
+    (e.g. BEGIN not unique, JOIN without matching FORK, dangling transition).
+    """
+
+
+class ConditionError(ProcessError):
+    """A condition expression is malformed or references unknown data."""
+
+
+# --------------------------------------------------------------------------- #
+# Plan trees and planning
+# --------------------------------------------------------------------------- #
+class PlanError(ReproError):
+    """Base class for plan-tree errors."""
+
+
+class ConversionError(PlanError):
+    """Plan tree <-> process description conversion failed."""
+
+
+class TreeSizeError(PlanError):
+    """A plan tree exceeds the Smax size bound."""
+
+
+class PlanningError(ReproError):
+    """The planning service / GP planner could not produce a plan."""
+
+
+# --------------------------------------------------------------------------- #
+# Simulation and grid substrate
+# --------------------------------------------------------------------------- #
+class SimulationError(ReproError):
+    """Discrete-event simulation kernel error."""
+
+
+class GridError(ReproError):
+    """Grid substrate (nodes, network, containers) error."""
+
+
+class ServiceError(GridError):
+    """Base class for core-service errors."""
+
+
+class ServiceNotFoundError(ServiceError):
+    """Lookup through the information service found no provider."""
+
+
+class AuthenticationError(ServiceError):
+    """Credential check or ticket validation failed."""
+
+
+class EnactmentError(ServiceError):
+    """The coordination service could not continue enacting a case."""
+
+
+class StorageError(ServiceError):
+    """Persistent-storage service error (missing object, bad location...)."""
+
+
+class SchedulingError(ServiceError):
+    """The scheduling service could not place a service on a container."""
+
+
+# --------------------------------------------------------------------------- #
+# Case study
+# --------------------------------------------------------------------------- #
+class VirolabError(ReproError):
+    """Error in the virus-reconstruction case-study substrate."""

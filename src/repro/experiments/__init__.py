@@ -1,0 +1,51 @@
+"""Experiment drivers: one per paper table/figure plus the ablations."""
+
+from repro.experiments.ablations import (
+    baseline_comparison,
+    budget_sweep,
+    replanning_sweep,
+    smax_sweep,
+    weight_sweep,
+)
+from repro.experiments.extensions import (
+    checkpoint_value,
+    scalability_sweep,
+    transfer_tradeoff,
+)
+from repro.experiments.figures import (
+    fig1_architecture,
+    fig2_planning_protocol,
+    fig3_replanning_protocol,
+    fig4_to_7_conversions,
+    fig8_crossover,
+    fig9_mutation,
+    fig10_11_case_study,
+    fig12_13_ontology,
+)
+from repro.experiments.harness import Table, summarize_runs
+from repro.experiments.tables import PAPER_TABLE2, Table2Result, table1, table2
+
+__all__ = [
+    "Table",
+    "summarize_runs",
+    "table1",
+    "table2",
+    "Table2Result",
+    "PAPER_TABLE2",
+    "fig1_architecture",
+    "fig2_planning_protocol",
+    "fig3_replanning_protocol",
+    "fig4_to_7_conversions",
+    "fig8_crossover",
+    "fig9_mutation",
+    "fig10_11_case_study",
+    "fig12_13_ontology",
+    "weight_sweep",
+    "smax_sweep",
+    "budget_sweep",
+    "baseline_comparison",
+    "replanning_sweep",
+    "transfer_tradeoff",
+    "checkpoint_value",
+    "scalability_sweep",
+]

@@ -1,0 +1,282 @@
+"""Drivers reproducing every figure of the paper.
+
+Figures 1-3 are *behavioural*: we bring up the architecture / run the
+protocols and return the observed message traces.  Figures 4-9 are
+*structural*: conversions and operators applied to the paper's own
+examples.  Figures 10-13 are the case study's artifacts.  Each driver
+returns a :class:`~repro.experiments.harness.Table` (plus extra payloads
+where useful) that the corresponding bench prints and asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.experiments.harness import Table
+from repro.grid.container import EndUserService
+from repro.ontology import builtin_shell
+from repro.plan import (
+    ast_to_tree,
+    normalize,
+    process_to_tree,
+    selective,
+    sequential,
+)
+from repro.planner.config import GPConfig
+from repro.planner.operators import crossover, mutate
+from repro.process import (
+    ast_to_process,
+    parse_process,
+    process_to_ast,
+    unparse,
+    validate_process,
+)
+from repro.services.bootstrap import standard_environment
+from repro.virolab.workflow import (
+    activity_specs,
+    case_study_kb,
+    plan_tree,
+    planning_problem,
+    process_description,
+)
+
+__all__ = [
+    "fig1_architecture",
+    "fig2_planning_protocol",
+    "fig3_replanning_protocol",
+    "fig4_to_7_conversions",
+    "fig8_crossover",
+    "fig9_mutation",
+    "fig10_11_case_study",
+    "fig12_13_ontology",
+]
+
+#: The motifs of Figures 4-7 in the concrete textual syntax.
+_CONVERSION_EXAMPLES = {
+    "Figure 4 (sequential)": "BEGIN; A; B; C; END",
+    "Figure 5 (concurrent)": "BEGIN; {FORK {A} {B} JOIN}; END",
+    "Figure 6 (selective)": (
+        'BEGIN; {CHOICE {COND X.Size > 1} {A} {COND true} {B} MERGE}; END'
+    ),
+    "Figure 7 (iterative)": "BEGIN; {ITERATIVE {COND X.Size > 1} {A; B}}; END",
+}
+
+
+def _synthetic_services() -> list[EndUserService]:
+    out = []
+    for name, spec in activity_specs().items():
+        out.append(
+            EndUserService(
+                spec.service or name,
+                work=10.0,
+                effects=spec.effects,
+            )
+        )
+    dedup: dict[str, EndUserService] = {}
+    for svc in out:
+        dedup.setdefault(svc.name, svc)
+    return list(dedup.values())
+
+
+def fig1_architecture() -> Table:
+    """Bring up the Figure-1 architecture; census of services and agents."""
+    from repro.services.user_interface import UserInterface
+
+    env, services, fleet = standard_environment(_synthetic_services(), containers=4)
+    UserInterface(env)  # the UI box of Figure 1
+    census = services.information.census
+    table = Table(
+        "Figure 1. Core and end-user services (census)",
+        ("Kind", "Count"),
+    )
+    core_types = [
+        "information", "brokerage", "matchmaking", "monitoring", "ontology",
+        "storage", "authentication", "scheduling", "simulation", "planning",
+        "coordination",
+    ]
+    for kind in core_types:
+        table.add(kind, census.get(kind, 0))
+    table.add("application-container", census.get("application-container", 0))
+    table.add("end-user", census.get("end-user", 0))
+    table.add("user-interface", int(env.has_agent("ui")))
+    table.note(f"agents alive: {len(env.agent_names)}")
+    return table
+
+
+def fig2_planning_protocol() -> tuple[Table, list[tuple[str, str, str, str]]]:
+    """Run a standard planning request; return the message trace.
+
+    The paper's Figure 2 shows two messages: (1) coordination sends the
+    planning task specification to planning; (2) planning returns the
+    plan.
+    """
+    env, services, _ = standard_environment(
+        _synthetic_services(),
+        containers=2,
+        planner_config=GPConfig(population_size=20, generations=3),
+    )
+    problem = planning_problem()
+    outcome: dict[str, Any] = {}
+
+    def run():
+        reply = yield from services.coordination.call(
+            "planning", "plan", {"problem": problem}
+        )
+        outcome.update(reply)
+
+    env.engine.spawn(run(), "fig2")
+    env.run(max_events=100_000)
+    trace = [
+        t
+        for t in env.trace.actions()
+        if {"coordination", "planning"} == {t[0], t[1]}
+    ]
+    table = Table(
+        "Figure 2. Planning <-> coordination exchange",
+        ("Step", "From", "To", "Performative", "Action"),
+    )
+    for i, (src, dst, perf, action) in enumerate(trace, start=1):
+        table.add(i, src, dst, perf, action)
+    table.note(f"plan fitness: {outcome.get('fitness', float('nan')):.3f}")
+    return table, trace
+
+
+def fig3_replanning_protocol() -> tuple[Table, list[tuple[str, str, str, str]]]:
+    """Run a re-planning request; return the Figure-3 message flow."""
+    env, services, fleet = standard_environment(
+        _synthetic_services(),
+        containers=2,
+        planner_config=GPConfig(population_size=20, generations=3),
+    )
+    problem = planning_problem()
+    outcome: dict[str, Any] = {}
+
+    def run():
+        reply = yield from services.coordination.call(
+            "planning",
+            "replan",
+            {
+                "problem": problem,
+                "data": {"D1": {"Classification": "POD-Parameter"}},
+                "failed_activities": ["POR"],
+            },
+        )
+        outcome.update(reply)
+
+    env.engine.spawn(run(), "fig3")
+    env.run(max_events=200_000)
+    interesting = {
+        ("coordination", "planning"),
+        ("planning", "coordination"),
+        ("planning", "information"),
+        ("information", "planning"),
+        ("planning", "brokerage"),
+        ("brokerage", "planning"),
+    } | {("planning", ac.name) for ac in fleet} | {
+        (ac.name, "planning") for ac in fleet
+    }
+    trace = [t for t in env.trace.actions() if (t[0], t[1]) in interesting]
+    table = Table(
+        "Figure 3. Re-planning message flow",
+        ("Step", "From", "To", "Performative", "Action"),
+    )
+    for i, (src, dst, perf, action) in enumerate(trace, start=1):
+        table.add(i, src, dst, perf, action)
+    table.note(f"excluded activities: {outcome.get('excluded_activities')}")
+    return table, trace
+
+
+def fig4_to_7_conversions() -> Table:
+    """Round-trip each Figures-4-7 motif through all representations."""
+    table = Table(
+        "Figures 4-7. Process description <-> plan tree conversions",
+        ("Figure", "Process text", "Plan tree", "Round-trip"),
+    )
+    for label, text in _CONVERSION_EXAMPLES.items():
+        ast = parse_process(text)
+        tree = ast_to_tree(ast)
+        pd = ast_to_process(ast, name=label)
+        validate_process(pd)
+        recovered = process_to_tree(pd)
+        ok = normalize(recovered) == normalize(tree)
+        table.add(label, unparse(ast), str(tree), "ok" if ok else "MISMATCH")
+    return table
+
+
+def fig8_crossover() -> Table:
+    """A deterministic subtree-crossover example in the Figure-8 style."""
+    parent_a = sequential("A", selective("B", "C"), "D")
+    parent_b = sequential("E", sequential("F", "G"))
+    child_a, child_b = crossover(parent_a, parent_b, rng=5, smax=40, crossover_rate=1.0)
+    table = Table(
+        "Figure 8. Crossover on plan trees", ("Role", "Tree", "Size")
+    )
+    table.add("parent a", str(parent_a), parent_a.size)
+    table.add("parent b", str(parent_b), parent_b.size)
+    table.add("child a", str(child_a), child_a.size)
+    table.add("child b", str(child_b), child_b.size)
+    conserved = child_a.size + child_b.size == parent_a.size + parent_b.size
+    table.note(f"node count conserved: {conserved}")
+    return table
+
+
+def fig9_mutation() -> Table:
+    """A deterministic subtree-mutation example in the Figure-9 style."""
+    original = sequential("A", selective("B", "C"), "D")
+    mutated = original
+    seed = 0
+    while mutated == original:
+        mutated = mutate(
+            original, ["A", "B", "C", "D", "E"], rng=seed, smax=40, mutation_rate=0.5
+        )
+        seed += 1
+    table = Table("Figure 9. Mutation on a plan tree", ("Role", "Tree", "Size"))
+    table.add("original", str(original), original.size)
+    table.add("mutated", str(mutated), mutated.size)
+    return table
+
+
+def fig10_11_case_study() -> Table:
+    """Census of the Figure-10 graph and Figure-11 tree, cross-checked."""
+    pd = process_description()
+    validate_process(pd)
+    tree = plan_tree()
+    recovered = process_to_tree(pd)
+    table = Table(
+        "Figures 10-11. 3D-reconstruction process description and plan tree",
+        ("Property", "Value"),
+    )
+    table.add("end-user activities", len(pd.end_user_activities()))
+    table.add("flow-control activities", len(pd.flow_control_activities()))
+    table.add("transitions", len(pd.transitions))
+    table.add("plan-tree size", tree.size)
+    table.add(
+        "tree recovered from graph matches Figure 11",
+        normalize(recovered) == normalize(tree),
+    )
+    table.add("process text", unparse(process_to_ast(pd)))
+    return table
+
+
+def fig12_13_ontology() -> Table:
+    """Census of the Figure-12 schema and Figure-13 instances."""
+    shell = builtin_shell()
+    kb = case_study_kb()
+    table = Table(
+        "Figures 12-13. Ontology schema and case-study instances",
+        ("Property", "Value"),
+    )
+    table.add("schema classes", len(shell.class_names))
+    for cls in shell.class_names:
+        table.add(f"slots on {cls}", len(shell.slots_of(cls)))
+    table.add("instances total", len(kb))
+    table.add("Activity instances", len(kb.instances_of("Activity")))
+    table.add("Transition instances", len(kb.instances_of("Transition")))
+    table.add("Data instances", len(kb.instances_of("Data")))
+    table.add("Service instances", len(kb.instances_of("Service")))
+    table.note(
+        "paper figures: 13 activities (A1-A13), 15 transitions (TR1-TR15), "
+        "12 data items (D1-D12), 4 services"
+    )
+    return table

@@ -1,0 +1,79 @@
+"""Result tables and seeded-run helpers for the experiment drivers.
+
+Every table/figure driver returns a :class:`Table` whose ``render()``
+produces the same rows the paper prints; benches ``print`` it and assert
+on the underlying values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "summarize_runs"]
+
+
+@dataclass
+class Table:
+    """A titled grid of rows for terminal rendering."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "+".join("-" * (w + 2) for w in widths)
+        header = " | ".join(
+            self.columns[i].ljust(widths[i]) for i in range(len(self.columns))
+        )
+        lines = [self.title, sep, header, sep]
+        for row in cells:
+            lines.append(
+                " | ".join(row[i].ljust(widths[i]) for i in range(len(widths)))
+            )
+        lines.append(sep)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def summarize_runs(values: Sequence[float]) -> dict[str, float]:
+    """mean/std/min/max summary used by multi-seed experiment tables."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

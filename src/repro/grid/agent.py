@@ -1,0 +1,209 @@
+"""Agent base class: message loop, RPC helper, handler dispatch.
+
+An :class:`Agent` is one named participant in the environment with a
+mailbox and a *serve loop*: it receives messages and spawns one handler
+process per REQUEST/QUERY, so a long-running activity execution never
+blocks the agent's other conversations (Jade behaviours work the same
+way).
+
+Handlers are generator methods named ``handle_<action>`` (dashes become
+underscores): they may ``yield`` delays / signals like any process, and
+their return value is sent back as an INFORM.  Raising
+:class:`~repro.errors.ServiceError` (or returning via ``Failure``) produces
+a FAILURE reply instead.
+
+The :meth:`Agent.call` helper is the client side: it sends a REQUEST and
+parks until the matching reply arrives, raising :class:`ServiceError` on
+FAILURE/REFUSE — giving the core services a natural RPC style while every
+exchange still crosses the simulated network and appears in the message
+trace (which the Figure-2/3 protocol benches assert on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ServiceError
+from repro.grid.messages import Mailbox, Message, Performative
+from repro.sim.engine import Engine, Signal
+
+__all__ = ["Agent", "MessageTrace"]
+
+#: Sentinel delivered to a parked caller when its RPC timeout expires.
+_TIMEOUT = object()
+
+
+class MessageTrace:
+    """Global, chronological record of every delivered message."""
+
+    def __init__(self) -> None:
+        self.records: list[tuple[float, Message]] = []
+
+    def record(self, time: float, message: Message) -> None:
+        self.records.append((time, message))
+
+    def between(self, sender: str, receiver: str) -> list[Message]:
+        return [
+            m
+            for _, m in self.records
+            if m.sender == sender and m.receiver == receiver
+        ]
+
+    def actions(self) -> list[tuple[str, str, str, str]]:
+        """(sender, receiver, performative, action) tuples, in order."""
+        return [
+            (m.sender, m.receiver, m.performative.value, m.action)
+            for _, m in self.records
+        ]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Agent:
+    """Base class for every grid participant (core services, containers,
+    user proxies)."""
+
+    #: Fixed processing overhead added before each handler runs (seconds).
+    service_delay: float = 1e-3
+
+    def __init__(self, env: "GridEnvironment", name: str, site: str) -> None:  # noqa: F821
+        self.env = env
+        self.name = name
+        self.site = site
+        self.engine: Engine = env.engine
+        self.mailbox = Mailbox(self.engine, name)
+        self._reply_waiters: dict[str, Signal] = {}
+        self.alive = True
+        env._register_agent(self)
+        self._loop = self.engine.spawn(self._serve(), name=f"{name}.serve")
+
+    # -- sending -------------------------------------------------------------- #
+    def send(self, message: Message) -> None:
+        self.env.route(message)
+
+    def request(
+        self,
+        to: str,
+        action: str,
+        content: dict[str, Any] | None = None,
+        size: float = 1_000.0,
+    ) -> Message:
+        """Fire-and-forget REQUEST; returns the sent message."""
+        message = Message(
+            sender=self.name,
+            receiver=to,
+            performative=Performative.REQUEST,
+            action=action,
+            content=dict(content or {}),
+            size=size,
+        )
+        self.send(message)
+        return message
+
+    def call(
+        self,
+        to: str,
+        action: str,
+        content: dict[str, Any] | None = None,
+        size: float = 1_000.0,
+        timeout: float | None = None,
+    ) -> Generator[Any, Any, dict[str, Any]]:
+        """RPC helper (generator — use ``result = yield from agent.call(...)``).
+
+        Sends a REQUEST and parks until the reply in the same conversation
+        arrives.  Returns the reply content dict; FAILURE/REFUSE raise
+        :class:`ServiceError` carrying the remote error text.  With a
+        *timeout* (simulated seconds), a silent peer — e.g. a crashed
+        container — raises ServiceError instead of deadlocking the caller;
+        a reply landing after the timeout is dropped via
+        :meth:`on_unhandled`.
+        """
+        message = self.request(to, action, content, size)
+        conversation = message.conversation
+        signal = self.engine.signal(f"{self.name}.reply.{conversation}")
+        self._reply_waiters[conversation] = signal
+        timer = None
+        if timeout is not None:
+            def _expire() -> None:
+                if not signal.fired:
+                    self._reply_waiters.pop(conversation, None)
+                    signal.fire(_TIMEOUT)
+
+            timer = self.engine.schedule(timeout, _expire)
+        reply = yield signal
+        if timer is not None:
+            timer.cancelled = True
+        if reply is _TIMEOUT:
+            raise ServiceError(f"{to}!{action} timed out after {timeout}s")
+        assert isinstance(reply, Message)
+        if reply.is_error:
+            raise ServiceError(
+                f"{to}!{action} failed: {reply.content.get('error', 'unknown error')}"
+            )
+        return reply.content
+
+    def reply_to(
+        self,
+        original: Message,
+        performative: Performative,
+        content: dict[str, Any] | None = None,
+        size: float = 1_000.0,
+    ) -> None:
+        self.send(original.reply(performative, content, size))
+
+    # -- receiving -------------------------------------------------------------- #
+    def _serve(self):
+        while True:
+            message: Message = yield self.mailbox.receive()
+            if not self.alive:
+                continue  # crashed agents drop traffic silently
+            if message.conversation in self._reply_waiters and message.performative in (
+                Performative.INFORM,
+                Performative.FAILURE,
+                Performative.REFUSE,
+                Performative.AGREE,
+            ):
+                self._reply_waiters.pop(message.conversation).fire(message)
+                continue
+            if message.performative in (Performative.REQUEST, Performative.QUERY):
+                self.engine.spawn(
+                    self._run_handler(message),
+                    name=f"{self.name}.{message.action}",
+                )
+            else:
+                self.on_unhandled(message)
+
+    def _run_handler(self, message: Message):
+        handler_name = "handle_" + message.action.replace("-", "_")
+        handler = getattr(self, handler_name, None)
+        if handler is None:
+            self.reply_to(
+                message,
+                Performative.REFUSE,
+                {"error": f"{self.name} does not provide {message.action!r}"},
+            )
+            return
+        if self.service_delay:
+            yield self.service_delay
+        try:
+            gen = handler(message)
+            result = (yield from gen) if isinstance(gen, Generator) else gen
+        except ServiceError as exc:
+            self.reply_to(message, Performative.FAILURE, {"error": str(exc)})
+            return
+        self.reply_to(message, Performative.INFORM, dict(result or {}))
+
+    def on_unhandled(self, message: Message) -> None:
+        """Hook for non-request traffic outside any RPC conversation."""
+
+    # -- lifecycle -------------------------------------------------------------- #
+    def crash(self) -> None:
+        """Stop handling traffic (failure injection)."""
+        self.alive = False
+
+    def restart(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}@{self.site})"

@@ -1,0 +1,120 @@
+"""The grid environment: agents, routing, nodes, wiring helpers.
+
+:class:`GridEnvironment` owns the simulation engine, the network model and
+the agent registry, and routes every message with the network's delay — so
+any experiment gets a faithful, deterministic message trace for free.
+
+The environment is substrate only; the Figure-1 core services live in
+:mod:`repro.services` and are attached by
+:func:`repro.services.bootstrap.build_core_services` (or the one-call
+:func:`repro.services.bootstrap.standard_environment`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GridError
+from repro.grid.agent import Agent, MessageTrace
+from repro.grid.messages import Message
+from repro.grid.network import LinkProfile, Network
+from repro.grid.node import GridNode, HardwareProfile
+from repro.sim.engine import Engine
+
+__all__ = ["GridEnvironment"]
+
+
+class GridEnvironment:
+    """Container for one simulated grid."""
+
+    #: Name the persistent-storage service registers under; containers use
+    #: it for payload traffic.
+    storage_name = "storage"
+
+    def __init__(self, engine: Engine | None = None, network: Network | None = None) -> None:
+        self.engine = engine or Engine()
+        self.network = network or Network()
+        self.trace = MessageTrace()
+        self._agents: dict[str, Agent] = {}
+        self._nodes: dict[str, GridNode] = {}
+        self.dropped: list[Message] = []
+
+    # -- agents ---------------------------------------------------------------- #
+    def _register_agent(self, agent: Agent) -> None:
+        if agent.name in self._agents:
+            raise GridError(f"duplicate agent name {agent.name!r}")
+        self._agents[agent.name] = agent
+        self.network.add_site(agent.site)
+
+    def agent(self, name: str) -> Agent:
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise GridError(f"unknown agent {name!r}") from None
+
+    def has_agent(self, name: str) -> bool:
+        return name in self._agents
+
+    @property
+    def agent_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._agents))
+
+    def agents(self) -> Iterator[Agent]:
+        return iter(self._agents.values())
+
+    # -- nodes ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        name: str,
+        site: str,
+        hardware: HardwareProfile | None = None,
+        slots: int = 4,
+        domain: str = "default",
+        cost_rate: float = 1.0,
+    ) -> GridNode:
+        if name in self._nodes:
+            raise GridError(f"duplicate node name {name!r}")
+        node = GridNode(self.engine, name, site, hardware, slots, domain, cost_rate)
+        self._nodes[name] = node
+        self.network.add_site(site)
+        return node
+
+    def node(self, name: str) -> GridNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GridError(f"unknown node {name!r}") from None
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    # -- routing ----------------------------------------------------------------- #
+    def route(self, message: Message) -> None:
+        """Deliver *message* after the network delay; records the trace at
+        delivery time.  Messages to unknown or crashed agents are dropped
+        (recorded in :attr:`dropped`) — the sender's timeout handles it."""
+        target = self._agents.get(message.receiver)
+        sender = self._agents.get(message.sender)
+        if target is None:
+            self.dropped.append(message)
+            return
+        src_site = sender.site if sender is not None else target.site
+        delay = self.network.delay(src_site, target.site, message.size)
+
+        def deliver() -> None:
+            if not target.alive:
+                self.dropped.append(message)
+                return
+            self.trace.record(self.engine.now, message)
+            target.mailbox.deliver(message)
+
+        self.engine.schedule(delay, deliver)
+
+    # -- running ------------------------------------------------------------------ #
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Advance the simulation (delegates to the engine)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def connect_sites(self, a: str, b: str, latency: float, bandwidth: float) -> None:
+        self.network.connect(a, b, LinkProfile(latency, bandwidth))

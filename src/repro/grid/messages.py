@@ -1,0 +1,118 @@
+"""ACL-style messages and mailboxes for the agent substrate.
+
+The paper builds on Jade, whose agents exchange FIPA-ACL messages.  We keep
+the same observable vocabulary — performatives, conversation ids, sender /
+receiver, content — over the discrete-event kernel.  A
+:class:`Mailbox` hands messages to its owning agent process in arrival
+order; arrival times come from the network model, so message traces (the
+Figure-2/Figure-3 protocols) are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GridError
+from repro.sim.engine import Engine, Signal
+
+__all__ = ["Performative", "Message", "Mailbox"]
+
+_conversation_counter = itertools.count(1)
+
+
+def _fresh_conversation() -> str:
+    return f"conv-{next(_conversation_counter)}"
+
+
+class Performative(enum.Enum):
+    """The FIPA-ACL subset the core services use."""
+
+    REQUEST = "request"
+    INFORM = "inform"
+    AGREE = "agree"
+    REFUSE = "refuse"
+    FAILURE = "failure"
+    QUERY = "query"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One ACL message.
+
+    *action* names the operation requested/answered (e.g. ``plan``,
+    ``execute-activity``); *content* is a plain dict payload; *size* is the
+    payload size in bytes for network-delay modelling.
+    """
+
+    sender: str
+    receiver: str
+    performative: Performative
+    action: str
+    content: dict[str, Any] = field(default_factory=dict)
+    conversation: str = field(default_factory=_fresh_conversation)
+    size: float = 1_000.0
+
+    def reply(
+        self,
+        performative: Performative,
+        content: dict[str, Any] | None = None,
+        size: float = 1_000.0,
+    ) -> "Message":
+        """A response in the same conversation, addressed to the sender."""
+        return Message(
+            sender=self.receiver,
+            receiver=self.sender,
+            performative=performative,
+            action=self.action,
+            content=dict(content or {}),
+            conversation=self.conversation,
+            size=size,
+        )
+
+    @property
+    def is_error(self) -> bool:
+        return self.performative in (Performative.FAILURE, Performative.REFUSE)
+
+
+class Mailbox:
+    """FIFO message queue integrated with the simulation engine.
+
+    ``receive()`` returns a :class:`Signal` the owner process yields on;
+    it fires with the next message (immediately when one is queued).
+    Only one receiver may be parked at a time — agents are single message
+    loops, matching Jade's behaviour model.
+    """
+
+    def __init__(self, engine: Engine, owner: str) -> None:
+        self.engine = engine
+        self.owner = owner
+        self._queue: deque[Message] = deque()
+        self._waiting: Signal | None = None
+
+    def deliver(self, message: Message) -> None:
+        """Called by the network once the message arrives."""
+        if self._waiting is not None:
+            signal, self._waiting = self._waiting, None
+            signal.fire(message)
+        else:
+            self._queue.append(message)
+
+    def receive(self) -> Signal:
+        """A signal that fires with the next message."""
+        if self._waiting is not None:
+            raise GridError(
+                f"mailbox of {self.owner!r} already has a parked receiver"
+            )
+        signal = self.engine.signal(f"{self.owner}.recv")
+        if self._queue:
+            signal.fire(self._queue.popleft())
+        else:
+            self._waiting = signal
+        return signal
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,74 @@
+"""Network model: sites, links, message delays.
+
+Agents live at *sites*; message delivery time between two sites is
+``latency + size / bandwidth``.  Intra-site messages use a (much faster)
+loopback profile.  The model is deliberately simple — the paper's planner
+and coordinator only ever observe delays and failures, not packets — but
+heterogeneous enough for the matchmaking scenarios of Section 1 (a "PC
+cluster with a switch with high latency and low bandwidth" really is a
+poor choice for fine-grain parallel work under this model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GridError
+
+__all__ = ["LinkProfile", "Network"]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency in seconds, bandwidth in bytes/second."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise GridError(f"negative latency {self.latency}")
+        if self.bandwidth <= 0:
+            raise GridError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def delay(self, size: float) -> float:
+        return self.latency + size / self.bandwidth
+
+
+#: Same-site message profile: sub-millisecond, effectively infinite bandwidth.
+LOOPBACK = LinkProfile(latency=1e-4, bandwidth=1e12)
+
+#: Default wide-area profile used when two sites have no explicit link.
+DEFAULT_WAN = LinkProfile(latency=0.05, bandwidth=10e6)
+
+
+class Network:
+    """Site-to-site link table with symmetric profiles."""
+
+    def __init__(self, default: LinkProfile = DEFAULT_WAN) -> None:
+        self.default = default
+        self._links: dict[frozenset[str], LinkProfile] = {}
+        self._sites: set[str] = set()
+
+    def add_site(self, site: str) -> None:
+        self._sites.add(site)
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(sorted(self._sites))
+
+    def connect(self, a: str, b: str, profile: LinkProfile) -> None:
+        """Define the (symmetric) link profile between sites *a* and *b*."""
+        if a == b:
+            raise GridError("use loopback for intra-site traffic")
+        self._sites.update((a, b))
+        self._links[frozenset((a, b))] = profile
+
+    def profile(self, a: str, b: str) -> LinkProfile:
+        if a == b:
+            return LOOPBACK
+        return self._links.get(frozenset((a, b)), self.default)
+
+    def delay(self, a: str, b: str, size: float) -> float:
+        """Delivery delay in seconds for *size* bytes from site a to b."""
+        return self.profile(a, b).delay(size)

@@ -1,0 +1,118 @@
+"""Grid nodes: hardware profiles and compute slots.
+
+A :class:`GridNode` is a physical resource at a site: a hardware profile
+(CPU speed, memory, interconnect characteristics — the Figure-12 Hardware
+frame) plus a :class:`~repro.sim.resources.CapacityResource` of CPU slots.
+Application containers run *on* nodes: an activity's wall-clock duration is
+``work / speed`` plus queueing for a free slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GridError
+from repro.grid.reservations import ReservationLedger
+from repro.ontology import HARDWARE, RESOURCE, Instance, KnowledgeBase
+from repro.sim.engine import Engine
+from repro.sim.resources import CapacityResource
+
+__all__ = ["HardwareProfile", "GridNode"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Figure-12 Hardware slots, with the units used across the repo.
+
+    *speed* — normalized compute rate (work units / second / slot);
+    *memory_gb* — main memory; *bandwidth_gbps* / *latency_us* — the
+    node-internal interconnect (what makes a cluster good or bad for
+    fine-grain parallelism, per the Section-1 discussion).
+    """
+
+    speed: float = 1.0
+    memory_gb: float = 4.0
+    bandwidth_gbps: float = 1.0
+    latency_us: float = 100.0
+    manufacturer: str = "generic"
+    model: str = "node"
+    byte_order: str = "little"
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise GridError(f"speed must be positive, got {self.speed}")
+        if self.memory_gb <= 0:
+            raise GridError(f"memory must be positive, got {self.memory_gb}")
+
+
+class GridNode:
+    """One compute resource: hardware + slots + up/down state."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        site: str,
+        hardware: HardwareProfile | None = None,
+        slots: int = 4,
+        domain: str = "default",
+        cost_rate: float = 1.0,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.site = site
+        self.hardware = hardware or HardwareProfile()
+        self.slots = CapacityResource(engine, slots, name=f"{name}.cpu")
+        self.domain = domain
+        self.cost_rate = cost_rate
+        self.up = True
+        #: Advance-reservation ledger; None = reservations unsupported
+        #: (the paper explicitly allows that).
+        self.reservations: ReservationLedger | None = None
+
+    def enable_reservations(self) -> ReservationLedger:
+        """Turn on advance reservations for this node."""
+        if self.reservations is None:
+            self.reservations = ReservationLedger(
+                self.slots.capacity, self.cost_rate
+            )
+        return self.reservations
+
+    def duration(self, work: float) -> float:
+        """Wall-clock seconds for *work* units on one slot of this node."""
+        if work < 0:
+            raise GridError(f"negative work {work}")
+        return work / self.hardware.speed
+
+    # -- ontology export ----------------------------------------------------- #
+    def register_in(self, kb: KnowledgeBase) -> Instance:
+        """Create Resource + Hardware instances describing this node."""
+        hw = kb.new_instance(
+            HARDWARE,
+            {
+                "Type": "CPU",
+                "Speed": self.hardware.speed,
+                "Size": self.hardware.memory_gb,
+                "Bandwidth": self.hardware.bandwidth_gbps,
+                "Latency": self.hardware.latency_us,
+                "Manufacturer": self.hardware.manufacturer,
+                "Model": self.hardware.model,
+            },
+            id=f"HW-{self.name}",
+        )
+        return kb.new_instance(
+            RESOURCE,
+            {
+                "Name": self.name,
+                "Type": "compute-node",
+                "Location": self.site,
+                "Number of Nodes": self.slots.capacity,
+                "Administration Domain": self.domain,
+                "Hardware": hw.id,
+            },
+            id=f"RES-{self.name}",
+        )
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"GridNode({self.name!r}@{self.site}, {state})"

@@ -1,0 +1,68 @@
+"""Frame-based metainformation layer (paper Section 6, Figures 12-13).
+
+Public surface:
+
+* :class:`~repro.ontology.frames.KnowledgeBase` and its building blocks
+  (:class:`~repro.ontology.frames.OntologyClass`,
+  :class:`~repro.ontology.frames.Slot`,
+  :class:`~repro.ontology.frames.Instance`).
+* :func:`~repro.ontology.builtin.builtin_shell` — the Figure-12 schema.
+* JSON serialization helpers.
+* :class:`~repro.ontology.query.Query` and
+  :func:`~repro.ontology.query.equivalence_classes` for brokerage-style
+  lookups.
+"""
+
+from repro.ontology.builtin import (
+    ACTIVITY,
+    BUILTIN_CLASS_NAMES,
+    CASE_DESCRIPTION,
+    DATA,
+    HARDWARE,
+    PROCESS_DESCRIPTION,
+    RESOURCE,
+    SERVICE,
+    SOFTWARE,
+    TASK,
+    TRANSITION,
+    builtin_shell,
+)
+from repro.ontology.frames import (
+    Cardinality,
+    Instance,
+    KnowledgeBase,
+    OntologyClass,
+    Slot,
+    SlotType,
+)
+from repro.ontology.query import Op, Query, SlotConstraint, equivalence_classes
+from repro.ontology.serialize import kb_from_dict, kb_from_json, kb_to_dict, kb_to_json
+
+__all__ = [
+    "KnowledgeBase",
+    "OntologyClass",
+    "Slot",
+    "SlotType",
+    "Cardinality",
+    "Instance",
+    "builtin_shell",
+    "BUILTIN_CLASS_NAMES",
+    "TASK",
+    "PROCESS_DESCRIPTION",
+    "CASE_DESCRIPTION",
+    "ACTIVITY",
+    "TRANSITION",
+    "DATA",
+    "SERVICE",
+    "RESOURCE",
+    "HARDWARE",
+    "SOFTWARE",
+    "kb_to_dict",
+    "kb_from_dict",
+    "kb_to_json",
+    "kb_from_json",
+    "Query",
+    "SlotConstraint",
+    "Op",
+    "equivalence_classes",
+]

@@ -1,0 +1,259 @@
+"""The paper's built-in ontology schema (Figure 12).
+
+Figure 12 shows the "logic view of the ontology structure used by the
+framework": ten frame classes — Task, Process Description, Case Description,
+Activity, Transition, Data, Service, Resource, Hardware, Software — with the
+slots reproduced verbatim below.  :func:`builtin_shell` returns a fresh
+ontology shell with exactly these classes; services that need to exchange
+metainformation start from this shell and populate it (Figure 13 instances
+are built in :mod:`repro.virolab.workflow`).
+
+Slot names keep the figure's spelling (including spaces) so the instance
+tables of Figure 13 can be transcribed directly.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.frames import Cardinality, KnowledgeBase, Slot, SlotType
+
+__all__ = [
+    "builtin_shell",
+    "TASK",
+    "PROCESS_DESCRIPTION",
+    "CASE_DESCRIPTION",
+    "ACTIVITY",
+    "TRANSITION",
+    "DATA",
+    "SERVICE",
+    "RESOURCE",
+    "HARDWARE",
+    "SOFTWARE",
+    "BUILTIN_CLASS_NAMES",
+]
+
+TASK = "Task"
+PROCESS_DESCRIPTION = "ProcessDescription"
+CASE_DESCRIPTION = "CaseDescription"
+ACTIVITY = "Activity"
+TRANSITION = "Transition"
+DATA = "Data"
+SERVICE = "Service"
+RESOURCE = "Resource"
+HARDWARE = "Hardware"
+SOFTWARE = "Software"
+
+BUILTIN_CLASS_NAMES = (
+    TASK,
+    PROCESS_DESCRIPTION,
+    CASE_DESCRIPTION,
+    ACTIVITY,
+    TRANSITION,
+    DATA,
+    SERVICE,
+    RESOURCE,
+    HARDWARE,
+    SOFTWARE,
+)
+
+_S = SlotType.STRING
+_I = SlotType.INTEGER
+_F = SlotType.FLOAT
+_B = SlotType.BOOLEAN
+_REF = SlotType.INSTANCE
+_MULTI = Cardinality.MULTIPLE
+
+
+def _str(name: str, required: bool = False, doc: str = "") -> Slot:
+    return Slot(name, _S, required=required, doc=doc)
+
+
+def _strs(name: str, doc: str = "") -> Slot:
+    return Slot(name, _S, cardinality=_MULTI, doc=doc)
+
+
+def _ref(name: str, cls: str, required: bool = False, doc: str = "") -> Slot:
+    return Slot(name, _REF, required=required, allowed_classes=frozenset({cls}), doc=doc)
+
+
+def _refs(name: str, cls: str, doc: str = "") -> Slot:
+    return Slot(
+        name, _REF, cardinality=_MULTI, allowed_classes=frozenset({cls}), doc=doc
+    )
+
+
+def builtin_shell(name: str = "grid-ontology") -> KnowledgeBase:
+    """Return a fresh ontology shell with the Figure-12 classes."""
+    kb = KnowledgeBase(name)
+
+    kb.define_class(
+        HARDWARE,
+        [
+            _str("Type"),
+            Slot("Speed", _F, doc="CPU speed, normalized GHz"),
+            Slot("Size", _F, doc="memory size, GB"),
+            Slot("Bandwidth", _F, doc="interconnect bandwidth, Gb/s"),
+            Slot("Latency", _F, doc="interconnect latency, microseconds"),
+            _str("Manufacturer"),
+            _str("Model"),
+            _str("Comment"),
+        ],
+        doc="Hardware profile of a resource (Figure 12).",
+    )
+
+    kb.define_class(
+        SOFTWARE,
+        [
+            _str("Name", required=True),
+            _str("Type"),
+            _str("Manufacturer"),
+            _str("Version"),
+            _str("Distribution"),
+        ],
+        doc="Software installed on a resource (Figure 12).",
+    )
+
+    kb.define_class(
+        RESOURCE,
+        [
+            _str("Name", required=True),
+            _str("Type"),
+            _str("Location"),
+            Slot("Number of Nodes", _I),
+            _str("Administration Domain"),
+            _ref("Hardware", HARDWARE),
+            _refs("Software", SOFTWARE),
+            _strs("Access Set", doc="principals allowed to use the resource"),
+        ],
+        doc="A grid resource: nodes in one administrative domain (Figure 12).",
+    )
+
+    kb.define_class(
+        DATA,
+        [
+            _str("Name", required=True),
+            _str("Location"),
+            Slot("Time Stamp", _F),
+            Slot("Value", SlotType.ANY, doc="inline value for small data items"),
+            _str("Category"),
+            _str("Format"),
+            _str("Owner"),
+            _str("Creator", doc="user or the service that produced the data"),
+            Slot("Size", _F, doc="bytes"),
+            _str("Creation Date"),
+            _str("Description"),
+            _str("Latest Modified Date"),
+            _str("Classification", doc="semantic class used by pre/postconditions"),
+            _str("Type"),
+            _str("Access Right"),
+        ],
+        doc="A data item manipulated by activities (Figure 12).",
+    )
+
+    kb.define_class(
+        SERVICE,
+        [
+            _str("Name", required=True),
+            _str("Type"),
+            Slot("Time Stamp", _F),
+            _strs("User Set"),
+            _str("Location"),
+            _str("Creation Date"),
+            _str("Version"),
+            _str("Description"),
+            _strs("Command History"),
+            _str("Input Condition", doc="condition id over the input data set"),
+            _str("Output Condition", doc="condition id over the output data set"),
+            _strs("Input Data Set", doc="formal input parameter names"),
+            _strs("Output Data Set", doc="formal output parameter names"),
+            _strs("Input Data Order"),
+            _strs("Output Data Order"),
+            Slot("Cost", _F),
+            _ref("Resource", RESOURCE),
+        ],
+        doc="An end-user computing service (Figure 12).",
+    )
+
+    kb.define_class(
+        TRANSITION,
+        [
+            _str("ID", required=True),
+            _str("Source Activity", required=True),
+            _str("Destination Activity", required=True),
+        ],
+        doc="A directed transition between two activities (Figure 12).",
+    )
+
+    kb.define_class(
+        ACTIVITY,
+        [
+            _str("ID", required=True),
+            _str("Name", required=True),
+            _str("Task ID"),
+            _str("Owner"),
+            _str("Service Name"),
+            _str(
+                "Type",
+                required=True,
+                doc="Begin | End | End-user | Fork | Join | Choice | Merge",
+            ),
+            _str("Execution Location"),
+            _strs("Input Data Set", doc="Data instance names consumed"),
+            _strs("Output Data Set", doc="Data instance names produced"),
+            _strs("Input Data Order"),
+            _strs("Output Data Order"),
+            _str("Status"),
+            _str("Constraint", doc="constraint id, e.g. Cons1 in Figure 13"),
+            _str("Work Directory"),
+            _strs("Direct Predecessor Set"),
+            _strs("Direct Successor Set"),
+            Slot("Retry Count", _I, default=0),
+            _str("Dispatched By"),
+        ],
+        doc="One activity of a process description (Figure 12).",
+    )
+
+    kb.define_class(
+        PROCESS_DESCRIPTION,
+        [
+            _str("ID"),
+            _str("Name", required=True),
+            _str("Location"),
+            _refs("Activity Set", ACTIVITY),
+            _refs("Transition Set", TRANSITION),
+            _str("Creator"),
+        ],
+        doc="A formal description of the complex problem (Figure 12).",
+    )
+
+    kb.define_class(
+        CASE_DESCRIPTION,
+        [
+            _str("ID"),
+            _str("Name", required=True),
+            _refs("Initial Data Set", DATA),
+            _refs("Result Set", DATA),
+            _str("Constraint"),
+            _str("Goal Condition"),
+            _str("Goal", doc="textual goal, e.g. a result-set census"),
+        ],
+        doc="Instance information for one run of a process (Figure 12).",
+    )
+
+    kb.define_class(
+        TASK,
+        [
+            _str("ID"),
+            _str("Name", required=True),
+            _str("Owner"),
+            _str("Submit Location"),
+            _str("Status"),
+            _refs("Data Set", DATA),
+            _refs("Result Set", DATA),
+            _ref("Case Description", CASE_DESCRIPTION),
+            _ref("Process Description", PROCESS_DESCRIPTION),
+            Slot("Need Planning", _B, default=False),
+        ],
+        doc="A submitted computing task (Figure 12).",
+    )
+
+    return kb

@@ -1,0 +1,493 @@
+"""Frame-based knowledge representation: classes, slots, instances, KB.
+
+The paper maintains its metainformation in Protégé-style frame ontologies
+(Figure 12 shows the schema, Figure 13 the instances used to enact the case
+study).  This module implements an equivalent frame system from scratch:
+
+* :class:`Slot` — a named, typed property of a class, with facets
+  (cardinality, required, default, allowed referenced classes).
+* :class:`OntologyClass` — a named frame with slots and single inheritance.
+* :class:`Instance` — a filled-in frame.
+* :class:`KnowledgeBase` — the container; distinguishes *ontology shells*
+  (classes and slots without instances) from *populated ontologies*, exactly
+  the distinction the paper's ontology service draws.
+
+Values are plain Python objects; instance references are stored as instance
+ids (strings) and resolved through the KB, which keeps serialization trivial
+and avoids reference cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro._util import IdGenerator, valid_identifier
+from repro.errors import (
+    SchemaError,
+    UnknownClassError,
+    UnknownInstanceError,
+    UnknownSlotError,
+    ValidationError,
+)
+
+__all__ = [
+    "SlotType",
+    "Cardinality",
+    "Slot",
+    "OntologyClass",
+    "Instance",
+    "KnowledgeBase",
+]
+
+
+class SlotType(enum.Enum):
+    """Primitive value types a slot may hold.
+
+    ``INSTANCE`` slots hold ids of other instances (frame references);
+    ``ANY`` disables type checking for that slot.
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    INSTANCE = "instance"
+    ANY = "any"
+
+
+class Cardinality(enum.Enum):
+    SINGLE = "single"
+    MULTIPLE = "multiple"
+
+
+_PY_TYPES: dict[SlotType, tuple[type, ...]] = {
+    SlotType.STRING: (str,),
+    SlotType.INTEGER: (int,),
+    SlotType.FLOAT: (int, float),
+    SlotType.BOOLEAN: (bool,),
+    SlotType.INSTANCE: (str,),
+}
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A typed property on an ontology class.
+
+    Parameters mirror Protégé slot facets: *type*, *cardinality*, whether a
+    value is *required* for an instance to validate, a *default*, and — for
+    INSTANCE slots — the set of class names the referenced instance must
+    belong to (empty set = any class).
+    """
+
+    name: str
+    type: SlotType = SlotType.STRING
+    cardinality: Cardinality = Cardinality.SINGLE
+    required: bool = False
+    default: Any = None
+    allowed_classes: frozenset[str] = frozenset()
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not valid_identifier(self.name.replace(" ", "")):
+            raise SchemaError(f"invalid slot name: {self.name!r}")
+        if self.allowed_classes and self.type is not SlotType.INSTANCE:
+            raise SchemaError(
+                f"slot {self.name!r}: allowed_classes only applies to INSTANCE slots"
+            )
+        if not isinstance(self.allowed_classes, frozenset):
+            object.__setattr__(self, "allowed_classes", frozenset(self.allowed_classes))
+
+    def check_value(self, value: Any) -> None:
+        """Raise :class:`ValidationError` if *value* does not fit this slot.
+
+        Reference targets are checked by the KB (which knows the instances),
+        not here.
+        """
+        if self.cardinality is Cardinality.MULTIPLE:
+            if not isinstance(value, (list, tuple)):
+                raise ValidationError(
+                    f"slot {self.name!r} is multi-valued; got {type(value).__name__}"
+                )
+            for item in value:
+                self._check_scalar(item)
+        else:
+            self._check_scalar(value)
+
+    def _check_scalar(self, value: Any) -> None:
+        if value is None or self.type is SlotType.ANY:
+            return
+        expected = _PY_TYPES[self.type]
+        # bool is an int subclass; keep INTEGER slots from accepting True.
+        if self.type is SlotType.INTEGER and isinstance(value, bool):
+            raise ValidationError(f"slot {self.name!r}: expected integer, got bool")
+        if not isinstance(value, expected):
+            raise ValidationError(
+                f"slot {self.name!r}: expected {self.type.value}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+class OntologyClass:
+    """A named frame: a set of slots, optionally inheriting from a parent."""
+
+    def __init__(
+        self,
+        name: str,
+        slots: Iterable[Slot] = (),
+        parent: str | None = None,
+        abstract: bool = False,
+        doc: str = "",
+    ) -> None:
+        if not valid_identifier(name.replace(" ", "")):
+            raise SchemaError(f"invalid class name: {name!r}")
+        self.name = name
+        self.parent = parent
+        self.abstract = abstract
+        self.doc = doc
+        self._slots: dict[str, Slot] = {}
+        for slot in slots:
+            self.add_slot(slot)
+
+    def add_slot(self, slot: Slot) -> None:
+        if slot.name in self._slots:
+            raise SchemaError(f"class {self.name!r}: duplicate slot {slot.name!r}")
+        self._slots[slot.name] = slot
+
+    @property
+    def own_slots(self) -> tuple[Slot, ...]:
+        """Slots declared directly on this class (not inherited)."""
+        return tuple(self._slots.values())
+
+    def own_slot(self, name: str) -> Slot | None:
+        return self._slots.get(name)
+
+    def __repr__(self) -> str:
+        return f"OntologyClass({self.name!r}, slots={sorted(self._slots)})"
+
+
+@dataclass
+class Instance:
+    """A filled-in frame: an id, a class name, and slot values.
+
+    Slot values live in a plain dict; access goes through :meth:`get` /
+    :meth:`set` so the owning KB can validate.  Instances may exist detached
+    from a KB (e.g. while being built), in which case no validation happens
+    until they are added.
+    """
+
+    id: str
+    cls: str
+    values: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, slot: str, default: Any = None) -> Any:
+        return self.values.get(slot, default)
+
+    def set(self, slot: str, value: Any) -> None:
+        self.values[slot] = value
+
+    def __contains__(self, slot: str) -> bool:
+        return slot in self.values
+
+    def __repr__(self) -> str:
+        return f"Instance({self.id!r}, cls={self.cls!r})"
+
+
+class KnowledgeBase:
+    """A set of ontology classes plus their instances.
+
+    The paper's ontology service distributes both *ontology shells*
+    (:meth:`shell`) and *populated ontologies* (the full KB); the same class
+    models global and user-specific ontologies — they are simply separate
+    KnowledgeBase objects that can be merged (:meth:`merge`).
+    """
+
+    def __init__(self, name: str = "kb") -> None:
+        self.name = name
+        self._classes: dict[str, OntologyClass] = {}
+        self._instances: dict[str, Instance] = {}
+        self._by_class: dict[str, set[str]] = {}
+        self._ids = IdGenerator()
+
+    # -- classes ----------------------------------------------------------- #
+    def add_class(self, cls: OntologyClass) -> OntologyClass:
+        if cls.name in self._classes:
+            raise SchemaError(f"duplicate class {cls.name!r}")
+        if cls.parent is not None and cls.parent not in self._classes:
+            raise UnknownClassError(
+                f"class {cls.name!r}: unknown parent {cls.parent!r}"
+            )
+        self._classes[cls.name] = cls
+        self._by_class.setdefault(cls.name, set())
+        return cls
+
+    def define_class(
+        self,
+        name: str,
+        slots: Iterable[Slot] = (),
+        parent: str | None = None,
+        abstract: bool = False,
+        doc: str = "",
+    ) -> OntologyClass:
+        """Convenience: construct and register a class in one call."""
+        return self.add_class(OntologyClass(name, slots, parent, abstract, doc))
+
+    def get_class(self, name: str) -> OntologyClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(f"unknown class {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._classes)
+
+    def ancestors(self, name: str) -> list[str]:
+        """Class names from *name* up to the root (inclusive of *name*)."""
+        chain: list[str] = []
+        current: str | None = name
+        while current is not None:
+            if current in chain:
+                raise SchemaError(f"inheritance cycle at class {current!r}")
+            chain.append(current)
+            current = self.get_class(current).parent
+        return chain
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        return ancestor in self.ancestors(name)
+
+    def slots_of(self, class_name: str) -> dict[str, Slot]:
+        """All slots of a class, inherited ones included (child overrides)."""
+        merged: dict[str, Slot] = {}
+        for cls_name in reversed(self.ancestors(class_name)):
+            for slot in self.get_class(cls_name).own_slots:
+                merged[slot.name] = slot
+        return merged
+
+    def slot_of(self, class_name: str, slot_name: str) -> Slot:
+        slot = self.slots_of(class_name).get(slot_name)
+        if slot is None:
+            raise UnknownSlotError(
+                f"class {class_name!r} has no slot {slot_name!r}"
+            )
+        return slot
+
+    # -- instances --------------------------------------------------------- #
+    def new_instance(
+        self,
+        cls: str,
+        values: Mapping[str, Any] | None = None,
+        id: str | None = None,
+        validate: bool = True,
+    ) -> Instance:
+        """Create, validate and register an instance of *cls*.
+
+        When *id* is omitted a deterministic ``<cls>-N`` id is generated.
+        Reference targets are *not* required to exist yet (instances are
+        often created in dependency cycles); call :meth:`validate_references`
+        or :meth:`validate_all` once the KB is fully populated.
+        """
+        klass = self.get_class(cls)
+        if klass.abstract:
+            raise ValidationError(f"class {cls!r} is abstract")
+        if id is None:
+            id = self._ids.next(f"{cls}-")
+        if id in self._instances:
+            raise ValidationError(f"duplicate instance id {id!r}")
+        instance = Instance(id=id, cls=cls, values=dict(values or {}))
+        self._apply_defaults(instance)
+        if validate:
+            self.validate_instance(instance, check_refs=False)
+        self._instances[id] = instance
+        for ancestor in self.ancestors(cls):
+            self._by_class.setdefault(ancestor, set()).add(id)
+        return instance
+
+    def add_instance(self, instance: Instance, validate: bool = True) -> Instance:
+        """Register an externally-built instance."""
+        return self.new_instance(
+            instance.cls, instance.values, id=instance.id, validate=validate
+        )
+
+    def _apply_defaults(self, instance: Instance) -> None:
+        for slot in self.slots_of(instance.cls).values():
+            if slot.name not in instance.values and slot.default is not None:
+                default = slot.default
+                if slot.cardinality is Cardinality.MULTIPLE and isinstance(
+                    default, (list, tuple)
+                ):
+                    default = list(default)
+                instance.values[slot.name] = default
+
+    def get_instance(self, id: str) -> Instance:
+        try:
+            return self._instances[id]
+        except KeyError:
+            raise UnknownInstanceError(f"unknown instance {id!r}") from None
+
+    def has_instance(self, id: str) -> bool:
+        return id in self._instances
+
+    def remove_instance(self, id: str) -> Instance:
+        instance = self.get_instance(id)
+        del self._instances[id]
+        for ids in self._by_class.values():
+            ids.discard(id)
+        return instance
+
+    def instances_of(self, cls: str, direct_only: bool = False) -> list[Instance]:
+        """All instances of *cls* (including subclasses unless direct_only)."""
+        self.get_class(cls)  # raise on unknown class
+        if direct_only:
+            ids = [i for i in self._by_class.get(cls, ()) if self._instances[i].cls == cls]
+        else:
+            ids = list(self._by_class.get(cls, ()))
+        return [self._instances[i] for i in sorted(ids)]
+
+    def instances(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    # -- resolution -------------------------------------------------------- #
+    def resolve(self, instance: Instance, slot_name: str) -> Any:
+        """Return the value of a slot, dereferencing INSTANCE slots.
+
+        Multi-valued reference slots resolve to a list of Instance objects.
+        Missing optional slots resolve to None (or [] when multi-valued).
+        """
+        slot = self.slot_of(instance.cls, slot_name)
+        value = instance.get(slot_name)
+        if value is None:
+            return [] if slot.cardinality is Cardinality.MULTIPLE else None
+        if slot.type is not SlotType.INSTANCE:
+            return value
+        if slot.cardinality is Cardinality.MULTIPLE:
+            return [self.get_instance(ref) for ref in value]
+        return self.get_instance(value)
+
+    # -- validation -------------------------------------------------------- #
+    def validate_instance(self, instance: Instance, check_refs: bool = True) -> None:
+        """Raise :class:`ValidationError` on any schema violation."""
+        slots = self.slots_of(instance.cls)
+        for name in instance.values:
+            if name not in slots:
+                raise UnknownSlotError(
+                    f"instance {instance.id!r}: class {instance.cls!r} "
+                    f"has no slot {name!r}"
+                )
+        for slot in slots.values():
+            value = instance.get(slot.name)
+            if value is None:
+                if slot.required:
+                    raise ValidationError(
+                        f"instance {instance.id!r}: required slot "
+                        f"{slot.name!r} is missing"
+                    )
+                continue
+            slot.check_value(value)
+            if check_refs and slot.type is SlotType.INSTANCE:
+                refs = value if slot.cardinality is Cardinality.MULTIPLE else [value]
+                for ref in refs:
+                    target = self.get_instance(ref)
+                    if slot.allowed_classes and not any(
+                        self.is_subclass(target.cls, allowed)
+                        for allowed in slot.allowed_classes
+                    ):
+                        raise ValidationError(
+                            f"instance {instance.id!r}: slot {slot.name!r} "
+                            f"references {ref!r} of class {target.cls!r}, "
+                            f"allowed: {sorted(slot.allowed_classes)}"
+                        )
+
+    def validate_all(self) -> None:
+        """Validate every instance, including cross-references."""
+        for instance in self._instances.values():
+            self.validate_instance(instance, check_refs=True)
+
+    # -- shells and merging ------------------------------------------------ #
+    def shell(self, name: str | None = None) -> "KnowledgeBase":
+        """Return a copy with classes and slots but no instances.
+
+        This is precisely what the paper calls an *ontology shell*.
+        """
+        out = KnowledgeBase(name or f"{self.name}-shell")
+        for cls_name in self._topo_classes():
+            cls = self._classes[cls_name]
+            out.add_class(
+                OntologyClass(cls.name, cls.own_slots, cls.parent, cls.abstract, cls.doc)
+            )
+        return out
+
+    def _topo_classes(self) -> list[str]:
+        """Class names ordered parents-before-children."""
+        out: list[str] = []
+        seen: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            parent = self._classes[name].parent
+            if parent is not None:
+                visit(parent)
+            seen.add(name)
+            out.append(name)
+
+        for name in self._classes:
+            visit(name)
+        return out
+
+    def merge(self, other: "KnowledgeBase") -> None:
+        """Merge *other*'s classes and instances into this KB.
+
+        Identical-name classes must be structurally compatible (same slots);
+        instance-id collisions are errors.  Used to combine a global ontology
+        with user-specific ontologies.
+        """
+        for cls_name in other._topo_classes():
+            cls = other._classes[cls_name]
+            if cls_name in self._classes:
+                mine = self._classes[cls_name]
+                if {s.name for s in mine.own_slots} != {s.name for s in cls.own_slots}:
+                    raise SchemaError(
+                        f"merge conflict: class {cls_name!r} has differing slots"
+                    )
+                continue
+            self.add_class(
+                OntologyClass(cls.name, cls.own_slots, cls.parent, cls.abstract, cls.doc)
+            )
+        for instance in other.instances():
+            self.new_instance(instance.cls, instance.values, id=instance.id)
+
+    # -- queries ------------------------------------------------------------ #
+    def find(
+        self,
+        cls: str | None = None,
+        where: Callable[[Instance], bool] | None = None,
+        **slot_equals: Any,
+    ) -> list[Instance]:
+        """Simple query: filter instances by class, slot equality, predicate."""
+        pool: Iterable[Instance]
+        pool = self.instances_of(cls) if cls is not None else list(self.instances())
+        out = []
+        for inst in pool:
+            if any(inst.get(k) != v for k, v in slot_equals.items()):
+                continue
+            if where is not None and not where(inst):
+                continue
+            out.append(inst)
+        return out
+
+    def find_one(self, cls: str | None = None, **slot_equals: Any) -> Instance:
+        matches = self.find(cls, **slot_equals)
+        if len(matches) != 1:
+            raise UnknownInstanceError(
+                f"expected exactly one match for cls={cls!r} {slot_equals!r}; "
+                f"found {len(matches)}"
+            )
+        return matches[0]

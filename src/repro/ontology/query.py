@@ -1,0 +1,135 @@
+"""Declarative queries over a knowledge base.
+
+The matchmaking and brokerage services need slightly richer lookups than
+``KnowledgeBase.find`` offers: comparisons on numeric slots, membership in
+multi-valued slots, conjunction of constraints, and grouping resources into
+equivalence classes ("brokers must ... group [resources] in multiple
+equivalence classes based upon different sets of properties", Section 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.errors import OntologyError
+from repro.ontology.frames import Instance, KnowledgeBase
+
+__all__ = ["Op", "SlotConstraint", "Query", "equivalence_classes"]
+
+
+class Op(enum.Enum):
+    """Comparison operators usable in a slot constraint."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    CONTAINS = "contains"
+    IN = "in"
+
+    def apply(self, left: Any, right: Any) -> bool:
+        if self is Op.CONTAINS:
+            return isinstance(left, (list, tuple, set, str)) and right in left
+        if self is Op.IN:
+            return left in right
+        fn: Callable[[Any, Any], bool] = {
+            Op.EQ: operator.eq,
+            Op.NE: operator.ne,
+            Op.LT: operator.lt,
+            Op.LE: operator.le,
+            Op.GT: operator.gt,
+            Op.GE: operator.ge,
+        }[self]
+        try:
+            return bool(fn(left, right))
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class SlotConstraint:
+    """One requirement on a slot value, e.g. ``Speed >= 2.0``.
+
+    ``path`` may traverse reference slots with ``/``: the constraint
+    ``Hardware/Speed >= 2.0`` on a Resource follows the Hardware reference
+    and compares its Speed slot.  A missing slot anywhere along the path
+    fails the constraint (never raises).
+    """
+
+    path: str
+    op: Op
+    value: Any
+
+    def matches(self, kb: KnowledgeBase, instance: Instance) -> bool:
+        current: Any = instance
+        for part in self.path.split("/"):
+            if not isinstance(current, Instance):
+                return False
+            try:
+                current = kb.resolve(current, part)
+            except OntologyError:
+                return False
+            if current is None:
+                return False
+        return self.op.apply(current, self.value)
+
+
+@dataclass(frozen=True)
+class Query:
+    """Conjunction of slot constraints over instances of one class."""
+
+    cls: str
+    constraints: tuple[SlotConstraint, ...] = ()
+
+    def where(self, path: str, op: Op | str, value: Any) -> "Query":
+        op = Op(op) if isinstance(op, str) else op
+        return Query(self.cls, self.constraints + (SlotConstraint(path, op, value),))
+
+    def run(self, kb: KnowledgeBase) -> list[Instance]:
+        return [
+            inst
+            for inst in kb.instances_of(self.cls)
+            if all(c.matches(kb, inst) for c in self.constraints)
+        ]
+
+
+def equivalence_classes(
+    kb: KnowledgeBase,
+    instances: Iterable[Instance],
+    key_paths: Sequence[str],
+) -> dict[tuple[Hashable, ...], list[Instance]]:
+    """Group instances by the tuple of values at *key_paths*.
+
+    This is the brokerage-service primitive: resources whose key properties
+    coincide are interchangeable for matchmaking purposes.  Unresolvable
+    paths map to ``None`` in the key, and list values are frozen to tuples so
+    keys stay hashable.
+    """
+
+    def value_at(inst: Instance, path: str) -> Hashable:
+        current: Any = inst
+        for part in path.split("/"):
+            if not isinstance(current, Instance):
+                return None
+            try:
+                current = kb.resolve(current, part)
+            except OntologyError:
+                return None
+        if isinstance(current, list):
+            return tuple(
+                item.id if isinstance(item, Instance) else item for item in current
+            )
+        if isinstance(current, Instance):
+            return current.id
+        return current
+
+    groups: dict[tuple[Hashable, ...], list[Instance]] = {}
+    for inst in instances:
+        key = tuple(value_at(inst, path) for path in key_paths)
+        groups.setdefault(key, []).append(inst)
+    return groups

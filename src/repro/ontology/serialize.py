@@ -1,0 +1,109 @@
+"""JSON (de)serialization for knowledge bases.
+
+Ontology services in the paper "maintain and distribute ontology shells ...
+as well as ontologies populated with instances"; distribution needs a wire
+format.  We use a plain JSON-compatible dict so KBs can be shipped between
+agents, archived by the persistent-storage service, and diffed in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.ontology.frames import (
+    Cardinality,
+    KnowledgeBase,
+    OntologyClass,
+    Slot,
+    SlotType,
+)
+
+__all__ = ["kb_to_dict", "kb_from_dict", "kb_to_json", "kb_from_json"]
+
+_FORMAT_VERSION = 1
+
+
+def _slot_to_dict(slot: Slot) -> dict[str, Any]:
+    out: dict[str, Any] = {"name": slot.name, "type": slot.type.value}
+    if slot.cardinality is not Cardinality.SINGLE:
+        out["cardinality"] = slot.cardinality.value
+    if slot.required:
+        out["required"] = True
+    if slot.default is not None:
+        out["default"] = slot.default
+    if slot.allowed_classes:
+        out["allowed_classes"] = sorted(slot.allowed_classes)
+    if slot.doc:
+        out["doc"] = slot.doc
+    return out
+
+
+def _slot_from_dict(data: dict[str, Any]) -> Slot:
+    return Slot(
+        name=data["name"],
+        type=SlotType(data.get("type", "string")),
+        cardinality=Cardinality(data.get("cardinality", "single")),
+        required=bool(data.get("required", False)),
+        default=data.get("default"),
+        allowed_classes=frozenset(data.get("allowed_classes", ())),
+        doc=data.get("doc", ""),
+    )
+
+
+def kb_to_dict(kb: KnowledgeBase) -> dict[str, Any]:
+    """Serialize classes and instances into a JSON-compatible dict."""
+    classes = []
+    for name in kb._topo_classes():
+        cls = kb.get_class(name)
+        entry: dict[str, Any] = {
+            "name": cls.name,
+            "slots": [_slot_to_dict(s) for s in cls.own_slots],
+        }
+        if cls.parent is not None:
+            entry["parent"] = cls.parent
+        if cls.abstract:
+            entry["abstract"] = True
+        if cls.doc:
+            entry["doc"] = cls.doc
+        classes.append(entry)
+    instances = [
+        {"id": inst.id, "cls": inst.cls, "values": inst.values}
+        for inst in sorted(kb.instances(), key=lambda i: i.id)
+    ]
+    return {
+        "format": _FORMAT_VERSION,
+        "name": kb.name,
+        "classes": classes,
+        "instances": instances,
+    }
+
+
+def kb_from_dict(data: dict[str, Any]) -> KnowledgeBase:
+    """Rebuild a KnowledgeBase from :func:`kb_to_dict` output."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise SchemaError(f"unsupported KB format: {data.get('format')!r}")
+    kb = KnowledgeBase(data.get("name", "kb"))
+    for entry in data.get("classes", ()):
+        kb.add_class(
+            OntologyClass(
+                entry["name"],
+                [_slot_from_dict(s) for s in entry.get("slots", ())],
+                parent=entry.get("parent"),
+                abstract=bool(entry.get("abstract", False)),
+                doc=entry.get("doc", ""),
+            )
+        )
+    for entry in data.get("instances", ()):
+        kb.new_instance(entry["cls"], entry.get("values", {}), id=entry["id"])
+    kb.validate_all()
+    return kb
+
+
+def kb_to_json(kb: KnowledgeBase, indent: int | None = None) -> str:
+    return json.dumps(kb_to_dict(kb), indent=indent, sort_keys=True)
+
+
+def kb_from_json(text: str) -> KnowledgeBase:
+    return kb_from_dict(json.loads(text))

@@ -1,0 +1,258 @@
+"""Bridge between the metainformation layer and the executable objects.
+
+Figure 13's caption is a functional claim: "Instances of the ontologies
+[are] used for enactment of the process description in Figure 10" — i.e.
+the coordination service can reconstruct everything it needs from frames
+alone.  This module provides both directions:
+
+* :func:`process_from_kb` — build a :class:`ProcessDescription` from the
+  Task/ProcessDescription/Activity/Transition instances (with Choice
+  conditions recovered from the constraint registry);
+* :func:`case_from_kb` — build the coordination request's initial-data
+  properties from the CaseDescription and Data instances;
+* :func:`task_request_from_kb` — the full ``execute-task`` content for a
+  Task instance (consults the ``Need Planning`` flag);
+* :func:`kb_from_process` — the reverse: register a process description
+  (e.g. a freshly planned one) as instances, so plans can be archived in
+  the system knowledge base exactly as Section 3 describes.
+
+Constraints (e.g. ``Cons1``) are named conditions; pass them in a registry
+mapping name -> :class:`Condition`.  The case-study registry lives in
+:mod:`repro.virolab.workflow`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import OntologyError, ProcessStructureError
+from repro.ontology import (
+    ACTIVITY,
+    CASE_DESCRIPTION,
+    PROCESS_DESCRIPTION,
+    TASK,
+    TRANSITION,
+    Instance,
+    KnowledgeBase,
+)
+from repro.process.conditions import Condition
+from repro.process.model import Activity, ActivityKind, ProcessDescription
+
+__all__ = [
+    "process_from_kb",
+    "case_from_kb",
+    "task_request_from_kb",
+    "kb_from_process",
+]
+
+_KIND_BY_NAME = {kind.value: kind for kind in ActivityKind}
+
+
+def _activity_from_instance(inst: Instance) -> Activity:
+    type_name = inst.get("Type")
+    kind = _KIND_BY_NAME.get(type_name)
+    if kind is None:
+        raise ProcessStructureError(
+            f"activity instance {inst.id!r} has unknown Type {type_name!r}"
+        )
+    name = inst.get("Name")
+    if kind is ActivityKind.END_USER:
+        return Activity(
+            name,
+            kind,
+            service=inst.get("Service Name") or name,
+            inputs=tuple(inst.get("Input Data Set") or ()),
+            outputs=tuple(inst.get("Output Data Set") or ()),
+            constraint=inst.get("Constraint"),
+        )
+    return Activity(name, kind, constraint=inst.get("Constraint"))
+
+
+def process_from_kb(
+    kb: KnowledgeBase,
+    process_id: str,
+    constraints: Mapping[str, Condition] | None = None,
+) -> ProcessDescription:
+    """Reconstruct a process description from its frame instances.
+
+    Choice-transition conditions are recovered from the *constraints*
+    registry: a transition leaving a Choice whose paired loop/branch logic
+    is governed by a named constraint (found on any activity in the graph,
+    e.g. PSF's ``Cons1``) gets that condition on its non-default arc.  The
+    convention matches Figure 13: the constraint's ``then`` destination is
+    the conditioned arc, the remaining arc is the default.
+    """
+    constraints = dict(constraints or {})
+    pd_inst = kb.get_instance(process_id)
+    if pd_inst.cls != PROCESS_DESCRIPTION:
+        raise OntologyError(
+            f"instance {process_id!r} is a {pd_inst.cls}, not a "
+            f"{PROCESS_DESCRIPTION}"
+        )
+    pd = ProcessDescription(pd_inst.get("Name") or process_id)
+
+    activity_instances = kb.resolve(pd_inst, "Activity Set")
+    if not activity_instances:
+        raise ProcessStructureError(
+            f"process {process_id!r} has an empty Activity Set"
+        )
+    constraint_of: dict[str, str] = {}
+    for inst in activity_instances:
+        activity = _activity_from_instance(inst)
+        pd.add_activity(activity)
+        if activity.constraint:
+            constraint_of[activity.name] = activity.constraint
+
+    for inst in kb.resolve(pd_inst, "Transition Set"):
+        pd.connect(
+            inst.get("Source Activity"),
+            inst.get("Destination Activity"),
+            id=inst.get("ID"),
+        )
+
+    # Attach conditions to Choice out-arcs.  Convention (Figure 13): each
+    # Choice is governed by the constraint named on its predecessor
+    # activity chain (the activity feeding the Choice); the arc that goes
+    # *backwards* (to a Merge loop head) or, failing that, the first
+    # listed arc, carries the condition; the remaining arc is the default.
+    for activity in pd.activities:
+        if activity.kind is not ActivityKind.CHOICE:
+            continue
+        preds = pd.predecessors(activity.name)
+        constraint_name = next(
+            (constraint_of[p] for p in preds if p in constraint_of), None
+        )
+        if constraint_name is None:
+            continue
+        condition = constraints.get(constraint_name)
+        if condition is None:
+            raise OntologyError(
+                f"constraint {constraint_name!r} referenced by the KB has "
+                f"no definition in the constraint registry"
+            )
+        successors = pd.successors(activity.name)
+        merge_arcs = [
+            s for s in successors
+            if pd.activity(s).kind is ActivityKind.MERGE
+        ]
+        target = merge_arcs[0] if merge_arcs else successors[0]
+        pd.set_condition(activity.name, target, condition)
+    return pd
+
+
+def case_from_kb(kb: KnowledgeBase, case_id: str) -> dict[str, Any]:
+    """Initial-data properties (+ goal text) from a CaseDescription."""
+    case = kb.get_instance(case_id)
+    if case.cls != CASE_DESCRIPTION:
+        raise OntologyError(
+            f"instance {case_id!r} is a {case.cls}, not a {CASE_DESCRIPTION}"
+        )
+    initial_data: dict[str, dict[str, Any]] = {}
+    for data in kb.resolve(case, "Initial Data Set"):
+        props: dict[str, Any] = {}
+        for slot in ("Classification", "Format", "Location", "Size", "Type"):
+            value = data.get(slot)
+            if value is not None:
+                props[slot] = value
+        initial_data[data.get("Name") or data.id] = props
+    return {
+        "initial_data": initial_data,
+        "result_set": [d.get("Name") or d.id for d in kb.resolve(case, "Result Set")],
+        "goal": case.get("Goal Condition") or case.get("Goal") or "",
+        "constraint": case.get("Constraint"),
+    }
+
+
+def task_request_from_kb(
+    kb: KnowledgeBase,
+    task_id: str,
+    constraints: Mapping[str, Condition] | None = None,
+) -> dict[str, Any]:
+    """The ``execute-task`` request content for a Task instance.
+
+    Honours the Figure-12 ``Need Planning`` flag: when set, the request
+    omits the process description so the coordination service obtains one
+    from the planning service (the Figure-2 path); the caller must then
+    add a ``problem`` entry.
+    """
+    task = kb.get_instance(task_id)
+    if task.cls != TASK:
+        raise OntologyError(f"instance {task_id!r} is a {task.cls}, not a {TASK}")
+    request: dict[str, Any] = {"task": task.get("Name") or task.id}
+    case_ref = task.get("Case Description")
+    if case_ref:
+        request.update(
+            {
+                k: v
+                for k, v in case_from_kb(kb, case_ref).items()
+                if k == "initial_data"
+            }
+        )
+    if not task.get("Need Planning"):
+        pd_ref = task.get("Process Description")
+        if pd_ref is None:
+            raise OntologyError(
+                f"task {task_id!r} has neither Need Planning nor a "
+                f"Process Description"
+            )
+        request["process"] = process_from_kb(kb, pd_ref, constraints)
+    return request
+
+
+def kb_from_process(
+    kb: KnowledgeBase,
+    pd: ProcessDescription,
+    creator: str = "planning",
+    id_prefix: str | None = None,
+) -> Instance:
+    """Archive a process description into *kb* as frame instances.
+
+    Returns the ProcessDescription instance.  Ids are prefixed to avoid
+    collisions when several plans are archived ("Process descriptions can
+    be archived using the system knowledge base", Section 3).
+    """
+    prefix = id_prefix if id_prefix is not None else pd.name
+    activity_ids = []
+    for index, activity in enumerate(pd.activities, start=1):
+        values: dict[str, Any] = {
+            "ID": f"{prefix}/A{index}",
+            "Name": activity.name,
+            "Type": activity.kind.value,
+        }
+        if activity.kind is ActivityKind.END_USER:
+            values["Service Name"] = activity.service_name
+            if activity.inputs:
+                values["Input Data Set"] = list(activity.inputs)
+            if activity.outputs:
+                values["Output Data Set"] = list(activity.outputs)
+        if activity.constraint:
+            values["Constraint"] = activity.constraint
+        values["Direct Predecessor Set"] = list(pd.predecessors(activity.name))
+        values["Direct Successor Set"] = list(pd.successors(activity.name))
+        inst = kb.new_instance(ACTIVITY, values, id=f"{prefix}/A{index}")
+        activity_ids.append(inst.id)
+
+    transition_ids = []
+    for tr in pd.transitions:
+        inst = kb.new_instance(
+            TRANSITION,
+            {
+                "ID": f"{prefix}/{tr.id}",
+                "Source Activity": tr.source,
+                "Destination Activity": tr.destination,
+            },
+            id=f"{prefix}/{tr.id}",
+        )
+        transition_ids.append(inst.id)
+
+    return kb.new_instance(
+        PROCESS_DESCRIPTION,
+        {
+            "ID": prefix,
+            "Name": pd.name,
+            "Activity Set": activity_ids,
+            "Transition Set": transition_ids,
+            "Creator": creator,
+        },
+        id=prefix,
+    )

@@ -1,0 +1,56 @@
+"""Plan-tree metrics used in fitness evaluation and experiment tables."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.plan.tree import Controller, ControllerKind, PlanNode, Terminal, tree_depth
+
+__all__ = [
+    "representation_efficiency",
+    "controller_census",
+    "terminal_census",
+    "summary",
+]
+
+
+def representation_efficiency(tree: PlanNode, smax: int) -> float:
+    """Eq. 3: ``fr = 1 - size/Smax`` (clamped at 0 for oversized trees).
+
+    A small plan tree receives a high fr; trees at the Smax bound score 0.
+    """
+    if smax <= 0:
+        raise ValueError(f"Smax must be positive, got {smax}")
+    return max(0.0, 1.0 - tree.size / smax)
+
+
+def controller_census(tree: PlanNode) -> Counter:
+    """Count of each controller kind in the tree."""
+    census: Counter = Counter()
+    for node in tree.walk():
+        if isinstance(node, Controller):
+            census[node.kind] += 1
+    return census
+
+
+def terminal_census(tree: PlanNode) -> Counter:
+    """Count of each activity name at the leaves."""
+    census: Counter = Counter()
+    for node in tree.walk():
+        if isinstance(node, Terminal):
+            census[node.activity] += 1
+    return census
+
+
+def summary(tree: PlanNode) -> dict:
+    """Dict of headline metrics, used by experiment tables."""
+    controllers = controller_census(tree)
+    return {
+        "size": tree.size,
+        "depth": tree_depth(tree),
+        "terminals": sum(terminal_census(tree).values()),
+        "sequential": controllers.get(ControllerKind.SEQUENTIAL, 0),
+        "concurrent": controllers.get(ControllerKind.CONCURRENT, 0),
+        "selective": controllers.get(ControllerKind.SELECTIVE, 0),
+        "iterative": controllers.get(ControllerKind.ITERATIVE, 0),
+    }

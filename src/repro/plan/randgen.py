@@ -1,0 +1,85 @@
+"""Random plan-tree generation (Section 3.4.2 solution initialization).
+
+The paper initializes in two steps: (1) generate an arbitrary tree
+structure of a given size, (2) instantiate internal nodes with controller
+kinds chosen uniformly from the four kinds, and leaves with end-user
+activities chosen uniformly from the activity set T.
+
+:func:`random_tree` realizes exactly that.  The shape step draws a uniform
+composition: a tree of *n* nodes is a root with k children whose sizes form
+a random composition of n-1 (k itself uniform over the feasible range,
+bounded by *max_branch* to keep trees plausibly workflow-shaped).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import PlanError
+from repro.plan.tree import Controller, ControllerKind, PlanNode, Terminal
+
+__all__ = ["random_tree", "random_shape"]
+
+_KINDS = tuple(ControllerKind)
+
+
+def random_shape(
+    n: int,
+    rng: np.random.Generator,
+    max_branch: int = 4,
+) -> list[int]:
+    """Split ``n - 1`` child-subtree node budgets for a tree of *n* nodes.
+
+    Returns the (possibly empty) list of child sizes; an empty list means a
+    terminal node.  Compositions are sampled by choosing k uniformly then
+    splitting with uniformly-placed bars, giving good shape diversity
+    without the degenerate all-left-comb bias of naive recursive splits.
+    """
+    if n < 1:
+        raise PlanError(f"tree size must be >= 1, got {n}")
+    if n == 1:
+        return []
+    budget = n - 1
+    k = int(rng.integers(1, min(max_branch, budget) + 1))
+    if k == 1:
+        return [budget]
+    # Random composition of `budget` into k positive parts.
+    bars = rng.choice(budget - 1, size=k - 1, replace=False) + 1
+    bars.sort()
+    parts = np.diff(np.concatenate(([0], bars, [budget])))
+    return [int(p) for p in parts]
+
+
+def random_tree(
+    activities: Sequence[str],
+    size: int | None = None,
+    max_size: int = 40,
+    rng: int | np.random.Generator | None = None,
+    max_branch: int = 4,
+) -> PlanNode:
+    """Generate a random plan tree.
+
+    *size* pins the exact node count; when omitted, the count is uniform in
+    ``[1, max_size]`` (the paper's Smax bound).  *activities* is the planner's
+    activity set T.
+    """
+    generator = as_rng(rng)
+    if not activities:
+        raise PlanError("need at least one activity to build plan trees")
+    if size is None:
+        size = int(generator.integers(1, max_size + 1))
+    if size < 1 or size > max_size:
+        raise PlanError(f"requested size {size} outside [1, {max_size}]")
+
+    def build(n: int) -> PlanNode:
+        parts = random_shape(n, generator, max_branch)
+        if not parts:
+            activity = activities[int(generator.integers(len(activities)))]
+            return Terminal(activity)
+        kind = _KINDS[int(generator.integers(len(_KINDS)))]
+        return Controller(kind, tuple(build(p) for p in parts))
+
+    return build(size)

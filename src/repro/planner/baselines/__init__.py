@@ -1,0 +1,7 @@
+"""Baseline planners for the GP-vs-baseline ablation (DESIGN.md A4)."""
+
+from repro.planner.baselines.forward_search import forward_search
+from repro.planner.baselines.hill_climber import hill_climb
+from repro.planner.baselines.random_search import random_search
+
+__all__ = ["random_search", "hill_climb", "forward_search"]

@@ -1,0 +1,105 @@
+"""Plan fitness (Section 3.4.4, Eqs. 1-4).
+
+``f = wv*fv + wg*fg + wr*fr`` with ``wv + wg + wr = 1``:
+
+* ``fv`` — plan validity: valid activity executions / total executions
+  over all enumerated flows (Eq. 1);
+* ``fg`` — goal fitness: fraction of goal specifications the final state
+  satisfies, averaged over flows (Eq. 2);
+* ``fr`` — representation efficiency: ``1 - size/Smax`` (Eq. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PlanningError
+from repro.plan.metrics import representation_efficiency
+from repro.plan.tree import PlanNode
+from repro.planner.problem import PlanningProblem
+from repro.planner.simulate import SimulationOptions, simulate_plan
+
+__all__ = ["FitnessWeights", "Fitness", "PlanEvaluator"]
+
+
+@dataclass(frozen=True)
+class FitnessWeights:
+    """Table-1 weights: wv = 0.2, wg = 0.5 (leaving wr = 0.3)."""
+
+    validity: float = 0.2
+    goal: float = 0.5
+    efficiency: float = 0.3
+
+    def __post_init__(self) -> None:
+        total = self.validity + self.goal + self.efficiency
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise PlanningError(
+                f"fitness weights must sum to 1, got {total} "
+                f"(wv={self.validity}, wg={self.goal}, wr={self.efficiency})"
+            )
+        if min(self.validity, self.goal, self.efficiency) < 0:
+            raise PlanningError("fitness weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class Fitness:
+    """One plan's scored fitness; orderable by overall value."""
+
+    validity: float
+    goal: float
+    efficiency: float
+    overall: float
+    truncated: bool = False
+
+    def __lt__(self, other: "Fitness") -> bool:
+        return self.overall < other.overall
+
+    def __le__(self, other: "Fitness") -> bool:
+        return self.overall <= other.overall
+
+
+class PlanEvaluator:
+    """Callable evaluator binding a problem, weights, Smax and sim options.
+
+    Evaluation results are memoized per tree (plan trees are immutable and
+    hashable), which matters because tournament selection duplicates
+    individuals and unchanged survivors are re-scored every generation.
+    """
+
+    def __init__(
+        self,
+        problem: PlanningProblem,
+        weights: FitnessWeights | None = None,
+        smax: int = 40,
+        options: SimulationOptions | None = None,
+    ) -> None:
+        if smax < 1:
+            raise PlanningError(f"Smax must be >= 1, got {smax}")
+        self.problem = problem
+        self.weights = weights or FitnessWeights()
+        self.smax = smax
+        self.options = options or SimulationOptions()
+        self._cache: dict[PlanNode, Fitness] = {}
+        self.evaluations = 0  # unique simulations run (cache misses)
+
+    def __call__(self, tree: PlanNode) -> Fitness:
+        cached = self._cache.get(tree)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        report = simulate_plan(tree, self.problem, self.options)
+        fv = report.validity_fitness()
+        fg = report.goal_fitness(self.problem)
+        fr = representation_efficiency(tree, self.smax)
+        overall = (
+            self.weights.validity * fv
+            + self.weights.goal * fg
+            + self.weights.efficiency * fr
+        )
+        fitness = Fitness(fv, fg, fr, overall, report.truncated)
+        self._cache[tree] = fitness
+        return fitness
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

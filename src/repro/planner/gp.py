@@ -1,0 +1,179 @@
+"""The GP planning loop (Section 3.4.6).
+
+Pseudocode from the paper::
+
+    1. Initialize population;
+    2. While some stopping conditions are not met, do
+       (a) Evaluate the current population;
+       (b) Select the individuals ... and form a new population;
+       (c) Crossover;
+       (d) Mutate;
+    3. Select a plan that has the highest fitness as the final solution.
+
+The stopping condition is the generation budget (Table 1: 20 generations);
+``early_stop`` optionally terminates once a perfect-validity/goal plan
+appears.  Crossover pairs the selected population in shuffled order, as is
+conventional when the paper does not specify a pairing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.plan.randgen import random_tree
+from repro.plan.tree import PlanNode
+from repro.planner.config import GPConfig
+from repro.planner.fitness import Fitness, PlanEvaluator
+from repro.planner.operators import crossover, mutate
+from repro.planner.problem import PlanningProblem
+from repro.planner.selection import tournament_select
+
+__all__ = ["GenerationStats", "PlanningResult", "GPPlanner"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Per-generation telemetry recorded by the planner."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    best_validity: float
+    best_goal: float
+    best_size: int
+    mean_size: float
+
+
+@dataclass(frozen=True)
+class PlanningResult:
+    """Outcome of one GP run."""
+
+    best_plan: PlanNode
+    best_fitness: Fitness
+    history: tuple[GenerationStats, ...] = ()
+    evaluations: int = 0
+    generations_run: int = 0
+
+    @property
+    def solved(self) -> bool:
+        """Perfect validity and goal fitness (the Table-2 success notion)."""
+        return self.best_fitness.validity == 1.0 and self.best_fitness.goal == 1.0
+
+
+class GPPlanner:
+    """Genetic-programming planner over plan trees.
+
+    One planner instance is reusable across runs; every :meth:`plan` call
+    draws from the RNG it was constructed with (pass distinct seeds for the
+    10-run experiment of Section 5).
+    """
+
+    def __init__(
+        self,
+        config: GPConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or GPConfig()
+        self.rng = as_rng(rng)
+
+    # -- initialization (Section 3.4.2) ------------------------------------- #
+    def initial_population(self, problem: PlanningProblem) -> list[PlanNode]:
+        cfg = self.config
+        activities = list(problem.activity_names)
+        return [
+            random_tree(
+                activities,
+                max_size=cfg.smax,
+                rng=self.rng,
+                max_branch=cfg.max_branch,
+            )
+            for _ in range(cfg.population_size)
+        ]
+
+    # -- main loop ------------------------------------------------------------ #
+    def plan(
+        self,
+        problem: PlanningProblem,
+        evaluator: PlanEvaluator | None = None,
+    ) -> PlanningResult:
+        cfg = self.config
+        evaluator = evaluator or PlanEvaluator(
+            problem, cfg.weights, cfg.smax, cfg.simulation
+        )
+        activities = list(problem.activity_names)
+        population = self.initial_population(problem)
+        history: list[GenerationStats] = []
+        generations_run = 0
+
+        fitnesses = [evaluator(tree) for tree in population]
+        for generation in range(cfg.generations):
+            generations_run = generation + 1
+            history.append(self._stats(generation, population, fitnesses))
+            if cfg.early_stop and any(
+                f.validity == 1.0 and f.goal == 1.0 for f in fitnesses
+            ):
+                break
+
+            # (b) selection
+            population = tournament_select(
+                population, fitnesses, self.rng, cfg.tournament_size
+            )
+            # (c) crossover over shuffled pairs
+            order = self.rng.permutation(len(population))
+            next_population: list[PlanNode] = [population[0]] * len(population)
+            for i in range(0, len(order) - 1, 2):
+                ia, ib = int(order[i]), int(order[i + 1])
+                child_a, child_b = crossover(
+                    population[ia],
+                    population[ib],
+                    self.rng,
+                    cfg.smax,
+                    cfg.crossover_rate,
+                )
+                next_population[ia] = child_a
+                next_population[ib] = child_b
+            if len(order) % 2:
+                last = int(order[-1])
+                next_population[last] = population[last]
+            # (d) mutation
+            population = [
+                mutate(
+                    tree,
+                    activities,
+                    self.rng,
+                    cfg.smax,
+                    cfg.mutation_rate,
+                    cfg.max_branch,
+                )
+                for tree in next_population
+            ]
+            fitnesses = [evaluator(tree) for tree in population]
+
+        best_idx = int(np.argmax([f.overall for f in fitnesses]))
+        return PlanningResult(
+            best_plan=population[best_idx],
+            best_fitness=fitnesses[best_idx],
+            history=tuple(history),
+            evaluations=evaluator.evaluations,
+            generations_run=generations_run,
+        )
+
+    @staticmethod
+    def _stats(
+        generation: int, population: list[PlanNode], fitnesses: list[Fitness]
+    ) -> GenerationStats:
+        overall = np.array([f.overall for f in fitnesses])
+        sizes = np.array([tree.size for tree in population])
+        best = int(np.argmax(overall))
+        return GenerationStats(
+            generation=generation,
+            best_fitness=float(overall[best]),
+            mean_fitness=float(overall.mean()),
+            best_validity=fitnesses[best].validity,
+            best_goal=fitnesses[best].goal,
+            best_size=int(sizes[best]),
+            mean_size=float(sizes.mean()),
+        )

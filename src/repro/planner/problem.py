@@ -1,0 +1,144 @@
+"""Planning problems: ``P = {Sinit, G, T}`` (Section 3.2).
+
+* ``Sinit`` — a :class:`~repro.planner.state.WorldState` with the user's
+  initial data and specifications;
+* ``G`` — the goal, a tuple of goal *specifications* (conditions); Eq. 2
+  scores the fraction satisfied in the final state;
+* ``T`` — the complete set of end-user activities available on the grid,
+  each an :class:`ActivitySpec` with preconditions (a condition over data
+  items that must hold before execution) and effects (data items
+  created/modified by execution — the postconditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import PlanningError
+from repro.planner.state import WorldState
+from repro.process.conditions import TRUE, Condition, compile_condition
+from repro.process.model import Activity, ActivityKind
+
+__all__ = ["ActivitySpec", "PlanningProblem"]
+
+
+@dataclass(frozen=True)
+class ActivitySpec:
+    """One end-user activity in T.
+
+    *precondition* must hold in the current state for the activity to be
+    valid (Section 3.1: "The preconditions of an activity specify the set
+    of necessary data and their specifications").  *effects* maps output
+    data names to the properties their execution establishes ("The new
+    system state will include all new and modified data resulting from the
+    execution").  *inputs* / *outputs* list the data names for
+    documentation and case-description binding; inputs default to the data
+    referenced by the precondition.
+    """
+
+    name: str
+    precondition: Condition = TRUE
+    effects: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    service: str | None = None
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanningError("activity spec needs a name")
+        object.__setattr__(
+            self, "effects", {k: dict(v) for k, v in dict(self.effects).items()}
+        )
+        if not self.inputs:
+            object.__setattr__(
+                self, "inputs", tuple(sorted(self.precondition.data_names()))
+            )
+        if not self.outputs:
+            object.__setattr__(self, "outputs", tuple(self.effects))
+        if self.service is None:
+            object.__setattr__(self, "service", self.name)
+        object.__setattr__(
+            self, "_compiled_pre", compile_condition(self.precondition)
+        )
+
+    def applicable(self, state: WorldState) -> bool:
+        return self._compiled_pre(state)  # type: ignore[attr-defined]
+
+    def apply(self, state: WorldState) -> WorldState:
+        """The successor state (caller checks applicability for validity
+        accounting; applying an inapplicable activity is a planner-level
+        decision, the simulation never does it)."""
+        return state.updated(self.effects)
+
+    def as_activity(self, name: str | None = None) -> Activity:
+        """The graph-level :class:`Activity` for this spec."""
+        return Activity(
+            name or self.name,
+            ActivityKind.END_USER,
+            self.service,
+            self.inputs,
+            self.outputs,
+        )
+
+
+@dataclass(frozen=True)
+class PlanningProblem:
+    """``P = {Sinit, G, T}`` plus a display name."""
+
+    initial_state: WorldState
+    goals: tuple[Condition, ...]
+    activities: Mapping[str, ActivitySpec]
+    name: str = "problem"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "goals", tuple(self.goals))
+        if not self.goals:
+            raise PlanningError("a planning problem needs at least one goal")
+        specs = dict(self.activities)
+        for key, spec in specs.items():
+            if key != spec.name:
+                raise PlanningError(
+                    f"activity map key {key!r} != spec name {spec.name!r}"
+                )
+        if not specs:
+            raise PlanningError("a planning problem needs a non-empty T")
+        object.__setattr__(self, "activities", specs)
+        object.__setattr__(
+            self, "_compiled_goals", tuple(compile_condition(g) for g in self.goals)
+        )
+
+    @property
+    def activity_names(self) -> tuple[str, ...]:
+        return tuple(self.activities)
+
+    def spec(self, name: str) -> ActivitySpec | None:
+        """The spec for an activity name, or None if not in T.
+
+        Plan trees evolved by GP may reference names outside T only if the
+        terminal set is wider than T; the simulator treats unknown names as
+        never-valid activities.
+        """
+        return self.activities.get(name)
+
+    def goal_score(self, state: WorldState) -> float:
+        """Eq. 2: fraction of goal specifications the state satisfies."""
+        compiled = self._compiled_goals  # type: ignore[attr-defined]
+        satisfied = sum(1 for check in compiled if check(state))
+        return satisfied / len(compiled)
+
+    @staticmethod
+    def build(
+        name: str,
+        initial: Mapping[str, Mapping[str, Any]],
+        goals: tuple[Condition, ...] | list[Condition],
+        activities: list[ActivitySpec] | tuple[ActivitySpec, ...],
+    ) -> "PlanningProblem":
+        """Convenience constructor from plain literals."""
+        return PlanningProblem(
+            initial_state=WorldState(initial),
+            goals=tuple(goals),
+            activities={spec.name: spec for spec in activities},
+            name=name,
+        )

@@ -1,0 +1,52 @@
+"""Tournament selection (Section 3.4.5).
+
+"We randomly select two individuals from the current population each time
+and compare their fitness.  The individual with higher fitness is selected
+and duplicated to the next generation.  This simple process is continued
+until we have selected a new population with the same size as the current
+population."
+
+A generalized tournament size is supported for the ablation studies; size
+2 is the paper's setting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import PlanningError
+from repro.plan.tree import PlanNode
+from repro.planner.fitness import Fitness
+
+__all__ = ["tournament_select"]
+
+
+def tournament_select(
+    population: Sequence[PlanNode],
+    fitnesses: Sequence[Fitness],
+    rng: int | np.random.Generator | None = None,
+    tournament_size: int = 2,
+    count: int | None = None,
+) -> list[PlanNode]:
+    """Select *count* individuals (default: population size) by tournaments."""
+    if len(population) != len(fitnesses):
+        raise PlanningError(
+            f"population/fitness length mismatch: "
+            f"{len(population)} vs {len(fitnesses)}"
+        )
+    if not population:
+        raise PlanningError("cannot select from an empty population")
+    if tournament_size < 1:
+        raise PlanningError(f"tournament size must be >= 1, got {tournament_size}")
+    generator = as_rng(rng)
+    n = len(population)
+    wanted = count if count is not None else n
+    selected: list[PlanNode] = []
+    for _ in range(wanted):
+        contenders = generator.integers(0, n, size=tournament_size)
+        best = max(contenders, key=lambda idx: fitnesses[int(idx)].overall)
+        selected.append(population[int(best)])
+    return selected

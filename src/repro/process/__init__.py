@@ -1,0 +1,80 @@
+"""Process descriptions: the ATN workflow language of paper Section 2.
+
+Layers (each usable on its own):
+
+* graph model — :class:`~repro.process.model.ProcessDescription`,
+  :class:`~repro.process.model.Activity`,
+  :class:`~repro.process.model.Transition`;
+* condition language — :mod:`repro.process.conditions`;
+* text syntax — :func:`~repro.process.parser.parse_process` /
+  :func:`~repro.process.unparse.unparse`;
+* AST <-> graph — :func:`~repro.process.structure.ast_to_process` /
+  :func:`~repro.process.structure.process_to_ast`;
+* validation — :func:`~repro.process.validate.validate_process`;
+* fluent construction — :class:`~repro.process.builder.WorkflowBuilder`.
+"""
+
+from repro.process.ast_nodes import (
+    ActivityNode,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Node,
+    SequenceNode,
+    normalize_ast,
+    seq,
+)
+from repro.process.builder import WorkflowBuilder
+from repro.process.dot import plan_tree_to_dot, process_to_dot
+from repro.process.conditions import (
+    TRUE,
+    And,
+    Atom,
+    Condition,
+    MappingSource,
+    Not,
+    Or,
+    PropertySource,
+    Relation,
+)
+from repro.process.model import Activity, ActivityKind, ProcessDescription, Transition
+from repro.process.parser import parse_condition, parse_process
+from repro.process.structure import ast_to_process, find_back_edges, process_to_ast
+from repro.process.unparse import unparse, unparse_pretty
+from repro.process.validate import check_process, validate_process
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "ProcessDescription",
+    "Transition",
+    "Node",
+    "ActivityNode",
+    "SequenceNode",
+    "ForkNode",
+    "ChoiceNode",
+    "IterativeNode",
+    "seq",
+    "normalize_ast",
+    "Condition",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "Relation",
+    "PropertySource",
+    "MappingSource",
+    "parse_process",
+    "parse_condition",
+    "unparse",
+    "unparse_pretty",
+    "ast_to_process",
+    "process_to_ast",
+    "find_back_edges",
+    "validate_process",
+    "check_process",
+    "WorkflowBuilder",
+    "process_to_dot",
+    "plan_tree_to_dot",
+]

@@ -1,0 +1,115 @@
+"""Fluent builder for process-description ASTs.
+
+A thin convenience layer over :mod:`repro.process.ast_nodes` used by the
+examples and the case study: build nested workflow structure without
+spelling out tuples, then elaborate to a graph in one call.
+
+Example (the shape of the paper's Figure 10)::
+
+    wf = (
+        WorkflowBuilder("3DSD")
+        .activity("POD")
+        .activity("P3DR1")
+        .loop(
+            parse_condition('D10.Value > 8'),
+            lambda b: b.activity("POR")
+                       .fork(lambda f: f.activity("P3DR2"),
+                             lambda f: f.activity("P3DR3"),
+                             lambda f: f.activity("P3DR4"))
+                       .activity("PSF"),
+        )
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ProcessError
+from repro.process.ast_nodes import (
+    ActivityNode,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Node,
+    seq,
+)
+from repro.process.conditions import TRUE, Condition
+from repro.process.model import Activity, ProcessDescription
+from repro.process.structure import ast_to_process
+
+__all__ = ["WorkflowBuilder"]
+
+SubBuild = Callable[["WorkflowBuilder"], "WorkflowBuilder"]
+
+
+class WorkflowBuilder:
+    """Accumulates a sequence of steps; sub-builders express nesting."""
+
+    def __init__(self, name: str = "process") -> None:
+        self.name = name
+        self._steps: list[Node] = []
+
+    # -- steps --------------------------------------------------------------- #
+    def activity(self, name: str) -> "WorkflowBuilder":
+        """Append one end-user activity."""
+        self._steps.append(ActivityNode(name))
+        return self
+
+    def activities(self, *names: str) -> "WorkflowBuilder":
+        for name in names:
+            self.activity(name)
+        return self
+
+    def fork(self, *branches: SubBuild) -> "WorkflowBuilder":
+        """Append a FORK/JOIN block; each callable builds one branch."""
+        if len(branches) < 2:
+            raise ProcessError("fork needs at least two branches")
+        self._steps.append(ForkNode(tuple(self._sub(b) for b in branches)))
+        return self
+
+    def loop(self, condition: Condition, body: SubBuild) -> "WorkflowBuilder":
+        """Append an ITERATIVE block (do-while on *condition*)."""
+        self._steps.append(IterativeNode(condition, self._sub(body)))
+        return self
+
+    def choice(
+        self, *branches: tuple[Condition | None, SubBuild]
+    ) -> "WorkflowBuilder":
+        """Append a CHOICE/MERGE block of (condition, branch) pairs.
+
+        A ``None`` condition marks the default branch.
+        """
+        if len(branches) < 2:
+            raise ProcessError("choice needs at least two alternatives")
+        resolved = tuple(
+            (cond if cond is not None else TRUE, self._sub(build))
+            for cond, build in branches
+        )
+        self._steps.append(ChoiceNode(resolved))
+        return self
+
+    def node(self, node: Node) -> "WorkflowBuilder":
+        """Append a pre-built AST node."""
+        self._steps.append(node)
+        return self
+
+    def _sub(self, build: SubBuild) -> Node:
+        inner = WorkflowBuilder(self.name)
+        result = build(inner)
+        if result is not inner:
+            raise ProcessError("sub-builders must return the builder they receive")
+        return inner.ast()
+
+    # -- output --------------------------------------------------------------- #
+    def ast(self) -> Node:
+        if not self._steps:
+            raise ProcessError(f"workflow {self.name!r} has no steps")
+        return seq(*self._steps)
+
+    def build(
+        self, library: Mapping[str, Activity] | None = None
+    ) -> ProcessDescription:
+        """Elaborate the accumulated AST into a process-description graph."""
+        return ast_to_process(self.ast(), name=self.name, library=library)

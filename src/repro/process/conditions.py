@@ -1,0 +1,299 @@
+"""The condition language of the Section-2 grammar.
+
+The BNF defines conditions as comparisons on data properties::
+
+    <condition>   ::= <propertyref> <relation> <value>
+    <propertyref> ::= <dataname> . <property>
+    <property>    ::= Classification | Size | Location | ...
+    <relation>    ::= < | > | =
+
+Conditions guard Choice transitions and iterative stopping rules; Figure 13
+also uses conjunctions ("C1: A.Classification = "POD-Parameter" and
+B.Classification = "2D Image""), so we support ``and`` / ``or`` / ``not``
+composition.
+
+Evaluation is performed against any *property source* — an object with a
+``lookup(data_name, property) -> value`` method.  Both the planner's
+symbolic world state and the coordination service's live case data
+implement it.  A lookup miss makes an atom evaluate to False (the paper's
+semantics: a condition over absent data cannot hold).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol
+
+from repro.errors import ConditionError
+
+__all__ = [
+    "Relation",
+    "PropertySource",
+    "Condition",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "MappingSource",
+    "compile_condition",
+]
+
+
+class Relation(enum.Enum):
+    LT = "<"
+    GT = ">"
+    EQ = "="
+    NE = "!="
+    LE = "<="
+    GE = ">="
+
+    def apply(self, left: Any, right: Any) -> bool:
+        if self is Relation.EQ:
+            return left == right
+        if self is Relation.NE:
+            return left != right
+        try:
+            if self is Relation.LT:
+                return left < right
+            if self is Relation.GT:
+                return left > right
+            if self is Relation.LE:
+                return left <= right
+            return left >= right
+        except TypeError:
+            return False
+
+
+class PropertySource(Protocol):
+    """Anything that can answer 'what is property P of data item D?'."""
+
+    def lookup(self, data_name: str, prop: str) -> Any: ...
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+class Condition:
+    """Abstract base of condition expressions."""
+
+    def evaluate(self, source: PropertySource) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Atom"]:
+        raise NotImplementedError
+
+    def data_names(self) -> set[str]:
+        """All data names referenced anywhere in the expression."""
+        return {atom.data for atom in self.atoms()}
+
+    # Composition sugar.
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Atom(Condition):
+    """One comparison: ``data.property RELATION value``."""
+
+    data: str
+    property: str
+    relation: Relation
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.data or not self.property:
+            raise ConditionError("atom needs both a data name and a property")
+        if isinstance(self.relation, str):
+            object.__setattr__(self, "relation", Relation(self.relation))
+
+    def evaluate(self, source: PropertySource) -> bool:
+        # Fast path: sources exposing a non-raising `peek` (WorldState does)
+        # avoid KeyError overhead — absent data is the common case while
+        # candidate plans are still invalid.
+        peek = getattr(source, "peek", None)
+        if peek is not None:
+            actual = peek(self.data, self.property)
+        else:
+            try:
+                actual = source.lookup(self.data, self.property)
+            except KeyError:
+                return False
+        if actual is MISSING or actual is None:
+            return False
+        return self.relation.apply(actual, self.value)
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def __str__(self) -> str:
+        value = f'"{self.value}"' if isinstance(self.value, str) else str(self.value)
+        return f"{self.data}.{self.property} {self.relation.value} {value}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    parts: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ConditionError("And needs at least one part")
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def evaluate(self, source: PropertySource) -> bool:
+        return all(part.evaluate(source) for part in self.parts)
+
+    def atoms(self) -> Iterator[Atom]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def __str__(self) -> str:
+        return " and ".join(_substr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    parts: tuple[Condition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ConditionError("Or needs at least one part")
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def evaluate(self, source: PropertySource) -> bool:
+        return any(part.evaluate(source) for part in self.parts)
+
+    def atoms(self) -> Iterator[Atom]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def __str__(self) -> str:
+        return " or ".join(_substr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    part: Condition
+
+    def evaluate(self, source: PropertySource) -> bool:
+        return not self.part.evaluate(source)
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.part.atoms()
+
+    def __str__(self) -> str:
+        return f"not {_substr(self.part)}"
+
+
+class _True(Condition):
+    """The always-true condition (default/else branches)."""
+
+    def evaluate(self, source: PropertySource) -> bool:
+        return True
+
+    def atoms(self) -> Iterator[Atom]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return "true"
+
+
+TRUE = _True()
+
+
+def _substr(cond: Condition) -> str:
+    text = str(cond)
+    if isinstance(cond, (And, Or)):
+        return f"({text})"
+    return text
+
+
+def _conjunctive_atoms(condition: Condition) -> tuple[Atom, ...] | None:
+    """Flatten a pure conjunction (arbitrarily nested Ands of Atoms) into
+    its atom tuple; None when the condition contains Or/Not/True parts."""
+    if isinstance(condition, Atom):
+        return (condition,)
+    if isinstance(condition, And):
+        out: list[Atom] = []
+        for part in condition.parts:
+            flat = _conjunctive_atoms(part)
+            if flat is None:
+                return None
+            out.extend(flat)
+        return tuple(out)
+    return None
+
+
+def compile_condition(condition: Condition) -> Callable[[Any], bool]:
+    """Compile *condition* into a fast ``state -> bool`` closure.
+
+    Conjunctions of atoms (the overwhelmingly common case — every
+    activity precondition and goal spec in the case study is one) compile
+    to a flat loop over ``(data, property, relation, value)`` tuples using
+    the source's non-raising ``peek``; anything else falls back to the
+    interpreted :meth:`Condition.evaluate`.  The planner evaluates
+    preconditions hundreds of thousands of times per GP run, which is why
+    this exists.
+    """
+    if isinstance(condition, _True):
+        return lambda state: True
+    flat = _conjunctive_atoms(condition)
+    if flat is None:
+        return condition.evaluate
+    atoms = flat
+
+    eq_checks = tuple(
+        (a.data, a.property, a.value) for a in atoms if a.relation is Relation.EQ
+    )
+    other = tuple(
+        (a.data, a.property, a.relation.apply, a.value)
+        for a in atoms
+        if a.relation is not Relation.EQ
+    )
+
+    def check(state: Any) -> bool:
+        peek = state.peek
+        for data, prop, value in eq_checks:
+            if peek(data, prop) != value:
+                return False
+        for data, prop, rel, value in other:
+            actual = peek(data, prop)
+            if actual is MISSING or actual is None or not rel(actual, value):
+                return False
+        return True
+
+    return check
+
+
+@dataclass
+class MappingSource:
+    """PropertySource over a plain ``{data: {property: value}}`` mapping.
+
+    Handy in tests and for evaluating Figure-13 style conditions against
+    literal tables.
+    """
+
+    table: dict[str, dict[str, Any]]
+
+    def lookup(self, data_name: str, prop: str) -> Any:
+        return self.table[data_name][prop]
+
+    def peek(self, data_name: str, prop: str) -> Any:
+        item = self.table.get(data_name)
+        if item is None:
+            return MISSING
+        return item.get(prop, MISSING)

@@ -1,0 +1,88 @@
+"""Graphviz DOT export for process descriptions and plan trees.
+
+The paper presents its workflows as diagrams (Figures 4-11); these
+renderers regenerate them: ``dot -Tpng`` on the output of
+:func:`process_to_dot` draws the Figure-10 ATN, and
+:func:`plan_tree_to_dot` draws the Figure-11 tree.  Pure string
+generation — no graphviz dependency; the output is standard DOT.
+"""
+
+from __future__ import annotations
+
+from repro.plan.tree import Controller, PlanNode, Terminal
+from repro.process.model import ActivityKind, ProcessDescription
+
+__all__ = ["process_to_dot", "plan_tree_to_dot"]
+
+#: Node shapes per activity kind, echoing the paper's figure style
+#: (boxes for end-user work, distinct glyphs for flow control).
+_SHAPES = {
+    ActivityKind.BEGIN: "circle",
+    ActivityKind.END: "doublecircle",
+    ActivityKind.END_USER: "box",
+    ActivityKind.FORK: "triangle",
+    ActivityKind.JOIN: "invtriangle",
+    ActivityKind.CHOICE: "diamond",
+    ActivityKind.MERGE: "trapezium",
+}
+
+
+def _quote(text: str) -> str:
+    # Escape quotes only: identifiers/conditions never contain backslashes,
+    # and labels use DOT's own \n escape which must pass through intact.
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def process_to_dot(pd: ProcessDescription, name: str | None = None) -> str:
+    """Render an ATN graph as DOT (conditions label their transitions)."""
+    lines = [f"digraph {_quote(name or pd.name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [fontname="Helvetica", fontsize=10];')
+    for activity in pd.activities:
+        attrs = [f"shape={_SHAPES[activity.kind]}"]
+        if (
+            activity.kind is ActivityKind.END_USER
+            and activity.service != activity.name
+        ):
+            label = activity.name + "\\n(" + str(activity.service) + ")"
+            attrs.append(f"label={_quote(label)}")
+        lines.append(f"  {_quote(activity.name)} [{', '.join(attrs)}];")
+    for tr in pd.transitions:
+        attrs = [f"label={_quote(tr.id)}"]
+        if tr.condition is not None:
+            attrs = [f"label={_quote(f'{tr.id}: {tr.condition}')}", "style=dashed"]
+        lines.append(
+            f"  {_quote(tr.source)} -> {_quote(tr.destination)} "
+            f"[{', '.join(attrs)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_tree_to_dot(tree: PlanNode, name: str = "plan") -> str:
+    """Render a plan tree as DOT (Figure-11 style)."""
+    lines = [f"digraph {_quote(name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append('  node [fontname="Helvetica", fontsize=10];')
+    counter = [0]
+
+    def emit(node: PlanNode) -> str:
+        node_id = f"n{counter[0]}"
+        counter[0] += 1
+        if isinstance(node, Terminal):
+            lines.append(
+                f"  {node_id} [shape=box, label={_quote(node.activity)}];"
+            )
+        else:
+            assert isinstance(node, Controller)
+            lines.append(
+                f"  {node_id} [shape=ellipse, label={_quote(node.kind.value)}];"
+            )
+            for child in node.children:
+                child_id = emit(child)
+                lines.append(f"  {node_id} -> {child_id};")
+        return node_id
+
+    emit(tree)
+    lines.append("}")
+    return "\n".join(lines)

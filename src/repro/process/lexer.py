@@ -1,0 +1,139 @@
+"""Tokenizer for the process-description language.
+
+Token classes:
+
+* keywords — ``BEGIN END FORK JOIN ITERATIVE CHOICE MERGE COND`` plus the
+  boolean connectives ``and or not true``
+* ``NAME`` — identifiers (activity and data names): letter followed by
+  letters/digits/underscore/hyphen, per the paper's <string> production
+* ``NUMBER`` — integer or decimal literals (<value>)
+* ``STRING`` — double-quoted literals (Figure 13 writes classifications as
+  quoted strings)
+* punctuation — ``{ } ; , .`` and relations ``< > = != <= >=``
+
+Comments run from ``#`` to end of line.  ``,`` and ``;`` are interchangeable
+separators (the paper's top production uses commas, the rest semicolons).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "BEGIN",
+        "END",
+        "FORK",
+        "JOIN",
+        "ITERATIVE",
+        "CHOICE",
+        "MERGE",
+        "COND",
+        "and",
+        "or",
+        "not",
+        "true",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # one of TokenKind values
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class TokenKind:
+    KEYWORD = "KEYWORD"
+    NAME = "NAME"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    SEP = "SEP"  # ; or ,
+    DOT = "DOT"
+    REL = "REL"  # < > = != <= >=
+    EOF = "EOF"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z][A-Za-z0-9_\-]*)
+  | (?P<string>"[^"\n]*")
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<sep>[;,])
+  | (?P<dot>\.)
+  | (?P<rel><=|>=|!=|<|>|=)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`LexError` on any unrecognized input.
+
+    The returned list always ends with an EOF token, which simplifies the
+    recursive-descent parser.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while pos < n:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise LexError(
+                f"unexpected character {text[pos]!r} at line {line}, column {column}",
+                line,
+                column,
+            )
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        if kind == "ws" or kind == "comment":
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + value.rfind("\n") + 1
+        elif kind == "number":
+            tokens.append(Token(TokenKind.NUMBER, value, line, column))
+        elif kind == "name":
+            tkind = TokenKind.KEYWORD if value in KEYWORDS else TokenKind.NAME
+            tokens.append(Token(tkind, value, line, column))
+        elif kind == "string":
+            tokens.append(Token(TokenKind.STRING, value[1:-1], line, column))
+        elif kind == "lbrace":
+            tokens.append(Token(TokenKind.LBRACE, value, line, column))
+        elif kind == "rbrace":
+            tokens.append(Token(TokenKind.RBRACE, value, line, column))
+        elif kind == "sep":
+            tokens.append(Token(TokenKind.SEP, value, line, column))
+        elif kind == "dot":
+            tokens.append(Token(TokenKind.DOT, value, line, column))
+        elif kind == "rel":
+            tokens.append(Token(TokenKind.REL, value, line, column))
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, n - line_start + 1))
+    return tokens
+
+
+def token_stream(text: str) -> Iterator[Token]:
+    """Iterator form of :func:`tokenize` (materializes internally)."""
+    return iter(tokenize(text))

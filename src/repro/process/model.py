@@ -1,0 +1,292 @@
+"""Graph (ATN) model of process descriptions.
+
+Section 2 of the paper describes a process description as "a formal
+description of the complex problem the user wishes to solve", using a
+formalism similar to Augmented Transition Networks: *activities* (states)
+connected by *transitions* (arcs).  Section 3.1 fixes the activity taxonomy:
+
+* **end-user activities** — correspond to end-user computing services, have
+  preconditions and postconditions, exactly one predecessor and successor;
+* **flow-control activities** — ``Begin``, ``End``, ``Choice``, ``Fork``,
+  ``Join``, ``Merge`` with the in/out-degree rules of Section 3.1.
+
+This module holds the pure data model; structural rules live in
+:mod:`repro.process.validate`, the textual syntax in
+:mod:`repro.process.parser` / :mod:`repro.process.unparse`, and conversion
+to plan trees in :mod:`repro.plan.convert`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro._util import valid_identifier
+from repro.errors import ProcessStructureError
+from repro.process.conditions import Condition
+
+__all__ = ["ActivityKind", "Activity", "Transition", "ProcessDescription"]
+
+
+class ActivityKind(enum.Enum):
+    """The seven activity types of Section 3.1 / Figure 13."""
+
+    BEGIN = "Begin"
+    END = "End"
+    END_USER = "End-user"
+    FORK = "Fork"
+    JOIN = "Join"
+    CHOICE = "Choice"
+    MERGE = "Merge"
+
+    @property
+    def is_flow_control(self) -> bool:
+        return self is not ActivityKind.END_USER
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One node of the ATN.
+
+    *name* is unique within its process description.  For END_USER
+    activities, *service* names the end-user computing service the activity
+    invokes (defaults to the activity name, matching Figure 13 where e.g.
+    activities P3DR1..P3DR4 all use service P3DR).  *inputs* / *outputs*
+    are data names consumed/produced (the case-description binding);
+    *constraint* names a constraint (e.g. ``Cons1``) consulted by a paired
+    Choice activity.
+    """
+
+    name: str
+    kind: ActivityKind = ActivityKind.END_USER
+    service: str | None = None
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    constraint: str | None = None
+
+    def __post_init__(self) -> None:
+        if not valid_identifier(self.name):
+            raise ProcessStructureError(f"invalid activity name {self.name!r}")
+        if self.kind is ActivityKind.END_USER and self.service is None:
+            object.__setattr__(self, "service", self.name)
+        if self.kind is not ActivityKind.END_USER and (self.inputs or self.outputs):
+            raise ProcessStructureError(
+                f"flow-control activity {self.name!r} cannot have data sets"
+            )
+
+    @property
+    def service_name(self) -> str:
+        """The end-user service this activity invokes (END_USER only)."""
+        if self.kind is not ActivityKind.END_USER:
+            raise ProcessStructureError(
+                f"activity {self.name!r} ({self.kind.value}) has no service"
+            )
+        assert self.service is not None
+        return self.service
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A directed arc between two activities (Figure 12's Transition frame).
+
+    Transitions out of a ``Choice`` activity may carry a *condition*; the
+    coordination service evaluates these to pick the unique successor that
+    gains control.  At most one outgoing transition of a Choice may leave
+    the condition empty — it then acts as the default (else) branch.
+    """
+
+    id: str
+    source: str
+    destination: str
+    condition: Condition | None = None
+
+    def with_condition(self, condition: Condition | None) -> "Transition":
+        return replace(self, condition=condition)
+
+
+class ProcessDescription:
+    """A mutable ATN: named activities plus directed transitions.
+
+    The class enforces only *local* integrity (unique names, endpoints
+    exist, no duplicate arcs); whole-graph rules (single Begin/End, degree
+    constraints, reachability, well-structuredness) are checked by
+    :func:`repro.process.validate.validate_process`.
+    """
+
+    def __init__(self, name: str = "process") -> None:
+        self.name = name
+        self._activities: dict[str, Activity] = {}
+        self._transitions: dict[str, Transition] = {}
+        self._succ: dict[str, list[str]] = {}
+        self._pred: dict[str, list[str]] = {}
+        self._next_tr = 1
+
+    # -- construction ------------------------------------------------------ #
+    def add_activity(self, activity: Activity) -> Activity:
+        if activity.name in self._activities:
+            raise ProcessStructureError(f"duplicate activity {activity.name!r}")
+        self._activities[activity.name] = activity
+        self._succ[activity.name] = []
+        self._pred[activity.name] = []
+        return activity
+
+    def add(
+        self,
+        name: str,
+        kind: ActivityKind = ActivityKind.END_USER,
+        service: str | None = None,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        constraint: str | None = None,
+    ) -> Activity:
+        """Convenience wrapper around :meth:`add_activity`."""
+        return self.add_activity(
+            Activity(name, kind, service, tuple(inputs), tuple(outputs), constraint)
+        )
+
+    def connect(
+        self,
+        source: str,
+        destination: str,
+        condition: Condition | None = None,
+        id: str | None = None,
+    ) -> Transition:
+        """Add a transition; ids are generated as TR1, TR2, ... if omitted."""
+        for endpoint in (source, destination):
+            if endpoint not in self._activities:
+                raise ProcessStructureError(f"unknown activity {endpoint!r}")
+        if destination in self._succ[source]:
+            raise ProcessStructureError(
+                f"duplicate transition {source!r} -> {destination!r}"
+            )
+        if id is None:
+            id = f"TR{self._next_tr}"
+            self._next_tr += 1
+        if id in self._transitions:
+            raise ProcessStructureError(f"duplicate transition id {id!r}")
+        tr = Transition(id, source, destination, condition)
+        self._transitions[id] = tr
+        self._succ[source].append(destination)
+        self._pred[destination].append(source)
+        return tr
+
+    def remove_transition(self, id: str) -> Transition:
+        tr = self._transitions.pop(id, None)
+        if tr is None:
+            raise ProcessStructureError(f"unknown transition id {id!r}")
+        self._succ[tr.source].remove(tr.destination)
+        self._pred[tr.destination].remove(tr.source)
+        return tr
+
+    # -- access ------------------------------------------------------------ #
+    def activity(self, name: str) -> Activity:
+        try:
+            return self._activities[name]
+        except KeyError:
+            raise ProcessStructureError(f"unknown activity {name!r}") from None
+
+    def has_activity(self, name: str) -> bool:
+        return name in self._activities
+
+    @property
+    def activities(self) -> tuple[Activity, ...]:
+        return tuple(self._activities.values())
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        return tuple(self._transitions.values())
+
+    def transition(self, id: str) -> Transition:
+        try:
+            return self._transitions[id]
+        except KeyError:
+            raise ProcessStructureError(f"unknown transition id {id!r}") from None
+
+    def transition_between(self, source: str, destination: str) -> Transition:
+        for tr in self._transitions.values():
+            if tr.source == source and tr.destination == destination:
+                return tr
+        raise ProcessStructureError(
+            f"no transition {source!r} -> {destination!r}"
+        )
+
+    def set_condition(
+        self, source: str, destination: str, condition: Condition | None
+    ) -> Transition:
+        """Replace the condition on an existing transition."""
+        old = self.transition_between(source, destination)
+        new = old.with_condition(condition)
+        self._transitions[old.id] = new
+        return new
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        self.activity(name)
+        return tuple(self._succ[name])
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        self.activity(name)
+        return tuple(self._pred[name])
+
+    def out_degree(self, name: str) -> int:
+        return len(self.successors(name))
+
+    def in_degree(self, name: str) -> int:
+        return len(self.predecessors(name))
+
+    def end_user_activities(self) -> tuple[Activity, ...]:
+        return tuple(
+            a for a in self._activities.values() if a.kind is ActivityKind.END_USER
+        )
+
+    def flow_control_activities(self) -> tuple[Activity, ...]:
+        return tuple(
+            a for a in self._activities.values() if a.kind.is_flow_control
+        )
+
+    def begin(self) -> Activity:
+        return self._only(ActivityKind.BEGIN)
+
+    def end(self) -> Activity:
+        return self._only(ActivityKind.END)
+
+    def _only(self, kind: ActivityKind) -> Activity:
+        found = [a for a in self._activities.values() if a.kind is kind]
+        if len(found) != 1:
+            raise ProcessStructureError(
+                f"expected exactly one {kind.value} activity, found {len(found)}"
+            )
+        return found[0]
+
+    def __iter__(self) -> Iterator[Activity]:
+        return iter(self._activities.values())
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessDescription({self.name!r}, activities={len(self)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+    # -- export ------------------------------------------------------------ #
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a networkx digraph (nodes carry the Activity objects)."""
+        g = nx.DiGraph(name=self.name)
+        for activity in self._activities.values():
+            g.add_node(activity.name, activity=activity, kind=activity.kind.value)
+        for tr in self._transitions.values():
+            g.add_edge(tr.source, tr.destination, id=tr.id, condition=tr.condition)
+        return g
+
+    def copy(self, name: str | None = None) -> "ProcessDescription":
+        out = ProcessDescription(name or self.name)
+        for activity in self._activities.values():
+            out.add_activity(activity)
+        for tr in self._transitions.values():
+            out.connect(tr.source, tr.destination, tr.condition, id=tr.id)
+        out._next_tr = self._next_tr
+        return out

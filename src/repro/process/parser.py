@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the process-description language.
+
+Concrete grammar (a faithful concretization of the Section-2 BNF; the
+published production rules are typeset ambiguously, so we fix delimiters as
+follows and document the choice in DESIGN.md):
+
+.. code-block:: text
+
+    process     := "BEGIN" sep stmts "END"
+    stmts       := stmt ( sep stmt )* [sep]
+    stmt        := NAME                                    -- end-user activity
+                 | "{" "FORK" block block+ "JOIN" "}"      -- concurrent
+                 | "{" "ITERATIVE" "{" "COND" conditions "}"
+                                   "{" stmts "}" "}"       -- do-while loop
+                 | "{" "CHOICE" guarded guarded+ "MERGE" "}"
+    guarded     := "{" "COND" conditions "}" "{" stmts "}"
+    block       := "{" stmts "}"
+    conditions  := disj ( sep disj )*                      -- list = conjunction
+    disj        := conj ( "or" conj )*
+    conj        := unary ( "and" unary )*
+    unary       := "not" unary | "true" | atom
+    atom        := NAME "." NAME REL value
+    REL         := "<" | ">" | "=" | "!=" | "<=" | ">="
+    value       := NUMBER | STRING | NAME
+    sep         := ";" | ","
+
+:func:`parse_process` returns the AST; :func:`parse_condition` parses a bare
+condition expression (used when reading Figure-13 style condition tables).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.process.ast_nodes import (
+    ActivityNode,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Node,
+    seq,
+)
+from repro.process.conditions import TRUE, And, Atom, Condition, Not, Or, Relation
+from repro.process.lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse_process", "parse_condition"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------- #
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            got = self.current
+            raise ParseError(
+                f"expected {want!r}, got {got.text or got.kind!r} "
+                f"at line {got.line}, column {got.column}",
+                got.line,
+                got.column,
+            )
+        return self.advance()
+
+    def skip_seps(self) -> None:
+        while self.accept(TokenKind.SEP):
+            pass
+
+    # -- grammar ------------------------------------------------------------ #
+    def parse_process(self) -> Node:
+        self.expect(TokenKind.KEYWORD, "BEGIN")
+        self.skip_seps()
+        body = self.parse_stmts(stop={"END"})
+        self.expect(TokenKind.KEYWORD, "END")
+        self.skip_seps()
+        self.expect(TokenKind.EOF)
+        return body
+
+    def parse_stmts(self, stop: set[str]) -> Node:
+        children: list[Node] = [self.parse_stmt()]
+        while True:
+            self.skip_seps()
+            if self.check(TokenKind.EOF) or self.check(TokenKind.RBRACE):
+                break
+            if self.current.kind == TokenKind.KEYWORD and self.current.text in stop:
+                break
+            children.append(self.parse_stmt())
+        return seq(*children)
+
+    def parse_stmt(self) -> Node:
+        if self.check(TokenKind.NAME):
+            return ActivityNode(self.advance().text)
+        if self.check(TokenKind.LBRACE):
+            return self.parse_block_stmt()
+        got = self.current
+        raise ParseError(
+            f"expected an activity or a block, got {got.text or got.kind!r} "
+            f"at line {got.line}, column {got.column}",
+            got.line,
+            got.column,
+        )
+
+    def parse_block_stmt(self) -> Node:
+        self.expect(TokenKind.LBRACE)
+        keyword = self.expect(TokenKind.KEYWORD)
+        if keyword.text == "FORK":
+            node: Node = self.parse_fork_tail()
+        elif keyword.text == "ITERATIVE":
+            node = self.parse_iterative_tail()
+        elif keyword.text == "CHOICE":
+            node = self.parse_choice_tail()
+        else:
+            raise ParseError(
+                f"expected FORK, ITERATIVE or CHOICE after '{{', got "
+                f"{keyword.text!r} at line {keyword.line}, column {keyword.column}",
+                keyword.line,
+                keyword.column,
+            )
+        self.expect(TokenKind.RBRACE)
+        return node
+
+    def parse_fork_tail(self) -> ForkNode:
+        branches: list[Node] = []
+        while self.check(TokenKind.LBRACE):
+            branches.append(self.parse_braced_stmts())
+        self.expect(TokenKind.KEYWORD, "JOIN")
+        if len(branches) < 2:
+            token = self.current
+            raise ParseError(
+                f"FORK needs at least two branches, got {len(branches)} "
+                f"at line {token.line}",
+                token.line,
+                token.column,
+            )
+        return ForkNode(tuple(branches))
+
+    def parse_iterative_tail(self) -> IterativeNode:
+        self.expect(TokenKind.LBRACE)
+        self.expect(TokenKind.KEYWORD, "COND")
+        condition = self.parse_conditions()
+        self.expect(TokenKind.RBRACE)
+        body = self.parse_braced_stmts()
+        return IterativeNode(condition, body)
+
+    def parse_choice_tail(self) -> ChoiceNode:
+        branches: list[tuple[Condition, Node]] = []
+        while self.check(TokenKind.LBRACE):
+            self.expect(TokenKind.LBRACE)
+            self.expect(TokenKind.KEYWORD, "COND")
+            condition = self.parse_conditions()
+            self.expect(TokenKind.RBRACE)
+            body = self.parse_braced_stmts()
+            branches.append((condition, body))
+        self.expect(TokenKind.KEYWORD, "MERGE")
+        if len(branches) < 2:
+            token = self.current
+            raise ParseError(
+                f"CHOICE needs at least two alternatives, got {len(branches)} "
+                f"at line {token.line}",
+                token.line,
+                token.column,
+            )
+        return ChoiceNode(tuple(branches))
+
+    def parse_braced_stmts(self) -> Node:
+        self.expect(TokenKind.LBRACE)
+        self.skip_seps()
+        body = self.parse_stmts(stop=set())
+        self.expect(TokenKind.RBRACE)
+        return body
+
+    # -- conditions ---------------------------------------------------------- #
+    def parse_conditions(self) -> Condition:
+        """A separator-joined list of conditions denotes their conjunction."""
+        parts = [self.parse_disjunction()]
+        while self.accept(TokenKind.SEP):
+            if self.check(TokenKind.RBRACE):
+                break
+            parts.append(self.parse_disjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def parse_disjunction(self) -> Condition:
+        parts = [self.parse_conjunction()]
+        while self.accept(TokenKind.KEYWORD, "or"):
+            parts.append(self.parse_conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def parse_conjunction(self) -> Condition:
+        parts = [self.parse_unary()]
+        while self.accept(TokenKind.KEYWORD, "and"):
+            parts.append(self.parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def parse_unary(self) -> Condition:
+        if self.accept(TokenKind.KEYWORD, "not"):
+            return Not(self.parse_unary())
+        if self.accept(TokenKind.KEYWORD, "true"):
+            return TRUE
+        return self.parse_atom()
+
+    def parse_atom(self) -> Atom:
+        data = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.DOT)
+        prop_token = self.advance()
+        if prop_token.kind not in (TokenKind.NAME, TokenKind.KEYWORD):
+            raise ParseError(
+                f"expected a property name after '.', got {prop_token.text!r} "
+                f"at line {prop_token.line}, column {prop_token.column}",
+                prop_token.line,
+                prop_token.column,
+            )
+        relation = Relation(self.expect(TokenKind.REL).text)
+        value = self.parse_value()
+        return Atom(data, prop_token.text, relation, value)
+
+    def parse_value(self) -> object:
+        token = self.advance()
+        if token.kind == TokenKind.NUMBER:
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == TokenKind.STRING:
+            return token.text
+        if token.kind == TokenKind.NAME:
+            return token.text
+        raise ParseError(
+            f"expected a value, got {token.text or token.kind!r} "
+            f"at line {token.line}, column {token.column}",
+            token.line,
+            token.column,
+        )
+
+
+def parse_process(text: str) -> Node:
+    """Parse a full ``BEGIN ... END`` process description into an AST."""
+    return _Parser(tokenize(text)).parse_process()
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a bare condition expression (no BEGIN/END wrapper)."""
+    parser = _Parser(tokenize(text))
+    condition = parser.parse_conditions()
+    parser.expect(TokenKind.EOF)
+    return condition

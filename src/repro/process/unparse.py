@@ -1,0 +1,84 @@
+"""AST -> text rendering of process descriptions.
+
+``unparse(parse_process(text))`` produces a canonical form that re-parses to
+an equal AST (round-trip property tested with hypothesis).  Two styles are
+offered: compact single-line (the default, matching the paper's inline
+examples) and an indented pretty form for human inspection.
+"""
+
+from __future__ import annotations
+
+from repro._util import indent
+from repro.errors import ProcessError
+from repro.process.ast_nodes import (
+    ActivityNode,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Node,
+    SequenceNode,
+)
+from repro.process.conditions import Condition
+
+__all__ = ["unparse", "unparse_pretty"]
+
+
+def unparse(node: Node) -> str:
+    """Render an AST as a compact one-line process description."""
+    return f"BEGIN; {_stmt(node)}; END"
+
+
+def _stmt(node: Node) -> str:
+    if isinstance(node, ActivityNode):
+        return node.name
+    if isinstance(node, SequenceNode):
+        return "; ".join(_stmt(child) for child in node.children)
+    if isinstance(node, ForkNode):
+        branches = " ".join("{" + _stmt(b) + "}" for b in node.branches)
+        return "{FORK " + branches + " JOIN}"
+    if isinstance(node, IterativeNode):
+        return (
+            "{ITERATIVE {COND " + _cond(node.condition) + "} "
+            "{" + _stmt(node.body) + "}}"
+        )
+    if isinstance(node, ChoiceNode):
+        branches = " ".join(
+            "{COND " + _cond(cond) + "} {" + _stmt(body) + "}"
+            for cond, body in node.branches
+        )
+        return "{CHOICE " + branches + " MERGE}"
+    raise ProcessError(f"cannot unparse node of type {type(node).__name__}")
+
+
+def _cond(condition: Condition) -> str:
+    return str(condition)
+
+
+def unparse_pretty(node: Node) -> str:
+    """Render an AST as an indented multi-line process description."""
+    return "BEGIN;\n" + _pretty(node) + ";\nEND"
+
+
+def _pretty(node: Node) -> str:
+    if isinstance(node, ActivityNode):
+        return node.name
+    if isinstance(node, SequenceNode):
+        return ";\n".join(_pretty(child) for child in node.children)
+    if isinstance(node, ForkNode):
+        branches = "\n".join(
+            "{\n" + indent(_pretty(b)) + "\n}" for b in node.branches
+        )
+        return "{FORK\n" + indent(branches) + "\nJOIN}"
+    if isinstance(node, IterativeNode):
+        return (
+            "{ITERATIVE {COND " + _cond(node.condition) + "}\n"
+            + indent("{\n" + indent(_pretty(node.body)) + "\n}")
+            + "\n}"
+        )
+    if isinstance(node, ChoiceNode):
+        branches = "\n".join(
+            "{COND " + _cond(cond) + "}\n{\n" + indent(_pretty(body)) + "\n}"
+            for cond, body in node.branches
+        )
+        return "{CHOICE\n" + indent(branches) + "\nMERGE}"
+    raise ProcessError(f"cannot unparse node of type {type(node).__name__}")

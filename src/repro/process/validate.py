@@ -1,0 +1,121 @@
+"""Whole-graph structural validation of process descriptions.
+
+Section 3.1 fixes the degree rules for every activity kind; a valid process
+description additionally has a unique Begin/End, every activity reachable
+from Begin and co-reachable to End, and a well-structured (Fork/Join,
+Choice/Merge properly paired) topology — the latter checked by attempting
+AST recovery.
+
+:func:`validate_process` raises :class:`ProcessStructureError` on the first
+violation; :func:`check_process` collects all violations as strings (useful
+for diagnostics and for the planning service's plan repair heuristics).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConversionError, ProcessStructureError
+from repro.process.model import ActivityKind, ProcessDescription
+
+__all__ = ["validate_process", "check_process"]
+
+# (min_in, max_in, min_out, max_out); None = unbounded.
+_DEGREE_RULES: dict[ActivityKind, tuple[int, int | None, int, int | None]] = {
+    ActivityKind.BEGIN: (0, 0, 1, 1),
+    ActivityKind.END: (1, 1, 0, 0),
+    ActivityKind.END_USER: (1, 1, 1, 1),
+    ActivityKind.FORK: (1, 1, 2, None),
+    ActivityKind.JOIN: (2, None, 1, 1),
+    ActivityKind.CHOICE: (1, 1, 2, None),
+    ActivityKind.MERGE: (2, None, 1, 1),
+}
+
+
+def check_process(pd: ProcessDescription, structured: bool = True) -> list[str]:
+    """Return a list of human-readable structural violations (empty = valid)."""
+    problems: list[str] = []
+
+    begins = [a for a in pd if a.kind is ActivityKind.BEGIN]
+    ends = [a for a in pd if a.kind is ActivityKind.END]
+    if len(begins) != 1:
+        problems.append(f"expected exactly one Begin activity, found {len(begins)}")
+    if len(ends) != 1:
+        problems.append(f"expected exactly one End activity, found {len(ends)}")
+
+    for activity in pd:
+        min_in, max_in, min_out, max_out = _DEGREE_RULES[activity.kind]
+        din, dout = pd.in_degree(activity.name), pd.out_degree(activity.name)
+        if din < min_in or (max_in is not None and din > max_in):
+            problems.append(
+                f"{activity.kind.value} activity {activity.name!r} has "
+                f"in-degree {din} (expected "
+                f"{min_in if max_in == min_in else f'>= {min_in}'})"
+            )
+        if dout < min_out or (max_out is not None and dout > max_out):
+            problems.append(
+                f"{activity.kind.value} activity {activity.name!r} has "
+                f"out-degree {dout} (expected "
+                f"{min_out if max_out == min_out else f'>= {min_out}'})"
+            )
+
+    # Conditions may only decorate transitions leaving a Choice.
+    for tr in pd.transitions:
+        if tr.condition is None:
+            continue
+        if pd.activity(tr.source).kind is not ActivityKind.CHOICE:
+            problems.append(
+                f"transition {tr.id} ({tr.source!r} -> {tr.destination!r}) "
+                f"carries a condition but does not leave a Choice"
+            )
+
+    if len(begins) == 1 and len(ends) == 1:
+        reachable = _forward_closure(pd, begins[0].name)
+        unreachable = sorted(a.name for a in pd if a.name not in reachable)
+        if unreachable:
+            problems.append(f"unreachable from Begin: {unreachable}")
+        coreachable = _backward_closure(pd, ends[0].name)
+        stuck = sorted(a.name for a in pd if a.name not in coreachable)
+        if stuck:
+            problems.append(f"cannot reach End: {stuck}")
+
+        if structured and not problems:
+            from repro.process.structure import process_to_ast
+
+            try:
+                process_to_ast(pd)
+            except ConversionError as exc:
+                problems.append(f"not well-structured: {exc}")
+
+    return problems
+
+
+def validate_process(pd: ProcessDescription, structured: bool = True) -> None:
+    """Raise :class:`ProcessStructureError` if *pd* is invalid."""
+    problems = check_process(pd, structured=structured)
+    if problems:
+        raise ProcessStructureError(
+            f"process {pd.name!r} is invalid: " + "; ".join(problems)
+        )
+
+
+def _forward_closure(pd: ProcessDescription, start: str) -> set[str]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for succ in pd.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def _backward_closure(pd: ProcessDescription, start: str) -> set[str]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for pred in pd.predecessors(node):
+            if pred not in seen:
+                seen.add(pred)
+                stack.append(pred)
+    return seen

@@ -1,0 +1,99 @@
+"""Authentication service: principals, credentials, tickets.
+
+"The authentication services contribute to the security of the
+environment."  We model the minimum the other services need: principals
+with shared secrets, sim-time-limited tickets, and validation.  Tickets
+are opaque deterministic tokens (no crypto — this is a simulation of the
+protocol, not of the cryptography).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import AuthenticationError
+from repro.grid.environment import GridEnvironment
+from repro.grid.messages import Message
+from repro.services.base import CoreService
+
+__all__ = ["Ticket", "AuthenticationService"]
+
+
+@dataclass(frozen=True)
+class Ticket:
+    token: str
+    principal: str
+    issued_at: float
+    expires_at: float
+
+
+class AuthenticationService(CoreService):
+    service_type = "authentication"
+
+    #: Default ticket lifetime in simulated seconds.
+    ticket_lifetime = 3600.0
+
+    def __init__(self, env: GridEnvironment, name: str | None = None, site: str = "core") -> None:
+        super().__init__(env, name, site)
+        self._secrets: dict[str, str] = {}
+        self._tickets: dict[str, Ticket] = {}
+        self._counter = itertools.count(1)
+
+    # -- direct API ---------------------------------------------------------------- #
+    def add_principal(self, name: str, secret: str) -> None:
+        if name in self._secrets:
+            raise AuthenticationError(f"principal {name!r} already exists")
+        self._secrets[name] = secret
+
+    def issue(self, principal: str, secret: str) -> Ticket:
+        expected = self._secrets.get(principal)
+        if expected is None or expected != secret:
+            raise AuthenticationError(f"bad credentials for {principal!r}")
+        token = f"tkt-{next(self._counter)}"
+        ticket = Ticket(
+            token=token,
+            principal=principal,
+            issued_at=self.engine.now,
+            expires_at=self.engine.now + self.ticket_lifetime,
+        )
+        self._tickets[token] = ticket
+        return ticket
+
+    def check(self, token: str) -> Ticket:
+        ticket = self._tickets.get(token)
+        if ticket is None:
+            raise AuthenticationError(f"unknown ticket {token!r}")
+        if self.engine.now > ticket.expires_at:
+            raise AuthenticationError(f"ticket {token!r} expired")
+        return ticket
+
+    # -- message API ---------------------------------------------------------------- #
+    def handle_register_principal(self, message: Message):
+        content = message.content
+        try:
+            self.add_principal(content["name"], content["secret"])
+        except AuthenticationError as exc:
+            return {"registered": False, "error": str(exc)}
+        return {"registered": True}
+
+    def handle_authenticate(self, message: Message):
+        content = message.content
+        try:
+            ticket = self.issue(content["principal"], content["secret"])
+        except AuthenticationError as exc:
+            from repro.errors import ServiceError
+
+            raise ServiceError(str(exc)) from exc
+        return {
+            "ticket": ticket.token,
+            "principal": ticket.principal,
+            "expires_at": ticket.expires_at,
+        }
+
+    def handle_validate(self, message: Message):
+        try:
+            ticket = self.check(message.content["ticket"])
+        except AuthenticationError as exc:
+            return {"valid": False, "error": str(exc)}
+        return {"valid": True, "principal": ticket.principal}

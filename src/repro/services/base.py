@@ -1,0 +1,87 @@
+"""Common machinery for the Figure-1 core services.
+
+"We distinguish between core services, provided by the computing
+infrastructure, that are persistent and reliable, and end-user services
+provided by end-users."  Core services therefore never use the failure
+oracle; they register their offering with the information service at
+construction (bootstrap registration is direct, runtime discovery is
+message-based, matching how Jade platforms bring up their AMS/DF).
+"""
+
+from __future__ import annotations
+
+from repro.grid.agent import Agent
+from repro.grid.environment import GridEnvironment
+
+__all__ = ["CoreService", "WELL_KNOWN"]
+
+#: Conventional agent names for each core-service type.
+WELL_KNOWN: dict[str, str] = {
+    "information": "information",
+    "brokerage": "brokerage",
+    "matchmaking": "matchmaking",
+    "monitoring": "monitoring",
+    "ontology": "ontology",
+    "storage": "storage",
+    "authentication": "authentication",
+    "scheduling": "scheduling",
+    "simulation": "simulation",
+    "planning": "planning",
+    "coordination": "coordination",
+}
+
+
+class CoreService(Agent):
+    """Base class: an agent with a service *type* and self-registration."""
+
+    service_type: str = "core"
+
+    def __init__(
+        self,
+        env: GridEnvironment,
+        name: str | None = None,
+        site: str = "core",
+    ) -> None:
+        super().__init__(env, name or WELL_KNOWN.get(self.service_type, self.service_type), site)
+        information = getattr(env, "information_service", None)
+        if information is not None and information is not self:
+            information.register_offering(
+                name=self.name,
+                type=self.service_type,
+                location=self.site,
+                provider=self.name,
+            )
+
+    def handle_ping(self, message):
+        return {"service": self.name, "type": self.service_type, "alive": True}
+
+    def call_with_failover(
+        self,
+        providers: list[str],
+        action: str,
+        content: dict | None = None,
+        timeout: float = 30.0,
+    ):
+        """RPC against the first *provider* that answers.
+
+        "Core services are replicated to ensure an adequate level of
+        performance and reliability" (Section 2): when a primary replica
+        is down (silent -> timeout, or failing), the caller moves on to
+        the next.  Raises the last error when every replica fails.
+        Generator: ``result = yield from self.call_with_failover(...)``.
+        """
+        from repro.errors import ServiceError
+
+        if not providers:
+            raise ServiceError(f"no providers available for {action!r}")
+        last_error: ServiceError | None = None
+        for provider in providers:
+            try:
+                result = yield from self.call(
+                    provider, action, content, timeout=timeout
+                )
+                return result
+            except ServiceError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error

@@ -1,0 +1,188 @@
+"""Environment bootstrap: bring up the Figure-1 architecture in one call.
+
+:func:`build_core_services` attaches the eleven core services to an
+environment; :func:`standard_environment` additionally creates nodes and
+application containers hosting the given end-user services and advertises
+them to the information and brokerage services — everything the paper's
+Figure 1 shows, ready for a coordination request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.grid.container import ApplicationContainer, EndUserService
+from repro.grid.environment import GridEnvironment
+from repro.grid.node import HardwareProfile
+from repro.planner.config import GPConfig
+from repro.services.authentication import AuthenticationService
+from repro.services.brokerage import BrokerageService
+from repro.services.coordination import CoordinationService
+from repro.services.information import InformationService
+from repro.services.matchmaking import MatchmakingService
+from repro.services.monitoring import MonitoringService
+from repro.services.ontology_service import OntologyService
+from repro.services.planning import PlanningService
+from repro.services.scheduling import SchedulingService
+from repro.services.simulation_service import SimulationService
+from repro.services.storage import PersistentStorageService
+from repro.sim.failures import BernoulliFailures
+
+__all__ = ["CoreServices", "build_core_services", "standard_environment"]
+
+
+@dataclass
+class CoreServices:
+    """Handles to the attached core services."""
+
+    information: InformationService
+    brokerage: BrokerageService
+    matchmaking: MatchmakingService
+    monitoring: MonitoringService
+    ontology: OntologyService
+    storage: PersistentStorageService
+    authentication: AuthenticationService
+    scheduling: SchedulingService
+    simulation: SimulationService
+    planning: PlanningService
+    coordination: CoordinationService
+
+    def all(self) -> tuple:
+        return (
+            self.information,
+            self.brokerage,
+            self.matchmaking,
+            self.monitoring,
+            self.ontology,
+            self.storage,
+            self.authentication,
+            self.scheduling,
+            self.simulation,
+            self.planning,
+            self.coordination,
+        )
+
+
+def build_core_services(
+    env: GridEnvironment,
+    site: str = "core",
+    planner_config: GPConfig | None = None,
+    planner_seed: int = 0,
+    coordination_credentials: tuple[str, str] | None = None,
+) -> CoreServices:
+    """Attach all eleven core services to *env* (information first — the
+    others register their offerings with it)."""
+    information = InformationService(env, site=site)
+    services = CoreServices(
+        information=information,
+        brokerage=BrokerageService(env, site=site),
+        matchmaking=MatchmakingService(env, site=site),
+        monitoring=MonitoringService(env, site=site),
+        ontology=OntologyService(env, site=site),
+        storage=PersistentStorageService(env, site=site),
+        authentication=AuthenticationService(env, site=site),
+        scheduling=SchedulingService(env, site=site),
+        simulation=SimulationService(env, site=site),
+        planning=PlanningService(
+            env, site=site, config=planner_config, rng=planner_seed
+        ),
+        coordination=CoordinationService(
+            env, site=site, credentials=coordination_credentials
+        ),
+    )
+    env.core_services = services  # type: ignore[attr-defined]
+    return services
+
+
+@dataclass
+class _ContainerSpec:
+    name: str
+    site: str
+    services: Sequence[EndUserService]
+    speed: float = 1.0
+    slots: int = 4
+
+
+def standard_environment(
+    end_user_services: Sequence[EndUserService],
+    containers: int = 3,
+    sites: Sequence[str] = ("siteA", "siteB", "siteC"),
+    speeds: Sequence[float] = (1.0, 2.0, 4.0),
+    cost_rates: Sequence[float] = (1.0, 2.5, 6.0),
+    slots: int = 4,
+    reservable: bool = False,
+    secure: bool = False,
+    failure_probability: float = 0.0,
+    failure_seed: int = 7,
+    planner_config: GPConfig | None = None,
+    planner_seed: int = 0,
+) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
+    """One-call Figure-1 grid: core services + *containers* application
+    containers (each on its own node, cycling through *sites*/*speeds*,
+    all hosting every end-user service), fully advertised.
+
+    With ``failure_probability > 0`` every container invocation can fail,
+    which is what the re-planning experiments dial up.
+    """
+    env = GridEnvironment()
+    credentials = ("coordination", "grid-secret") if secure else None
+    services = build_core_services(
+        env,
+        planner_config=planner_config,
+        planner_seed=planner_seed,
+        coordination_credentials=credentials,
+    )
+    if secure:
+        services.authentication.add_principal(*credentials)
+    failures = (
+        BernoulliFailures(failure_probability, rng=failure_seed)
+        if failure_probability > 0
+        else None
+    )
+    fleet: list[ApplicationContainer] = []
+    for idx in range(containers):
+        site = sites[idx % len(sites)]
+        speed = speeds[idx % len(speeds)]
+        node = env.add_node(
+            f"node{idx + 1}",
+            site,
+            HardwareProfile(speed=speed),
+            slots=slots,
+            domain=site,
+            cost_rate=cost_rates[idx % len(cost_rates)],
+        )
+        if reservable:
+            node.enable_reservations()
+        container = ApplicationContainer(
+            env,
+            f"ac{idx + 1}",
+            node,
+            services={svc.name: svc for svc in end_user_services},
+            failures=failures,
+            require_auth=secure,
+        )
+        fleet.append(container)
+        services.brokerage.advertise_node(node)
+        from repro.services.brokerage import ContainerAd
+
+        services.brokerage.advertise(
+            ContainerAd(
+                container=container.name,
+                site=site,
+                services=[svc.name for svc in end_user_services],
+                speed=speed,
+                advertised_at=0.0,
+                node=node.name,
+            )
+        )
+        services.information.register_offering(
+            container.name, "application-container", site, container.name
+        )
+        for svc in end_user_services:
+            services.information.register_offering(
+                f"{svc.name}@{container.name}", "end-user", site, container.name
+            )
+    return env, services, fleet

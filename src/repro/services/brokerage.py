@@ -1,0 +1,168 @@
+"""Brokerage service: service classes, resource classes, performance DB.
+
+"Brokerage services maintain information about classes of services offered
+by the environment, as well as past performance data bases.  Though the
+brokerage services make a best effort to maintain accurate information
+regarding the state of resources, such information may be obsolete."
+(Section 2) — staleness is modelled explicitly: container advertisements
+are snapshots; only the monitoring service has ground truth.
+
+"Brokers must maintain full information about resources with similar
+characteristics and group them in multiple equivalence classes based upon
+different sets of properties." (Section 1) — the broker keeps a resource
+knowledge base (Figure-12 Resource/Hardware frames) and answers
+``equivalence-classes`` queries over arbitrary slot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.environment import GridEnvironment
+from repro.grid.messages import Message
+from repro.grid.node import GridNode
+from repro.ontology import RESOURCE, KnowledgeBase, builtin_shell, equivalence_classes
+from repro.services.base import CoreService
+from repro.sim.stats import Tally
+
+__all__ = ["ContainerAd", "BrokerageService"]
+
+
+@dataclass
+class ContainerAd:
+    """A (possibly stale) container advertisement."""
+
+    container: str
+    site: str
+    services: list[str]
+    speed: float
+    advertised_at: float
+    node: str = ""
+
+
+@dataclass
+class _Performance:
+    duration: Tally = field(default_factory=Tally)
+    successes: int = 0
+    failures: int = 0
+
+    @property
+    def runs(self) -> int:
+        return self.successes + self.failures
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 1.0
+
+
+class BrokerageService(CoreService):
+    service_type = "brokerage"
+
+    def __init__(self, env: GridEnvironment, name: str | None = None, site: str = "core") -> None:
+        super().__init__(env, name, site)
+        self._ads: dict[str, ContainerAd] = {}
+        self._by_service: dict[str, set[str]] = {}
+        self._performance: dict[tuple[str, str], _Performance] = {}
+        self.resource_kb: KnowledgeBase = builtin_shell("broker-resources")
+
+    # -- direct (bootstrap) API --------------------------------------------------- #
+    def advertise(self, ad: ContainerAd) -> None:
+        previous = self._ads.get(ad.container)
+        if previous is not None:
+            for svc in previous.services:
+                self._by_service.get(svc, set()).discard(ad.container)
+        self._ads[ad.container] = ad
+        for svc in ad.services:
+            self._by_service.setdefault(svc, set()).add(ad.container)
+
+    def advertise_node(self, node: GridNode) -> None:
+        """Record a node's Resource/Hardware frames in the broker KB."""
+        node.register_in(self.resource_kb)
+
+    def containers_for(self, service: str) -> list[str]:
+        return sorted(self._by_service.get(service, ()))
+
+    def record(self, service: str, container: str, duration: float, success: bool) -> None:
+        perf = self._performance.setdefault((service, container), _Performance())
+        if success:
+            perf.successes += 1
+            perf.duration.observe(duration)
+        else:
+            perf.failures += 1
+
+    def performance_of(self, service: str, container: str) -> _Performance | None:
+        return self._performance.get((service, container))
+
+    # -- message API -------------------------------------------------------------------- #
+    def handle_advertise_container(self, message: Message):
+        content = message.content
+        self.advertise(
+            ContainerAd(
+                container=content["container"],
+                site=content.get("site", "unknown"),
+                services=list(content.get("services", ())),
+                speed=float(content.get("speed", 1.0)),
+                advertised_at=self.engine.now,
+                node=content.get("node", ""),
+            )
+        )
+        return {"advertised": content["container"]}
+
+    def handle_find_containers(self, message: Message):
+        """Figure-3 steps 4-5: containers that can possibly provide the
+        execution of an activity's service."""
+        service = message.content["service"]
+        return {"service": service, "containers": self.containers_for(service)}
+
+    def handle_record_performance(self, message: Message):
+        content = message.content
+        self.record(
+            content["service"],
+            content["container"],
+            float(content.get("duration", 0.0)),
+            bool(content.get("success", True)),
+        )
+        return {"recorded": True}
+
+    def handle_performance(self, message: Message):
+        content = message.content
+        perf = self.performance_of(content["service"], content["container"])
+        if perf is None:
+            return {"runs": 0, "success_rate": 1.0, "mean_duration": 0.0}
+        return {
+            "runs": perf.runs,
+            "success_rate": perf.success_rate,
+            "mean_duration": perf.duration.mean,
+        }
+
+    def handle_equivalence_classes(self, message: Message):
+        """Group advertised resources by the values at the given slot paths
+        (e.g. ``["Hardware/Speed", "Administration Domain"]``)."""
+        key_paths = list(message.content.get("key_paths", ()))
+        groups = equivalence_classes(
+            self.resource_kb,
+            self.resource_kb.instances_of(RESOURCE),
+            key_paths,
+        )
+        return {
+            "classes": [
+                {"key": list(key), "resources": sorted(i.get("Name") for i in members)}
+                for key, members in sorted(
+                    groups.items(), key=lambda kv: repr(kv[0])
+                )
+            ]
+        }
+
+    def handle_container_info(self, message: Message):
+        ad = self._ads.get(message.content["container"])
+        if ad is None:
+            return {"known": False}
+        return {
+            "known": True,
+            "container": ad.container,
+            "site": ad.site,
+            "services": list(ad.services),
+            "speed": ad.speed,
+            "advertised_at": ad.advertised_at,
+            "node": ad.node,
+        }

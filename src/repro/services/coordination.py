@@ -1,0 +1,460 @@
+"""Coordination service: the abstract ATN machine.
+
+"Coordination services act as proxies for the end-user.  A coordination
+service receives a case description and controls the enactment of the
+workflow ...  The coordination service implements an abstract ATN
+machine."  (Section 2)
+
+Enactment walks the process description's recovered AST (the graph is
+converted on receipt — which doubles as a well-structuredness check):
+
+* end-user activities are dispatched through matchmaking -> scheduling ->
+  the chosen application container, with bounded retries and performance
+  reporting back to the brokerage;
+* Fork/Join branches run as genuinely concurrent simulation processes;
+* Choice conditions and Iterative stopping conditions are evaluated over
+  the live *case data* (the data items produced so far and their
+  properties — exactly the Figure-13 constraint semantics, e.g. Cons1
+  looping until the resolution value is good enough);
+* when an activity exhausts its retries, the coordinator triggers
+  re-planning (Figure 3), resumes with the new process description, and
+  carries all data produced so far into the new plan's enactment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import ConversionError, EnactmentError, ServiceError
+from repro.grid.environment import GridEnvironment
+from repro.grid.messages import Message
+from repro.planner.problem import PlanningProblem
+from repro.process.ast_nodes import (
+    ActivityNode,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Node,
+    SequenceNode,
+)
+from repro.process.conditions import MISSING, Condition
+from repro.process.model import ProcessDescription
+from repro.process.structure import process_to_ast
+from repro.services.base import CoreService, WELL_KNOWN
+
+__all__ = ["CoordinationService", "EnactmentRecord"]
+
+
+class _ActivityFailed(ServiceError):
+    """Internal: an end-user activity exhausted its retries."""
+
+    def __init__(self, activity: str, reason: str) -> None:
+        super().__init__(f"activity {activity!r} failed: {reason}")
+        self.activity = activity
+        self.reason = reason
+
+
+class _CaseData:
+    """Live case data: data name -> properties, plus payload locations.
+
+    Implements the condition-evaluation protocol (lookup/peek) so Choice
+    guards and iterative stopping conditions read it directly.  Mutation
+    is monotone merge, matching the planner's state algebra.
+    """
+
+    def __init__(self, initial: dict[str, dict] | None = None) -> None:
+        self.props: dict[str, dict] = {k: dict(v) for k, v in (initial or {}).items()}
+        self.payload_keys: dict[str, str] = {}
+
+    def lookup(self, data_name: str, prop: str) -> Any:
+        return self.props[data_name][prop]
+
+    def peek(self, data_name: str, prop: str) -> Any:
+        item = self.props.get(data_name)
+        if item is None:
+            return MISSING
+        return item.get(prop, MISSING)
+
+    def merge(self, outputs: dict[str, dict], payload_keys: dict[str, str]) -> None:
+        for name, props in outputs.items():
+            self.props.setdefault(name, {}).update(props)
+        self.payload_keys.update(payload_keys)
+
+    def snapshot(self) -> dict[str, dict]:
+        return {k: dict(v) for k, v in self.props.items()}
+
+
+@dataclass
+class EnactmentRecord:
+    """Telemetry for one enactment (exposed in the reply and kept by the
+    coordinator for experiment assertions)."""
+
+    task: str
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+    activities_run: int = 0
+    activities_failed: int = 0
+    replans: int = 0
+    completed: bool = False
+    failed: bool = False
+    #: Final case data, set on completion — kept so intermittently
+    #: connected users can poll for results after reconnecting.
+    result: dict[str, dict] | None = None
+
+    def log(self, time: float, kind: str, detail: str) -> None:
+        self.events.append((time, kind, detail))
+
+
+class CoordinationService(CoreService):
+    service_type = "coordination"
+
+    matchmaker_name = WELL_KNOWN["matchmaking"]
+    scheduler_name = WELL_KNOWN["scheduling"]
+    broker_name = WELL_KNOWN["brokerage"]
+    planner_name = WELL_KNOWN["planning"]
+
+    #: Retries per activity before declaring it failed (Figure-12 Activity
+    #: frames carry a Retry Count slot).
+    retry_limit = 2
+    #: RPC timeout for container executions (crashed containers are silent).
+    activity_timeout = 3_600.0
+    #: Safety bound on iterative loops whose condition never goes false.
+    max_loop_iterations = 25
+    #: Re-planning rounds before giving up on a case.
+    max_replans = 3
+
+    #: Name of the authentication service used when credentials are set.
+    auth_name = WELL_KNOWN["authentication"]
+
+    def __init__(
+        self,
+        env: GridEnvironment,
+        name: str | None = None,
+        site: str = "core",
+        credentials: tuple[str, str] | None = None,
+    ) -> None:
+        super().__init__(env, name, site)
+        self.records: list[EnactmentRecord] = []
+        #: (principal, secret) for secured containers; None = unsecured grid.
+        self.credentials = credentials
+        self._ticket: str | None = None
+        self._ticket_expires = 0.0
+
+    def _ensure_ticket(self):
+        """Obtain (and cache) an authentication ticket for dispatching to
+        secured containers.  Generator; returns the token or None when the
+        coordinator has no credentials configured."""
+        if self.credentials is None:
+            return None
+        if self._ticket is not None and self.engine.now < self._ticket_expires:
+            return self._ticket
+        principal, secret = self.credentials
+        reply = yield from self.call(
+            self.auth_name,
+            "authenticate",
+            {"principal": principal, "secret": secret},
+        )
+        self._ticket = reply["ticket"]
+        # Renew a minute before expiry to avoid in-flight rejection.
+        self._ticket_expires = float(reply["expires_at"]) - 60.0
+        return self._ticket
+
+    # -- message API ----------------------------------------------------------------- #
+    def handle_execute_task(self, message: Message):
+        """Enact a case over a process description.
+
+        Content:
+
+        * ``process`` — a ProcessDescription (must be well-structured);
+        * ``initial_data`` — data name -> properties (the case's initial
+          data set with their specifications);
+        * optional ``payload_keys`` — data name -> storage key of real
+          payloads;
+        * optional ``problem`` — the PlanningProblem, enabling re-planning;
+        * optional ``task`` — display name;
+        * optional ``work`` — service name -> work units (scheduling hint).
+
+        Reply: final ``data`` properties, ``payload_keys``, and the
+        enactment record (events, counts, replans).
+        """
+        content = message.content
+        process: ProcessDescription | None = content.get("process")
+        if process is None:
+            # No process description supplied (the Task's "Need Planning"
+            # flag): obtain one from the planning service first — the
+            # Figure-2 exchange.
+            problem_for_plan: PlanningProblem = content["problem"]
+            reply = yield from self.call(
+                self.planner_name, "plan", {"problem": problem_for_plan}
+            )
+            process = reply["process"]
+        case = _CaseData(content.get("initial_data"))
+        case.payload_keys.update(content.get("payload_keys", {}))
+        problem: PlanningProblem | None = content.get("problem")
+        record = EnactmentRecord(task=content.get("task", process.name))
+        self.records.append(record)
+        work: dict[str, float] = dict(content.get("work", {}))
+
+        failed_activities: list[str] = []
+        current = process
+        while True:
+            try:
+                ast = process_to_ast(current)
+            except ConversionError as exc:
+                raise ServiceError(
+                    f"process {current.name!r} is not well-structured: {exc}"
+                ) from exc
+            record.log(self.engine.now, "enact", f"process {current.name}")
+            try:
+                yield from self._enact(ast, current, case, record, work)
+                record.completed = True
+                break
+            except _ActivityFailed as failure:
+                record.activities_failed += 1
+                record.log(
+                    self.engine.now, "activity-failed",
+                    f"{failure.activity}: {failure.reason}",
+                )
+                if problem is None or record.replans >= self.max_replans:
+                    record.failed = True
+                    raise ServiceError(
+                        f"enactment of {record.task!r} failed at activity "
+                        f"{failure.activity!r} and cannot re-plan"
+                    )
+                failed_activities.append(
+                    self._planner_activity_name(current, failure.activity)
+                )
+                record.replans += 1
+                record.log(
+                    self.engine.now, "replan",
+                    f"excluding {sorted(set(failed_activities))}",
+                )
+                reply = yield from self.call(
+                    self.planner_name,
+                    "replan",
+                    {
+                        "problem": problem,
+                        "data": case.snapshot(),
+                        "failed_activities": sorted(set(failed_activities)),
+                    },
+                )
+                current = reply["process"]
+
+        record.log(self.engine.now, "completed", record.task)
+        record.result = case.snapshot()
+        return {
+            "status": "completed",
+            "data": case.snapshot(),
+            "payload_keys": dict(case.payload_keys),
+            "activities_run": record.activities_run,
+            "replans": record.replans,
+            "events": list(record.events),
+        }
+
+    def handle_task_status(self, message: Message):
+        """Poll a task's progress/result by name.
+
+        This is how intermittently connected users (Section 2) retrieve
+        outcomes: the coordinator acts as their proxy and holds results
+        until they reconnect and ask.
+        """
+        wanted = message.content["task"]
+        for record in reversed(self.records):
+            if record.task == wanted:
+                reply = {
+                    "known": True,
+                    "completed": record.completed,
+                    "failed": record.failed,
+                    "activities_run": record.activities_run,
+                    "replans": record.replans,
+                }
+                if record.completed and record.result is not None:
+                    reply["data"] = record.result
+                return reply
+        return {"known": False, "completed": False, "failed": False}
+
+    # -- the ATN machine ----------------------------------------------------------- #
+    def _enact(
+        self,
+        node: Node,
+        process: ProcessDescription,
+        case: _CaseData,
+        record: EnactmentRecord,
+        work: dict[str, float],
+    ) -> Generator[Any, Any, None]:
+        if isinstance(node, ActivityNode):
+            yield from self._run_activity(node.name, process, case, record, work)
+            return
+        if isinstance(node, SequenceNode):
+            for child in node.children:
+                yield from self._enact(child, process, case, record, work)
+            return
+        if isinstance(node, ForkNode):
+            yield from self._run_fork(node, process, case, record, work)
+            return
+        if isinstance(node, ChoiceNode):
+            branch = self._choose(node, case, record)
+            yield from self._enact(branch, process, case, record, work)
+            return
+        if isinstance(node, IterativeNode):
+            iterations = 0
+            while True:
+                yield from self._enact(node.body, process, case, record, work)
+                iterations += 1
+                if not self._holds(node.condition, case):
+                    break
+                if iterations >= self.max_loop_iterations:
+                    record.log(
+                        self.engine.now, "loop-bound",
+                        f"iterative stopped after {iterations} iterations",
+                    )
+                    break
+            record.log(self.engine.now, "loop-done", f"{iterations} iterations")
+            return
+        raise EnactmentError(f"unknown AST node {type(node).__name__}")
+
+    def _choose(self, node: ChoiceNode, case: _CaseData, record: EnactmentRecord) -> Node:
+        """First branch whose condition holds (Section 3.1's Choice)."""
+        for condition, branch in node.branches:
+            if self._holds(condition, case):
+                record.log(self.engine.now, "choice", str(condition))
+                return branch
+        # No condition holds: the paper leaves this undefined; taking the
+        # last branch (conventionally the default/else arm) keeps the
+        # machine live and is logged for the experimenter.
+        record.log(self.engine.now, "choice-default", "no condition held")
+        return node.branches[-1][1]
+
+    @staticmethod
+    def _holds(condition: Condition, case: _CaseData) -> bool:
+        return condition.evaluate(case)
+
+    def _run_fork(
+        self,
+        node: ForkNode,
+        process: ProcessDescription,
+        case: _CaseData,
+        record: EnactmentRecord,
+        work: dict[str, float],
+    ) -> Generator[Any, Any, None]:
+        def wrap(branch: Node):
+            try:
+                yield from self._enact(branch, process, case, record, work)
+                return ("ok", None)
+            except _ActivityFailed as exc:
+                return ("failed", exc)
+
+        handles = [
+            self.engine.spawn(wrap(branch), name=f"{self.name}.branch{i}")
+            for i, branch in enumerate(node.branches)
+        ]
+        failures = []
+        for handle in handles:
+            status, exc = yield handle
+            if status == "failed":
+                failures.append(exc)
+        record.log(self.engine.now, "join", f"{len(handles)} branches")
+        if failures:
+            raise failures[0]
+
+    def _run_activity(
+        self,
+        name: str,
+        process: ProcessDescription,
+        case: _CaseData,
+        record: EnactmentRecord,
+        work: dict[str, float],
+    ) -> Generator[Any, Any, None]:
+        activity = process.activity(name)
+        service = activity.service_name
+        inputs = {
+            d: dict(case.props[d]) for d in activity.inputs if d in case.props
+        }
+        payload_keys = {
+            d: case.payload_keys[d]
+            for d in activity.inputs
+            if d in case.payload_keys
+        }
+        ticket = yield from self._ensure_ticket()
+        last_error = "no candidates"
+        for attempt in range(self.retry_limit + 1):
+            container: str | None = None
+            try:
+                match = yield from self.call(
+                    self.matchmaker_name, "match", {"service": service}
+                )
+                candidates = [c["container"] for c in match["candidates"]]
+                if not candidates:
+                    raise ServiceError(f"no container offers service {service!r}")
+                schedule = yield from self.call(
+                    self.scheduler_name,
+                    "schedule",
+                    {
+                        "service": service,
+                        "candidates": candidates,
+                        "work": work.get(service, 10.0),
+                    },
+                )
+                container = schedule["container"]
+                started = self.engine.now
+                result = yield from self.call(
+                    container,
+                    "execute-activity",
+                    {
+                        "activity": name,
+                        "service": service,
+                        "inputs": inputs,
+                        "payload_keys": payload_keys,
+                        "input_order": list(activity.inputs),
+                        "output_order": list(activity.outputs),
+                        # Checkpointable services resume from here on retry
+                        # (Section 1: long-lasting tasks need checkpointing).
+                        "checkpoint_key": f"ckpt/{record.task}/{name}",
+                        **({"ticket": ticket} if ticket else {}),
+                    },
+                    timeout=self.activity_timeout,
+                )
+                yield from self.call(
+                    self.broker_name,
+                    "record-performance",
+                    {
+                        "service": service,
+                        "container": container,
+                        "duration": self.engine.now - started,
+                        "success": True,
+                    },
+                )
+                case.merge(result.get("outputs", {}), result.get("payload_keys", {}))
+                record.activities_run += 1
+                record.log(
+                    self.engine.now, "activity",
+                    f"{name} ({service}) on {container}",
+                )
+                return
+            except ServiceError as exc:
+                last_error = str(exc)
+                record.log(
+                    self.engine.now, "retry",
+                    f"{name} attempt {attempt + 1} failed: {last_error}",
+                )
+                if container is not None:
+                    yield from self.call(
+                        self.broker_name,
+                        "record-performance",
+                        {
+                            "service": service,
+                            "container": container,
+                            "duration": 0.0,
+                            "success": False,
+                        },
+                    )
+        raise _ActivityFailed(name, last_error)
+
+    @staticmethod
+    def _planner_activity_name(process: ProcessDescription, name: str) -> str:
+        """Map a (possibly ``X_2``-renamed) graph activity back to the
+        planning-problem activity name it stands for."""
+        base, _, suffix = name.rpartition("_")
+        if suffix.isdigit() and base:
+            return base
+        return name

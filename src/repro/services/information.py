@@ -1,0 +1,83 @@
+"""Information service: the registry every other service consults.
+
+"Information services play an important role; all end-user services and
+other core services register their offerings with the information
+services."  Offerings are (name, type, location, provider) records;
+lookups filter by type and/or name.  Bootstrap registration is a direct
+method call (:meth:`register_offering`); runtime registration and lookup
+are message actions, so they appear in protocol traces (Figure 3 step 1-3
+is exactly a ``lookup`` for a brokerage service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.grid.environment import GridEnvironment
+from repro.grid.messages import Message
+from repro.services.base import CoreService
+
+__all__ = ["Offering", "InformationService"]
+
+
+@dataclass(frozen=True)
+class Offering:
+    name: str
+    type: str
+    location: str
+    provider: str
+
+
+class InformationService(CoreService):
+    service_type = "information"
+
+    def __init__(self, env: GridEnvironment, name: str | None = None, site: str = "core") -> None:
+        self._offerings: dict[str, Offering] = {}
+        super().__init__(env, name, site)
+        env.information_service = self  # type: ignore[attr-defined]
+        self.register_offering(self.name, self.service_type, self.site, self.name)
+
+    # -- direct (bootstrap) API -------------------------------------------------- #
+    def register_offering(self, name: str, type: str, location: str, provider: str) -> None:
+        self._offerings[name] = Offering(name, type, location, provider)
+
+    def deregister_offering(self, name: str) -> bool:
+        return self._offerings.pop(name, None) is not None
+
+    def find(self, type: str | None = None, name: str | None = None) -> list[Offering]:
+        out = []
+        for offering in self._offerings.values():
+            if type is not None and offering.type != type:
+                continue
+            if name is not None and offering.name != name:
+                continue
+            out.append(offering)
+        return sorted(out, key=lambda o: o.name)
+
+    @property
+    def census(self) -> dict[str, int]:
+        """Count of offerings per type (architecture benches assert on it)."""
+        counts: dict[str, int] = {}
+        for offering in self._offerings.values():
+            counts[offering.type] = counts.get(offering.type, 0) + 1
+        return counts
+
+    # -- message API ---------------------------------------------------------------- #
+    def handle_register(self, message: Message):
+        content = message.content
+        self.register_offering(
+            name=content["name"],
+            type=content.get("type", "end-user"),
+            location=content.get("location", "unknown"),
+            provider=content.get("provider", message.sender),
+        )
+        return {"registered": content["name"]}
+
+    def handle_deregister(self, message: Message):
+        return {"removed": self.deregister_offering(message.content["name"])}
+
+    def handle_lookup(self, message: Message):
+        found = self.find(
+            type=message.content.get("type"), name=message.content.get("name")
+        )
+        return {"providers": [asdict(o) for o in found]}

@@ -1,0 +1,68 @@
+"""Monitoring service: ground-truth status of agents and nodes.
+
+"Accurate information about the status of a resource may be obtained using
+monitoring services" — in contrast to the broker's possibly-stale
+advertisements, the monitor inspects the live environment at query time.
+"""
+
+from __future__ import annotations
+
+from repro.grid.container import ApplicationContainer
+from repro.grid.messages import Message
+from repro.services.base import CoreService
+
+__all__ = ["MonitoringService"]
+
+
+class MonitoringService(CoreService):
+    service_type = "monitoring"
+
+    def handle_status(self, message: Message):
+        """Live status of an agent (and its node, for containers)."""
+        name = message.content["agent"]
+        if not self.env.has_agent(name):
+            return {"known": False, "alive": False}
+        agent = self.env.agent(name)
+        status = {
+            "known": True,
+            "alive": agent.alive,
+            "site": agent.site,
+            "queued_messages": len(agent.mailbox),
+        }
+        if isinstance(agent, ApplicationContainer):
+            node = agent.node
+            status.update(
+                node=node.name,
+                node_up=node.up,
+                slots=node.slots.capacity,
+                slots_in_use=node.slots.in_use,
+                slots_queued=node.slots.queued,
+                speed=node.hardware.speed,
+                cost_rate=node.cost_rate,
+            )
+        return status
+
+    def handle_node_status(self, message: Message):
+        name = message.content["node"]
+        if name not in self.env.node_names:
+            return {"known": False}
+        node = self.env.node(name)
+        return {
+            "known": True,
+            "up": node.up,
+            "site": node.site,
+            "slots": node.slots.capacity,
+            "slots_in_use": node.slots.in_use,
+            "utilization": node.slots.utilization(),
+            "speed": node.hardware.speed,
+        }
+
+    def handle_census(self, message: Message):
+        """Environment-wide summary (agents, nodes, messages)."""
+        return {
+            "agents": len(self.env.agent_names),
+            "nodes": len(self.env.node_names),
+            "messages_delivered": len(self.env.trace.records),
+            "messages_dropped": len(self.env.dropped),
+            "time": self.engine.now,
+        }

@@ -1,0 +1,219 @@
+"""Planning service: ab-initio planning (Figure 2) and re-planning (Figure 3).
+
+The planning service "accepts planning requests from the coordination
+service", generates a valid process description with the GP planner of
+Section 3.4, and returns it.  For re-planning it implements the paper's
+second knowledge-acquisition method verbatim (Figure 3):
+
+1. coordination sends the planning task and the non-executable activities;
+2. planning asks the **information service** for a brokerage service;
+3. information replies;
+4. planning asks the **brokerage service** for application containers that
+   can possibly provide each activity's execution;
+5. brokerage replies;
+6. planning asks each **application container** whether the activity is
+   executable;
+7. containers reply;
+8. planning sends the new plan to coordination.
+
+Activities with no executable container — plus those coordination already
+reported failed (method one) — are removed from T before the GP runs, so
+the new plan avoids them ("the planning service ... avoid[s] reusing in
+the new plan those activities that prevent the previous plan from
+successful execution").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import ServiceError
+from repro.grid.environment import GridEnvironment
+from repro.grid.messages import Message
+from repro.plan.convert import tree_to_process
+from repro.plan.tree import Controller, ControllerKind
+from repro.planner.config import GPConfig
+from repro.planner.gp import GPPlanner
+from repro.planner.problem import PlanningProblem
+from repro.planner.repair import repair_plan
+from repro.planner.state import WorldState
+from repro.process.conditions import TRUE, And, Condition, Not
+from repro.process.model import Activity
+from repro.services.base import CoreService, WELL_KNOWN
+
+__all__ = ["PlanningService"]
+
+
+class PlanningService(CoreService):
+    service_type = "planning"
+
+    information_name = WELL_KNOWN["information"]
+
+    def __init__(
+        self,
+        env: GridEnvironment,
+        name: str | None = None,
+        site: str = "core",
+        config: GPConfig | None = None,
+        rng: int | np.random.Generator | None = 0,
+        repair_plans: bool = True,
+    ) -> None:
+        super().__init__(env, name, site)
+        self.config = config or GPConfig()
+        self.rng = as_rng(rng)
+        #: Post-process evolved plans with the never-valid-terminal repair
+        #: pass (see :mod:`repro.planner.repair`) before emitting them.
+        self.repair_plans = repair_plans
+        self.plans_created = 0
+        self.replans_created = 0
+
+    # -- plan construction helpers ----------------------------------------------- #
+    def _activity_library(self, problem: PlanningProblem) -> dict[str, Activity]:
+        return {
+            name: spec.as_activity() for name, spec in problem.activities.items()
+        }
+
+    def _condition_provider(self, problem: PlanningProblem):
+        """Conditions for the emitted process description.
+
+        Iterative nodes loop *until the goal holds* (re-try semantics);
+        selective first branches get ``true`` (the planner has no basis to
+        prefer either branch, and the coordinator takes the first branch
+        whose condition holds).
+        """
+        goals = (
+            problem.goals[0] if len(problem.goals) == 1 else And(problem.goals)
+        )
+        not_done = Not(goals)
+
+        def provider(node: Controller) -> Condition:
+            if node.kind is ControllerKind.ITERATIVE:
+                return not_done
+            return TRUE
+
+        return provider
+
+    def _run_planner(
+        self, problem: PlanningProblem, config: GPConfig
+    ) -> dict[str, Any]:
+        result = GPPlanner(config, rng=self.rng).plan(problem)
+        plan = result.best_plan
+        fitness = result.best_fitness
+        repaired_away: tuple[str, ...] = ()
+        if self.repair_plans:
+            repaired = repair_plan(plan, problem)
+            plan, fitness = repaired.plan, repaired.fitness
+            repaired_away = repaired.removed
+        process = tree_to_process(
+            plan,
+            name=f"plan-{problem.name}",
+            library=self._activity_library(problem),
+            condition_provider=self._condition_provider(problem),
+        )
+        return {
+            "plan": plan,
+            "process": process,
+            "fitness": fitness.overall,
+            "validity": fitness.validity,
+            "goal": fitness.goal,
+            "solved": fitness.validity == 1.0 and fitness.goal == 1.0,
+            "generations": result.generations_run,
+            "repaired_away": list(repaired_away),
+        }
+
+    # -- message API ----------------------------------------------------------------- #
+    def handle_plan(self, message: Message):
+        """Figure 2: a standard planning request.
+
+        Content: ``problem`` (PlanningProblem); optional ``config``
+        (GPConfig).  Reply: the plan tree, the elaborated process
+        description and fitness telemetry.
+        """
+        problem: PlanningProblem = message.content["problem"]
+        config: GPConfig = message.content.get("config") or self.config
+        reply = self._run_planner(problem, config)
+        self.plans_created += 1
+        return reply
+
+    def handle_replan(self, message: Message):
+        """Figure 3: re-planning after a failed enactment.
+
+        Content: ``problem`` (the original PlanningProblem), ``data``
+        (current case data: name -> properties — "all available data,
+        including the initial set ... and the data modified, or created
+        during the execution"), ``failed_activities`` (names coordination
+        knows are non-executable; may be empty), optional ``config``,
+        optional ``probe`` (default True: run the 3-step availability
+        check of Figure 3).
+        """
+        content = message.content
+        problem: PlanningProblem = content["problem"]
+        data: dict[str, dict] = dict(content.get("data") or {})
+        failed: set[str] = set(content.get("failed_activities", ()))
+        config: GPConfig = content.get("config") or self.config
+        probe: bool = bool(content.get("probe", True))
+
+        unexecutable = set(failed)
+        if probe:
+            # Steps 2-3: locate a brokerage service through information.
+            # Several replicas may be registered; we keep them all and fail
+            # over if the primary is down (core services are replicated).
+            lookup = yield from self.call(
+                self.information_name, "lookup", {"type": "brokerage"}
+            )
+            brokers = [p["provider"] for p in lookup["providers"]]
+            if not brokers:
+                raise ServiceError("no brokerage service available for re-planning")
+
+            # Steps 4-7: per activity, find candidate containers and probe them.
+            probe_cache: dict[tuple[str, str], bool] = {}
+            for name, spec in problem.activities.items():
+                if name in unexecutable:
+                    continue
+                found = yield from self.call_with_failover(
+                    brokers, "find-containers", {"service": spec.service}
+                )
+                executable = False
+                for container in found["containers"]:
+                    key = (container, spec.service or name)
+                    verdict = probe_cache.get(key)
+                    if verdict is None:
+                        try:
+                            answer = yield from self.call(
+                                container,
+                                "can-execute",
+                                {"service": spec.service},
+                                timeout=60.0,
+                            )
+                            verdict = bool(answer.get("executable"))
+                        except ServiceError:
+                            verdict = False
+                        probe_cache[key] = verdict
+                    if verdict:
+                        executable = True
+                        break
+                if not executable:
+                    unexecutable.add(name)
+
+        surviving = {
+            name: spec
+            for name, spec in problem.activities.items()
+            if name not in unexecutable
+        }
+        if not surviving:
+            raise ServiceError(
+                "re-planning impossible: no executable activities remain"
+            )
+        new_problem = PlanningProblem(
+            initial_state=WorldState(data) if data else problem.initial_state,
+            goals=problem.goals,
+            activities=surviving,
+            name=f"{problem.name}-replan",
+        )
+        reply = self._run_planner(new_problem, config)
+        reply["excluded_activities"] = sorted(unexecutable)
+        self.replans_created += 1
+        return reply

@@ -1,0 +1,72 @@
+"""Simulation service.
+
+"Simulation services are necessary to study the scalability of the system
+and they are also useful for end-users to simulate an experiment before
+actually conducting it."  Both uses are provided:
+
+* ``simulate-plan`` — run the planner's symbolic execution of a plan tree
+  against a planning problem and report predicted validity/goal fitness
+  (what an end-user checks before submitting a case);
+* ``estimate-makespan`` — a coarse what-if of wall-clock time for a plan,
+  given per-service work and a fleet speed (scalability studies).
+"""
+
+from __future__ import annotations
+
+from repro.grid.messages import Message
+from repro.plan.tree import Controller, ControllerKind, PlanNode, Terminal
+from repro.planner.problem import PlanningProblem
+from repro.planner.simulate import SimulationOptions, simulate_plan
+from repro.services.base import CoreService
+
+__all__ = ["SimulationService"]
+
+
+class SimulationService(CoreService):
+    service_type = "simulation"
+
+    def handle_simulate_plan(self, message: Message):
+        """Symbolically execute a plan; content: ``plan`` (PlanNode),
+        ``problem`` (PlanningProblem), optional ``options``."""
+        plan: PlanNode = message.content["plan"]
+        problem: PlanningProblem = message.content["problem"]
+        options = message.content.get("options") or SimulationOptions()
+        report = simulate_plan(plan, problem, options)
+        return {
+            "validity": report.validity_fitness(),
+            "goal": report.goal_fitness(problem),
+            "flows": len(report.flows),
+            "truncated": report.truncated,
+        }
+
+    def handle_estimate_makespan(self, message: Message):
+        """Critical-path estimate of a plan's wall-clock time.
+
+        Content: ``plan`` (PlanNode), ``work`` (service name -> work
+        units; default 10 each), ``speed`` (fleet speed, default 1.0),
+        ``iterations`` (assumed loop count, default 2).  Concurrent nodes
+        contribute their longest child (perfect parallelism), sequential
+        and iterative nodes sum, selective nodes contribute their *worst*
+        child (conservative).
+        """
+        plan: PlanNode = message.content["plan"]
+        work: dict[str, float] = dict(message.content.get("work", {}))
+        speed = float(message.content.get("speed", 1.0))
+        iterations = int(message.content.get("iterations", 2))
+        makespan = _critical_path(plan, work, iterations) / speed
+        return {"makespan": makespan}
+
+
+def _critical_path(node: PlanNode, work: dict[str, float], iterations: int) -> float:
+    if isinstance(node, Terminal):
+        return work.get(node.activity, 10.0)
+    assert isinstance(node, Controller)
+    child_costs = [_critical_path(c, work, iterations) for c in node.children]
+    if node.kind is ControllerKind.CONCURRENT:
+        return max(child_costs)
+    if node.kind is ControllerKind.SELECTIVE:
+        return max(child_costs)
+    total = sum(child_costs)
+    if node.kind is ControllerKind.ITERATIVE:
+        return total * iterations
+    return total

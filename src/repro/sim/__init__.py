@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel underlying the grid substrate."""
+
+from repro.sim.engine import Engine, ProcessHandle, Signal
+from repro.sim.failures import BernoulliFailures, CrashRestartModel, FailureLog
+from repro.sim.resources import CapacityResource, Grant
+from repro.sim.stats import MetricSet, Tally, TimeSeries
+
+__all__ = [
+    "Engine",
+    "Signal",
+    "ProcessHandle",
+    "CapacityResource",
+    "Grant",
+    "BernoulliFailures",
+    "CrashRestartModel",
+    "FailureLog",
+    "Tally",
+    "TimeSeries",
+    "MetricSet",
+]

@@ -1,0 +1,225 @@
+"""Discrete-event simulation kernel.
+
+The paper's environment is a distributed multi-agent system (Jade); we
+reproduce its observable behaviour in-process with a classic event-driven
+kernel: a priority queue of timestamped events, generator-based processes,
+and signals for inter-process synchronization.
+
+* :class:`Engine` — the event loop.  ``schedule`` posts a callback at
+  ``now + delay``; ``spawn`` starts a coroutine-style process.
+* Processes are plain generators.  They may ``yield``:
+
+  - a number — sleep that many simulated seconds;
+  - a :class:`Signal` — park until the signal fires (the fired payload
+    becomes the value of the yield expression);
+  - another :class:`ProcessHandle` — park until that process finishes
+    (its return value becomes the yield value).
+
+* :class:`Signal` — a single-shot broadcast event; late waiters on an
+  already-fired signal resume immediately with the stored payload.
+
+Determinism: ties in time are broken by schedule order (a monotone
+sequence number), so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "Signal", "ProcessHandle"]
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Signal:
+    """A single-shot event processes can wait on.
+
+    ``fire(payload)`` wakes every current waiter and stores the payload so
+    that later waiters resume immediately.  Firing twice is an error
+    (create a new Signal per occurrence; see :class:`repro.grid.messages`
+    for mailbox-style repeated delivery).
+    """
+
+    __slots__ = ("engine", "name", "_waiters", "fired", "payload")
+
+    def __init__(self, engine: "Engine", name: str = "signal") -> None:
+        self.engine = engine
+        self.name = name
+        self._waiters: list[ProcessHandle] = []
+        self.fired = False
+        self.payload: Any = None
+
+    def fire(self, payload: Any = None) -> None:
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine.schedule(0.0, process._resume, payload)
+
+    def _add_waiter(self, process: "ProcessHandle") -> None:
+        if self.fired:
+            self.engine.schedule(0.0, process._resume, self.payload)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"Signal({self.name!r}, {state})"
+
+
+class ProcessHandle:
+    """A running generator process; also waitable (join semantics)."""
+
+    __slots__ = ("engine", "name", "_gen", "done", "result", "_done_signal", "failed")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self.done = False
+        self.failed: BaseException | None = None
+        self.result: Any = None
+        self._done_signal = Signal(engine, f"{name}.done")
+
+    def _resume(self, value: Any = None) -> None:
+        if self.done:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Exception as exc:  # surfaces in Engine.run
+            self.done = True
+            self.failed = exc
+            raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {yielded}"
+                )
+            self.engine.schedule(float(yielded), self._resume, None)
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(self)
+        elif isinstance(yielded, ProcessHandle):
+            yielded._done_signal._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {yielded!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self._done_signal.fire(result)
+
+    def _add_waiter(self, process: "ProcessHandle") -> None:
+        self._done_signal._add_waiter(process)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "running"
+        return f"ProcessHandle({self.name!r}, {state})"
+
+
+class Engine:
+    """The simulation event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------- #
+    def schedule(
+        self, delay: float, action: Callable[..., None], *args: Any
+    ) -> _Event:
+        """Post *action(*args)* at ``now + delay``; returns a cancellable
+        handle (set ``.cancelled = True``)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        event = _Event(self.now + delay, self._seq, lambda: action(*args))
+        heapq.heappush(self._queue, event)
+        return event
+
+    def signal(self, name: str = "signal") -> Signal:
+        return Signal(self, name)
+
+    def spawn(self, gen: ProcessGen, name: str = "process") -> ProcessHandle:
+        """Start a generator process; it first runs at the current time."""
+        if not isinstance(gen, Generator):
+            raise SimulationError(
+                f"spawn needs a generator, got {type(gen).__name__}"
+            )
+        process = ProcessHandle(self, gen, name)
+        self.schedule(0.0, process._resume, None)
+        return process
+
+    def spawn_all(
+        self, gens: Iterable[tuple[str, ProcessGen]]
+    ) -> list[ProcessHandle]:
+        return [self.spawn(gen, name) for name, gen in gens]
+
+    # -- running ------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = event.time
+            self.events_processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Drain the event queue.
+
+        *until* stops the clock at that simulated time (events beyond it
+        stay queued); *max_events* guards against runaway simulations.
+        Returns the final clock value.
+        """
+        processed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self.now}"
+                )
+            self.step()
+            processed += 1
+        else:
+            if until is not None:
+                self.now = until
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

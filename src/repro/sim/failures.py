@@ -1,0 +1,131 @@
+"""Failure models for the grid substrate.
+
+Section 1 calls out that "the ability to recover from errors caused by the
+failure of individual nodes is a critical aspect"; the re-planning
+experiments (DESIGN.md A5) need controllable failure injection:
+
+* :class:`BernoulliFailures` — each service invocation fails independently
+  with probability *p* (models flaky containers);
+* :class:`CrashRestartModel` — components alternate exponential up-times
+  and down-times (models node crashes with repair), driven by a process on
+  the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+__all__ = ["BernoulliFailures", "CrashRestartModel", "FailureLog"]
+
+
+@dataclass
+class FailureLog:
+    """Record of injected failures, for experiment assertions."""
+
+    events: list[tuple[float, str, str]] = field(default_factory=list)
+
+    def record(self, time: float, component: str, what: str) -> None:
+        self.events.append((time, component, what))
+
+    def count(self, what: str | None = None) -> int:
+        if what is None:
+            return len(self.events)
+        return sum(1 for _, _, w in self.events if w == what)
+
+
+class BernoulliFailures:
+    """Per-invocation failure oracle.
+
+    ``should_fail(component)`` draws a Bernoulli(p) per call; per-component
+    probabilities override the global default.  Deterministic under a seed.
+    """
+
+    def __init__(
+        self,
+        probability: float = 0.0,
+        rng: int | np.random.Generator | None = None,
+        per_component: dict[str, float] | None = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(f"failure probability {probability} not in [0,1]")
+        self.probability = probability
+        self.per_component = dict(per_component or {})
+        self.rng = as_rng(rng)
+        self.log = FailureLog()
+
+    def should_fail(self, component: str, now: float = 0.0) -> bool:
+        p = self.per_component.get(component, self.probability)
+        failed = bool(self.rng.random() < p)
+        if failed:
+            self.log.record(now, component, "invocation-failure")
+        return failed
+
+    def should_fail_fraction(
+        self, component: str, fraction: float, now: float = 0.0
+    ) -> bool:
+        """Failure check for a *fraction* of an invocation.
+
+        Scales the per-invocation probability so that running a whole
+        invocation as N fraction-1/N slices has the same overall failure
+        probability as one monolithic check: ``1 - (1-p)^fraction``.
+        Used by checkpointable services, whose crashes strike mid-compute.
+        """
+        p = self.per_component.get(component, self.probability)
+        scaled = 1.0 - (1.0 - p) ** fraction if p < 1.0 else 1.0
+        failed = bool(self.rng.random() < scaled)
+        if failed:
+            self.log.record(now, component, "invocation-failure")
+        return failed
+
+
+class CrashRestartModel:
+    """Exponential crash/restart cycling for named components.
+
+    ``attach(engine, component, on_crash, on_restart)`` spawns a process
+    that repeatedly sleeps ``Exp(mttf)``, calls *on_crash*, sleeps
+    ``Exp(mttr)``, calls *on_restart*.  A zero or None mttf disables
+    crashing for that component.
+    """
+
+    def __init__(
+        self,
+        mttf: float | None,
+        mttr: float = 10.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if mttf is not None and mttf <= 0:
+            raise SimulationError(f"mttf must be positive or None, got {mttf}")
+        if mttr <= 0:
+            raise SimulationError(f"mttr must be positive, got {mttr}")
+        self.mttf = mttf
+        self.mttr = mttr
+        self.rng = as_rng(rng)
+        self.log = FailureLog()
+
+    def attach(
+        self,
+        engine: Engine,
+        component: str,
+        on_crash: Callable[[], None],
+        on_restart: Callable[[], None],
+    ) -> None:
+        if self.mttf is None:
+            return
+
+        def cycle():
+            while True:
+                yield float(self.rng.exponential(self.mttf))
+                self.log.record(engine.now, component, "crash")
+                on_crash()
+                yield float(self.rng.exponential(self.mttr))
+                self.log.record(engine.now, component, "restart")
+                on_restart()
+
+        engine.spawn(cycle(), name=f"failures:{component}")

@@ -1,0 +1,110 @@
+"""Capacity-constrained resources for the simulation kernel.
+
+:class:`CapacityResource` models anything with a finite number of slots —
+CPU slots on a grid node, concurrent-activity limits on an application
+container, bandwidth tokens on a network link.  Processes acquire a slot by
+yielding the signal returned from :meth:`CapacityResource.acquire` and must
+release it when done (use the grant token so double releases are caught).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Signal
+
+__all__ = ["CapacityResource", "Grant"]
+
+
+@dataclass
+class Grant:
+    """A held slot; pass back to :meth:`CapacityResource.release`."""
+
+    resource: "CapacityResource"
+    index: int
+    released: bool = False
+
+
+class CapacityResource:
+    """FIFO resource with *capacity* identical slots."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: deque[Signal] = deque()
+        self._grant_seq = 0
+        # Telemetry for utilization accounting.
+        self._busy_time = 0.0
+        self._last_change = engine.now
+
+    # -- acquisition --------------------------------------------------------- #
+    def acquire(self) -> Signal:
+        """Returns a signal that fires with a :class:`Grant` once a slot is
+        free.  Yield it from a process::
+
+            grant = yield resource.acquire()
+            ...
+            resource.release(grant)
+        """
+        signal = self.engine.signal(f"{self.name}.acquire")
+        if self.in_use < self.capacity:
+            self._take()
+            signal.fire(self._new_grant())
+        else:
+            self._waiting.append(signal)
+        return signal
+
+    def try_acquire(self) -> Grant | None:
+        """Immediate, non-blocking acquisition; None when full."""
+        if self.in_use < self.capacity:
+            self._take()
+            return self._new_grant()
+        return None
+
+    def release(self, grant: Grant) -> None:
+        if grant.resource is not self:
+            raise SimulationError(
+                f"grant from {grant.resource.name!r} released on {self.name!r}"
+            )
+        if grant.released:
+            raise SimulationError(f"grant {grant.index} double-released")
+        grant.released = True
+        self._account()
+        self.in_use -= 1
+        if self._waiting and self.in_use < self.capacity:
+            signal = self._waiting.popleft()
+            self._take()
+            signal.fire(self._new_grant())
+
+    # -- internals ----------------------------------------------------------- #
+    def _new_grant(self) -> Grant:
+        self._grant_seq += 1
+        return Grant(self, self._grant_seq)
+
+    def _take(self) -> None:
+        self._account()
+        self.in_use += 1
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self._busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    # -- telemetry ------------------------------------------------------------ #
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use since construction."""
+        self._account()
+        elapsed = self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (self.capacity * elapsed)

@@ -1,0 +1,102 @@
+"""Lightweight metric collection for simulations and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tally", "TimeSeries", "MetricSet"]
+
+
+@dataclass
+class Tally:
+    """Streaming count/mean/variance (Welford) of scalar observations."""
+
+    count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped observations, e.g. queue lengths over simulated time."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def time_average(self, horizon: float | None = None) -> float:
+        """Piecewise-constant time average up to *horizon* (default: last
+        observation time)."""
+        if not self.times:
+            return 0.0
+        times = np.asarray(self.times)
+        values = np.asarray(self.values)
+        end = horizon if horizon is not None else times[-1]
+        if end <= times[0]:
+            return float(values[0])
+        spans = np.diff(np.append(times, end))
+        spans = np.clip(spans, 0.0, None)
+        total = float(spans.sum())
+        if total == 0.0:
+            return float(values[-1])
+        return float((values * spans).sum() / total)
+
+
+class MetricSet:
+    """A named bag of tallies and time series."""
+
+    def __init__(self) -> None:
+        self.tallies: dict[str, Tally] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def tally(self, name: str) -> Tally:
+        return self.tallies.setdefault(name, Tally())
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self.series.setdefault(name, TimeSeries())
+
+    def observe(self, name: str, value: float) -> None:
+        self.tally(name).observe(value)
+
+    def observe_at(self, name: str, time: float, value: float) -> None:
+        self.timeseries(name).observe(time, value)
+
+    def as_dict(self) -> dict:
+        return {name: tally.as_dict() for name, tally in self.tallies.items()}

@@ -1,0 +1,92 @@
+"""The Section-4 case study: 3D virus reconstruction in electron microscopy.
+
+Two layers:
+
+* the *computational substrate* — phantom generation, projection, and the
+  four programs POD / P3DR / POR / PSF (:mod:`repro.virolab.pipeline`
+  chains them in-process);
+* the *workflow layer* — Figure 10's process description, Figure 11's plan
+  tree, Figure 13's ontology instances, the Section-5 planning problem
+  (:mod:`repro.virolab.workflow`), and the programs wrapped as grid
+  end-user services (:mod:`repro.virolab.services`).
+"""
+
+from repro.virolab.geometry import (
+    angular_distance,
+    euler_to_matrix,
+    orientation_grid,
+    perturb_rotation,
+    random_rotations,
+)
+from repro.virolab.p3dr import p3dr
+from repro.virolab.phantom import make_initial_model, make_phantom
+from repro.virolab.pipeline import (
+    IterationStats,
+    PipelineResult,
+    default_problem_data,
+    run_pipeline,
+)
+from repro.virolab.pod import match_orientations, pod, reference_projections
+from repro.virolab.por import por
+from repro.virolab.projection import Dataset, backproject, make_dataset, project
+from repro.virolab.psf import fsc_curve, psf, resolution_angstroms
+from repro.virolab.services import (
+    make_virolab_services,
+    setup_virolab_case,
+    virolab_grid,
+)
+from repro.virolab.workflow import (
+    ACTIVITY_TABLE,
+    CONDITIONS,
+    CONS1,
+    DATA_CLASSIFICATIONS,
+    GOAL,
+    INITIAL_DATA,
+    TRANSITION_TABLE,
+    activity_specs,
+    case_study_kb,
+    plan_tree,
+    planning_problem,
+    process_description,
+)
+
+__all__ = [
+    "DATA_CLASSIFICATIONS",
+    "INITIAL_DATA",
+    "CONDITIONS",
+    "CONS1",
+    "GOAL",
+    "ACTIVITY_TABLE",
+    "TRANSITION_TABLE",
+    "activity_specs",
+    "planning_problem",
+    "process_description",
+    "plan_tree",
+    "case_study_kb",
+    "euler_to_matrix",
+    "random_rotations",
+    "orientation_grid",
+    "perturb_rotation",
+    "angular_distance",
+    "make_phantom",
+    "make_initial_model",
+    "project",
+    "backproject",
+    "Dataset",
+    "make_dataset",
+    "pod",
+    "reference_projections",
+    "match_orientations",
+    "p3dr",
+    "por",
+    "psf",
+    "fsc_curve",
+    "resolution_angstroms",
+    "run_pipeline",
+    "default_problem_data",
+    "PipelineResult",
+    "IterationStats",
+    "make_virolab_services",
+    "setup_virolab_case",
+    "virolab_grid",
+]

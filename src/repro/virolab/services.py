@@ -1,0 +1,237 @@
+"""The case-study programs as grid end-user services.
+
+Wraps POD / P3DR / POR / PSF as :class:`~repro.grid.container.EndUserService`
+definitions whose *compute* callables run the real numerics.  Image stacks,
+orientation files and 3D models travel as payloads through the persistent-
+storage service; the message properties carry the Figure-13 metadata
+(Classification, Value, ...), which is what Choice conditions such as Cons1
+read during enactment.
+
+Formal parameter names follow the Figure-13 service table (A, B, C -> D);
+the container binds them to actual data names (D1..D12) using the
+activity's Input/Output Data Order, so one P3DR service serves all four
+P3DR activities with different parameter files — exactly the paper's
+arrangement.
+
+:func:`setup_virolab_case` prepares a full case: synthetic dataset in
+storage, initial-data properties, payload keys, and per-service work
+hints; :func:`virolab_grid` builds a ready-to-run environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import VirolabError
+from repro.grid.container import ApplicationContainer, EndUserService
+from repro.grid.environment import GridEnvironment
+from repro.planner.config import GPConfig
+from repro.services.bootstrap import CoreServices, standard_environment
+from repro.virolab.p3dr import p3dr
+from repro.virolab.phantom import make_initial_model, make_phantom
+from repro.virolab.pod import pod
+from repro.virolab.por import por
+from repro.virolab.projection import Dataset, make_dataset
+from repro.virolab.psf import psf
+from repro.virolab.workflow import CONDITIONS, DATA_CLASSIFICATIONS
+
+__all__ = ["make_virolab_services", "setup_virolab_case", "virolab_grid"]
+
+
+def _subset_indices(count: int, subset: str) -> np.ndarray:
+    idx = np.arange(count)
+    if subset == "all":
+        return idx
+    if subset == "even":
+        return idx[idx % 2 == 0]
+    if subset == "odd":
+        return idx[idx % 2 == 1]
+    raise VirolabError(f"unknown stream subset {subset!r}")
+
+
+def make_virolab_services(
+    pod_directions: int = 128,
+    pod_inplane: int = 12,
+    por_trials: int = 10,
+    por_seed: int = 0,
+) -> list[EndUserService]:
+    """The four end-user services with real compute callables."""
+
+    def pod_compute(props, payloads):
+        params: dict[str, Any] = payloads["params"]
+        images: np.ndarray = payloads["images"]
+        orientations, scores = pod(
+            images,
+            params["initial_model"],
+            directions=int(params.get("directions", pod_directions)),
+            inplane=int(params.get("inplane", pod_inplane)),
+        )
+        return (
+            {
+                "orients": {
+                    "Classification": "Orientation File",
+                    "Mean Correlation": float(scores.mean()),
+                }
+            },
+            {"orients": orientations},
+        )
+
+    def p3dr_compute(props, payloads):
+        params: dict[str, Any] = payloads["params"]
+        images: np.ndarray = payloads["images"]
+        orientations: np.ndarray = payloads["orients"]
+        subset = str(params.get("subset", "all"))
+        idx = _subset_indices(len(images), subset)
+        model = p3dr(
+            images[idx],
+            orientations[idx],
+            lowpass=params.get("lowpass", 0.7),
+        )
+        return (
+            {"model": {"Classification": "3D Model", "Stream": subset}},
+            {"model": model},
+        )
+
+    def por_compute(props, payloads):
+        params: dict[str, Any] = payloads["params"]
+        images: np.ndarray = payloads["images"]
+        orientations: np.ndarray = payloads["orients"]
+        model: np.ndarray = payloads["model"]
+        refined, scores = por(
+            images,
+            orientations,
+            model,
+            trials=int(params.get("trials", por_trials)),
+            magnitude=float(params.get("magnitude", 0.25)),
+            seed=int(params.get("seed", por_seed)),
+        )
+        return (
+            {
+                "orients": {
+                    "Classification": "Orientation File",
+                    "Refined": "true",
+                    "Mean Correlation": float(scores.mean()),
+                }
+            },
+            {"orients": refined},
+        )
+
+    def psf_compute(props, payloads):
+        params: dict[str, Any] = payloads["params"]
+        result = psf(
+            payloads["modelA"],
+            payloads["modelB"],
+            pixel_size=float(params.get("pixel_size", 2.0)),
+        )
+        return (
+            {
+                "resolution": {
+                    "Classification": "Resolution File",
+                    "Value": float(result["resolution"]),
+                }
+            },
+            {"resolution": result["fsc"]},
+        )
+
+    return [
+        EndUserService(
+            "POD",
+            work=40.0,
+            compute=pod_compute,
+            input_condition=CONDITIONS["C1"],
+            inputs=("params", "images"),
+            outputs=("orients",),
+        ),
+        EndUserService(
+            "P3DR",
+            work=25.0,
+            compute=p3dr_compute,
+            inputs=("params", "images", "orients"),
+            outputs=("model",),
+        ),
+        EndUserService(
+            "POR",
+            work=30.0,
+            compute=por_compute,
+            inputs=("params", "images", "orients", "model"),
+            outputs=("orients",),
+        ),
+        EndUserService(
+            "PSF",
+            work=10.0,
+            compute=psf_compute,
+            inputs=("params", "modelA", "modelB"),
+            outputs=("resolution",),
+        ),
+    ]
+
+
+def setup_virolab_case(
+    storage,
+    size: int = 24,
+    count: int = 40,
+    noise_sigma: float = 0.05,
+    seed: int = 0,
+    goal_resolution: float = 8.0,
+) -> dict[str, Any]:
+    """Stage a case in persistent storage; returns the coordination request
+    pieces plus the hidden ground truth (for scoring only).
+
+    Note the input conditions on the service definitions (C1) only check
+    classifications, which the initial-data properties carry, so the staged
+    case validates end to end.
+    """
+    phantom = make_phantom(size=size, seed=seed)
+    initial_model = make_initial_model(phantom, seed=seed + 1)
+    dataset: Dataset = make_dataset(
+        phantom, count=count, noise_sigma=noise_sigma, seed=seed + 2
+    )
+
+    payloads: dict[str, Any] = {
+        "D1": {"initial_model": initial_model, "directions": 128, "inplane": 12},
+        "D2": {"subset": "all"},
+        "D3": {"subset": "even"},
+        "D4": {"subset": "odd"},
+        "D5": {"trials": 10, "magnitude": 0.25, "seed": seed},
+        "D6": {"pixel_size": 2.0},
+        "D7": dataset.images,
+    }
+    payload_keys = {}
+    for name, payload in payloads.items():
+        key = f"case/{name}"
+        storage.put(key, payload)
+        payload_keys[name] = key
+
+    initial_data = {
+        name: {"Classification": DATA_CLASSIFICATIONS[name]}
+        for name in payloads
+    }
+    work = {"POD": 40.0, "P3DR": 25.0, "POR": 30.0, "PSF": 10.0}
+    return {
+        "initial_data": initial_data,
+        "payload_keys": payload_keys,
+        "work": work,
+        "goal_resolution": goal_resolution,
+        "phantom": phantom,
+        "dataset": dataset,
+        "initial_model": initial_model,
+    }
+
+
+def virolab_grid(
+    containers: int = 3,
+    failure_probability: float = 0.0,
+    planner_config: GPConfig | None = None,
+    planner_seed: int = 0,
+) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
+    """A Figure-1 environment whose containers host the real case-study
+    services."""
+    return standard_environment(
+        make_virolab_services(),
+        containers=containers,
+        failure_probability=failure_probability,
+        planner_config=planner_config,
+        planner_seed=planner_seed,
+    )

@@ -1,0 +1,381 @@
+"""The Section-4 case study as data: Figures 10, 11 and 13.
+
+This module encodes the 3D virus-reconstruction computation:
+
+* :func:`activity_specs` — the seven end-user activities (T) with the
+  Figure-13 data bindings as symbolic pre/postconditions;
+* :func:`planning_problem` — ``P = {Sinit, G, T}`` for the planner
+  experiment of Section 5;
+* :func:`process_description` — the Figure-10 graph (7 end-user + 6
+  flow-control activities, 15 transitions);
+* :func:`plan_tree` — the Figure-11 plan tree;
+* :func:`case_study_kb` — a knowledge base populated with the Figure-13
+  instances (Task, ProcessDescription, CaseDescription, Activities,
+  Transitions, Data, Services);
+* :data:`CONDITIONS` — the C1..C8 service conditions, and
+  :data:`CONS1` — the Cons1 iteration constraint.
+
+Data classifications follow Figure 13: D1..D6 are program parameter files,
+D7 the 2D image stack, D8 the orientation file, D9/D10/D11 3D models, D12
+the resolution file.  The loop constraint Cons1 ("if D10.Classification =
+'Resolution File' and D10.value > 8 then Merge else End") plainly refers to
+the PSF output; Figure 13's own data table says the resolution file is D12,
+so we read Cons1 over D12 and note the paper's typo here.
+"""
+
+from __future__ import annotations
+
+from repro.ontology import (
+    ACTIVITY,
+    CASE_DESCRIPTION,
+    DATA,
+    PROCESS_DESCRIPTION,
+    SERVICE,
+    TASK,
+    TRANSITION,
+    KnowledgeBase,
+    builtin_shell,
+)
+from repro.plan import PlanNode, concurrent, iterative, sequential
+from repro.planner import ActivitySpec, PlanningProblem
+from repro.process import (
+    Activity,
+    ActivityKind,
+    Atom,
+    Condition,
+    ProcessDescription,
+    Relation,
+    parse_condition,
+)
+
+__all__ = [
+    "DATA_CLASSIFICATIONS",
+    "INITIAL_DATA",
+    "CONDITIONS",
+    "CONS1",
+    "GOAL",
+    "activity_specs",
+    "planning_problem",
+    "process_description",
+    "plan_tree",
+    "case_study_kb",
+    "ACTIVITY_TABLE",
+    "TRANSITION_TABLE",
+]
+
+# -- Figure 13: the Data table ------------------------------------------------ #
+DATA_CLASSIFICATIONS: dict[str, str] = {
+    "D1": "POD-Parameter",
+    "D2": "P3DR-Parameter",
+    "D3": "P3DR-Parameter",
+    "D4": "P3DR-Parameter",
+    "D5": "POR-Parameter",
+    "D6": "PSF-Parameter",
+    "D7": "2D Image",
+    "D8": "Orientation File",
+    "D9": "3D Model",
+    "D10": "3D Model",
+    "D11": "3D Model",
+    "D12": "Resolution File",
+}
+
+#: D1..D7 are the user-provided initial data set of CD-3DSD.
+INITIAL_DATA: tuple[str, ...] = ("D1", "D2", "D3", "D4", "D5", "D6", "D7")
+
+_SIZES = {"D1": 3e3, "D7": 1.5e9}
+_CREATORS = {
+    "D8": "POD, POR",
+    "D9": "P3DR1, P3DR4",
+    "D10": "P3DR2",
+    "D11": "P3DR3",
+    "D12": "PSF",
+}
+_FORMATS = {name: "Text" for name in ("D1", "D2", "D3", "D4", "D5", "D6")}
+
+
+def _cls(data: str) -> Atom:
+    """``<data>.Classification = "<its Figure-13 classification>"``."""
+    return Atom(data, "Classification", Relation.EQ, DATA_CLASSIFICATIONS[data])
+
+
+# -- Figure 13: service conditions C1..C8 (bound to actual data names) -------- #
+CONDITIONS: dict[str, Condition] = {
+    # POD: inputs {D1 (POD-Parameter), D7 (2D Image)} -> D8 (Orientation File)
+    "C1": _cls("D1") & _cls("D7"),
+    "C2": _cls("D8"),
+    # P3DR: parameter + image + orientation -> 3D model
+    "C3": _cls("D2") & _cls("D7") & _cls("D8"),
+    "C4": _cls("D9"),
+    # POR: parameter + image + orientation + model -> refined orientation
+    "C5": _cls("D5") & _cls("D7") & _cls("D8") & _cls("D9"),
+    "C6": _cls("D8"),
+    # PSF: parameter + two 3D models -> resolution file
+    "C7": _cls("D6") & _cls("D10") & _cls("D11"),
+    "C8": _cls("D12"),
+}
+
+#: Cons1 (read over D12, the resolution file; see module docstring): the
+#: iteration continues (Merge) while the resolution is still coarser than
+#: 8 angstroms, and ends otherwise.
+CONS1: Condition = parse_condition('D12.Classification = "Resolution File" and D12.Value > 8')
+
+#: The case description's goal: the result set {D12} materialized as a
+#: resolution file.
+GOAL: tuple[Condition, ...] = (_cls("D12"),)
+
+
+# -- Figure 13: the Activity table -------------------------------------------- #
+#: (ID, Name, Type, Service, inputs, outputs, constraint)
+ACTIVITY_TABLE: tuple[tuple[str, str, str, str | None, tuple[str, ...], tuple[str, ...], str | None], ...] = (
+    ("A1", "BEGIN", "Begin", None, (), (), None),
+    ("A2", "POD", "End-user", "POD", ("D1", "D7"), ("D8",), None),
+    ("A3", "P3DR1", "End-user", "P3DR", ("D2", "D7", "D8"), ("D9",), None),
+    ("A4", "MERGE", "Merge", None, (), (), None),
+    ("A5", "POR", "End-user", "POR", ("D5", "D7", "D8", "D9"), ("D8",), None),
+    ("A6", "FORK", "Fork", None, (), (), None),
+    ("A7", "P3DR2", "End-user", "P3DR", ("D3", "D7", "D8"), ("D10",), None),
+    ("A8", "P3DR3", "End-user", "P3DR", ("D4", "D7", "D8"), ("D11",), None),
+    ("A9", "P3DR4", "End-user", "P3DR", ("D2", "D7", "D8"), ("D9",), None),
+    ("A10", "JOIN", "Join", None, (), (), None),
+    # Figure 13's activity table lists PSF inputs as {D10, D11}, but its own
+    # service table (condition C7) requires the PSF-Parameter D6 as well; we
+    # follow C7 and note the paper's inconsistency.
+    ("A11", "PSF", "End-user", "PSF", ("D6", "D10", "D11"), ("D12",), "Cons1"),
+    ("A12", "CHOICE", "Choice", None, (), (), None),
+    ("A13", "END", "End", None, (), (), None),
+)
+
+#: Figure 13's Transition table: TR1..TR15.
+TRANSITION_TABLE: tuple[tuple[str, str, str], ...] = (
+    ("TR1", "BEGIN", "POD"),
+    ("TR2", "POD", "P3DR1"),
+    ("TR3", "P3DR1", "MERGE"),
+    ("TR4", "MERGE", "POR"),
+    ("TR5", "POR", "FORK"),
+    ("TR6", "FORK", "P3DR2"),
+    ("TR7", "FORK", "P3DR3"),
+    ("TR8", "FORK", "P3DR4"),
+    ("TR9", "P3DR2", "JOIN"),
+    ("TR10", "P3DR3", "JOIN"),
+    ("TR11", "P3DR4", "JOIN"),
+    ("TR12", "JOIN", "PSF"),
+    ("TR13", "PSF", "CHOICE"),
+    ("TR14", "CHOICE", "MERGE"),
+    ("TR15", "CHOICE", "END"),
+)
+
+_KIND = {
+    "Begin": ActivityKind.BEGIN,
+    "End": ActivityKind.END,
+    "End-user": ActivityKind.END_USER,
+    "Fork": ActivityKind.FORK,
+    "Join": ActivityKind.JOIN,
+    "Choice": ActivityKind.CHOICE,
+    "Merge": ActivityKind.MERGE,
+}
+
+
+def activity_specs() -> dict[str, ActivitySpec]:
+    """The activity set T: seven end-user activities with symbolic
+    pre/postconditions derived from C1..C8 and the Figure-13 bindings."""
+    model = {"Classification": "3D Model"}
+    specs = [
+        ActivitySpec(
+            "POD",
+            precondition=CONDITIONS["C1"],
+            effects={"D8": {"Classification": "Orientation File"}},
+            service="POD",
+            inputs=("D1", "D7"),
+            outputs=("D8",),
+        ),
+        ActivitySpec(
+            "P3DR1",
+            precondition=CONDITIONS["C3"],
+            effects={"D9": dict(model)},
+            service="P3DR",
+            inputs=("D2", "D7", "D8"),
+            outputs=("D9",),
+        ),
+        ActivitySpec(
+            "POR",
+            precondition=CONDITIONS["C5"],
+            effects={"D8": {"Classification": "Orientation File", "Refined": "true"}},
+            service="POR",
+            inputs=("D5", "D7", "D8", "D9"),
+            outputs=("D8",),
+        ),
+        ActivitySpec(
+            "P3DR2",
+            precondition=_cls("D3") & _cls("D7") & _cls("D8"),
+            effects={"D10": dict(model)},
+            service="P3DR",
+            inputs=("D3", "D7", "D8"),
+            outputs=("D10",),
+        ),
+        ActivitySpec(
+            "P3DR3",
+            precondition=_cls("D4") & _cls("D7") & _cls("D8"),
+            effects={"D11": dict(model)},
+            service="P3DR",
+            inputs=("D4", "D7", "D8"),
+            outputs=("D11",),
+        ),
+        ActivitySpec(
+            "P3DR4",
+            precondition=CONDITIONS["C3"],
+            effects={"D9": dict(model)},
+            service="P3DR",
+            inputs=("D2", "D7", "D8"),
+            outputs=("D9",),
+        ),
+        ActivitySpec(
+            "PSF",
+            precondition=CONDITIONS["C7"],
+            effects={"D12": {"Classification": "Resolution File", "Value": 7.5}},
+            service="PSF",
+            inputs=("D6", "D10", "D11"),
+            outputs=("D12",),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def planning_problem(name: str = "3DSD") -> PlanningProblem:
+    """The Section-5 experiment's planning problem."""
+    initial = {
+        data: {"Classification": DATA_CLASSIFICATIONS[data]}
+        for data in INITIAL_DATA
+    }
+    return PlanningProblem.build(name, initial, GOAL, list(activity_specs().values()))
+
+
+def process_description(name: str = "PD-3DSD") -> ProcessDescription:
+    """The Figure-10 process description, built from the Figure-13 tables."""
+    pd = ProcessDescription(name)
+    for _, act_name, type_name, service, inputs, outputs, constraint in ACTIVITY_TABLE:
+        pd.add_activity(
+            Activity(
+                act_name,
+                _KIND[type_name],
+                service,
+                inputs,
+                outputs,
+                constraint,
+            )
+        )
+    for tr_id, source, destination in TRANSITION_TABLE:
+        condition = None
+        if tr_id == "TR14":  # CHOICE -> MERGE: keep refining
+            condition = CONS1
+        pd.connect(source, destination, condition=condition, id=tr_id)
+    return pd
+
+
+def plan_tree() -> PlanNode:
+    """The Figure-11 plan tree."""
+    return sequential(
+        "POD",
+        "P3DR1",
+        iterative("POR", concurrent("P3DR2", "P3DR3", "P3DR4"), "PSF"),
+    )
+
+
+def case_study_kb() -> KnowledgeBase:
+    """A knowledge base populated with the Figure-13 instances."""
+    kb = builtin_shell("3DSD-ontology")
+
+    for data_name in DATA_CLASSIFICATIONS:
+        values = {
+            "Name": data_name,
+            "Classification": DATA_CLASSIFICATIONS[data_name],
+        }
+        if data_name in INITIAL_DATA:
+            values["Creator"] = "User"
+        if data_name in _CREATORS:
+            values["Creator"] = _CREATORS[data_name]
+        if data_name in _SIZES:
+            values["Size"] = _SIZES[data_name]
+        if data_name in _FORMATS:
+            values["Format"] = _FORMATS[data_name]
+        kb.new_instance(DATA, values, id=data_name)
+
+    services = {
+        "POD": ("C1", "C2", ("D1", "D7"), ("D8",)),
+        "P3DR": ("C3", "C4", ("D2", "D7", "D8"), ("D9",)),
+        "POR": ("C5", "C6", ("D5", "D7", "D8", "D9"), ("D8",)),
+        "PSF": ("C7", "C8", ("D6", "D10", "D11"), ("D12",)),
+    }
+    for svc_name, (cin, cout, ins, outs) in services.items():
+        kb.new_instance(
+            SERVICE,
+            {
+                "Name": svc_name,
+                "Type": "End-user",
+                "Input Condition": cin,
+                "Output Condition": cout,
+                "Input Data Set": list(ins),
+                "Output Data Set": list(outs),
+            },
+            id=f"SVC-{svc_name}",
+        )
+
+    for act_id, act_name, type_name, service, inputs, outputs, constraint in ACTIVITY_TABLE:
+        values = {
+            "ID": act_id,
+            "Name": act_name,
+            "Task ID": "T1",
+            "Type": type_name,
+        }
+        if service:
+            values["Service Name"] = service
+        if inputs:
+            values["Input Data Set"] = list(inputs)
+        if outputs:
+            values["Output Data Set"] = list(outputs)
+        if constraint:
+            values["Constraint"] = constraint
+        kb.new_instance(ACTIVITY, values, id=act_id)
+
+    for tr_id, source, destination in TRANSITION_TABLE:
+        kb.new_instance(
+            TRANSITION,
+            {"ID": tr_id, "Source Activity": source, "Destination Activity": destination},
+            id=tr_id,
+        )
+
+    pd_inst = kb.new_instance(
+        PROCESS_DESCRIPTION,
+        {
+            "ID": "PD-3DSD",
+            "Name": "PD-3DSD",
+            "Activity Set": [row[0] for row in ACTIVITY_TABLE],
+            "Transition Set": [row[0] for row in TRANSITION_TABLE],
+        },
+        id="PD-3DSD",
+    )
+    cd_inst = kb.new_instance(
+        CASE_DESCRIPTION,
+        {
+            "ID": "CD-3DSD",
+            "Name": "CD-3DSD",
+            "Initial Data Set": list(INITIAL_DATA),
+            "Result Set": ["D12"],
+            "Constraint": "Cons1",
+            "Goal Condition": str(GOAL[0]),
+            "Goal": "Result Set {D12}",
+        },
+        id="CD-3DSD",
+    )
+    kb.new_instance(
+        TASK,
+        {
+            "ID": "T1",
+            "Name": "3DSD",
+            "Owner": "UCF",
+            "Process Description": pd_inst.id,
+            "Case Description": cd_inst.id,
+        },
+        id="T1",
+    )
+    kb.validate_all()
+    return kb

@@ -1,0 +1,17 @@
+"""Workload generators: synthetic planning problems and failure scenarios."""
+
+from repro.workloads.synthetic import (
+    chain_problem,
+    choice_problem,
+    diamond_problem,
+    distractor_problem,
+    random_problem,
+)
+
+__all__ = [
+    "chain_problem",
+    "diamond_problem",
+    "choice_problem",
+    "distractor_problem",
+    "random_problem",
+]

@@ -1,0 +1,177 @@
+"""Synthetic planning problems for tests, ablations and baselines.
+
+Families:
+
+* :func:`chain_problem` — a strict pipeline: activity ``a_i`` consumes
+  ``d_{i-1}``, produces ``d_i``; the only valid plans are orderings of the
+  chain.  Hard for random search (ordering must be exactly right), easy
+  for forward search.
+* :func:`diamond_problem` — one producer fans out to *width* independent
+  middle activities whose outputs a final activity joins.  Concurrent
+  plans earn the same fitness in fewer sequential steps — the concurrency
+  motif of Figure 5.
+* :func:`choice_problem` — two alternative routes to the goal with
+  distinct intermediates; either works (the Figure-6 motif).
+* :func:`distractor_problem` — a solvable core plus activities that are
+  never applicable or produce junk; tests that fitness pressure weeds
+  them out.
+* :func:`random_problem` — a random layered dependency DAG, the general
+  case for property tests and scaling sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.errors import PlanningError
+from repro.planner.problem import ActivitySpec, PlanningProblem
+from repro.process.conditions import And, Atom, Relation
+
+__all__ = [
+    "chain_problem",
+    "diamond_problem",
+    "choice_problem",
+    "distractor_problem",
+    "random_problem",
+]
+
+
+def _has(data: str) -> Atom:
+    """The convention used across synthetic problems: a data item exists
+    once its Status property is "ready"."""
+    return Atom(data, "Status", Relation.EQ, "ready")
+
+
+def _ready(*names: str) -> dict[str, dict]:
+    return {name: {"Status": "ready"} for name in names}
+
+
+def chain_problem(length: int = 5, name: str | None = None) -> PlanningProblem:
+    if length < 1:
+        raise PlanningError("chain needs length >= 1")
+    activities = [
+        ActivitySpec(
+            f"a{i}",
+            precondition=_has(f"d{i - 1}"),
+            effects=_ready(f"d{i}"),
+        )
+        for i in range(1, length + 1)
+    ]
+    return PlanningProblem.build(
+        name or f"chain-{length}",
+        _ready("d0"),
+        (_has(f"d{length}"),),
+        activities,
+    )
+
+
+def diamond_problem(width: int = 3, name: str | None = None) -> PlanningProblem:
+    if width < 2:
+        raise PlanningError("diamond needs width >= 2")
+    produce = ActivitySpec("produce", precondition=_has("src"), effects=_ready("base"))
+    middles = [
+        ActivitySpec(
+            f"mid{i}", precondition=_has("base"), effects=_ready(f"part{i}")
+        )
+        for i in range(1, width + 1)
+    ]
+    join = ActivitySpec(
+        "join",
+        precondition=And(tuple(_has(f"part{i}") for i in range(1, width + 1))),
+        effects=_ready("result"),
+    )
+    return PlanningProblem.build(
+        name or f"diamond-{width}",
+        _ready("src"),
+        (_has("result"),),
+        [produce, *middles, join],
+    )
+
+
+def choice_problem(name: str = "choice") -> PlanningProblem:
+    """Two disjoint routes: src -> (left1; left2) or (right1; right2) -> goal."""
+    activities = [
+        ActivitySpec("left1", precondition=_has("src"), effects=_ready("l1")),
+        ActivitySpec("left2", precondition=_has("l1"), effects=_ready("goal")),
+        ActivitySpec("right1", precondition=_has("src"), effects=_ready("r1")),
+        ActivitySpec("right2", precondition=_has("r1"), effects=_ready("goal")),
+    ]
+    return PlanningProblem.build(name, _ready("src"), (_has("goal"),), activities)
+
+
+def distractor_problem(
+    core_length: int = 3,
+    distractors: int = 5,
+    name: str | None = None,
+) -> PlanningProblem:
+    """A chain core plus *distractors* activities that can never run
+    (preconditions over data that nothing produces)."""
+    core = chain_problem(core_length)
+    activities = list(core.activities.values())
+    for i in range(distractors):
+        activities.append(
+            ActivitySpec(
+                f"junk{i}",
+                precondition=_has(f"never{i}"),
+                effects=_ready(f"junk-out{i}"),
+            )
+        )
+    return PlanningProblem.build(
+        name or f"distractor-{core_length}x{distractors}",
+        _ready("d0"),
+        (_has(f"d{core_length}"),),
+        activities,
+    )
+
+
+def random_problem(
+    n_activities: int = 10,
+    n_layers: int = 3,
+    seed: int | np.random.Generator | None = 0,
+    name: str | None = None,
+) -> PlanningProblem:
+    """A random layered dependency DAG.
+
+    Data items are organized in ``n_layers + 1`` layers; each activity
+    consumes 1-2 items from its input layer and produces one item in the
+    next layer.  The goal asks for one item of the last layer that is
+    guaranteed producible.  Always solvable.
+    """
+    if n_activities < n_layers:
+        raise PlanningError("need at least one activity per layer")
+    rng = as_rng(seed)
+    layers: list[list[str]] = [[f"L0x{i}" for i in range(2)]]
+    activities: list[ActivitySpec] = []
+    per_layer = max(1, n_activities // n_layers)
+    counter = 0
+    for layer_idx in range(1, n_layers + 1):
+        produced: list[str] = []
+        count = per_layer if layer_idx < n_layers else n_activities - counter
+        for _ in range(max(1, count)):
+            sources = layers[layer_idx - 1]
+            k = int(rng.integers(1, min(2, len(sources)) + 1))
+            chosen = list(rng.choice(sources, size=k, replace=False))
+            out = f"L{layer_idx}x{len(produced)}"
+            pre = (
+                _has(chosen[0])
+                if len(chosen) == 1
+                else And(tuple(_has(c) for c in chosen))
+            )
+            activities.append(
+                ActivitySpec(f"act{counter}", precondition=pre, effects=_ready(out))
+            )
+            produced.append(out)
+            counter += 1
+            if counter >= n_activities:
+                break
+        layers.append(produced or [layers[layer_idx - 1][0]])
+        if counter >= n_activities:
+            break
+    goal_item = layers[-1][0]
+    return PlanningProblem.build(
+        name or f"random-{n_activities}",
+        _ready(*layers[0]),
+        (_has(goal_item),),
+        activities,
+    )

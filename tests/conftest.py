@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.planner import GPConfig
+from repro.virolab import planning_problem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def case_problem():
+    """The Section-5 case-study planning problem."""
+    return planning_problem()
+
+
+@pytest.fixture
+def small_gp_config():
+    """A fast GP configuration for tests (not the Table-1 settings)."""
+    return GPConfig(population_size=30, generations=5)

@@ -1,0 +1,38 @@
+"""Extension ablation drivers (fast configurations)."""
+
+import pytest
+
+from repro.experiments import checkpoint_value, scalability_sweep, transfer_tradeoff
+
+
+def test_transfer_tradeoff_single_crossover():
+    table = transfer_tradeoff(bandwidths_mbps=(1.0, 100.0, 10000.0))
+    winners = table.column("winner")
+    assert winners[0] == "compressed"
+    assert winners[-1] == "plain"
+
+
+def test_transfer_times_positive_and_monotone():
+    table = transfer_tradeoff(bandwidths_mbps=(1.0, 10.0, 100.0))
+    plains = table.column("plain (s)")
+    assert all(t > 0 for t in plains)
+    assert plains == sorted(plains, reverse=True)
+
+
+def test_checkpoint_value_overhead_bounded():
+    table = checkpoint_value(failure_rates=(0.0,), seeds=range(2))
+    rate, plain, ckpt, speedup = table.rows[0]
+    assert ckpt <= plain * 1.10
+
+
+def test_checkpoint_value_wins_under_failures():
+    table = checkpoint_value(failure_rates=(0.8,), seeds=range(2))
+    rate, plain, ckpt, speedup = table.rows[0]
+    assert speedup > 1.2
+
+
+def test_scalability_speedup_then_plateau():
+    table = scalability_sweep(fleet_sizes=(1, 3))
+    makespans = dict(zip(table.column("containers"), table.column("makespan (s)")))
+    assert makespans[3] < makespans[1]
+    assert makespans[3] == pytest.approx(175.0, rel=0.1)

@@ -1,0 +1,82 @@
+"""Messages and mailboxes."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid import Mailbox, Message, Performative
+from repro.sim import Engine
+
+
+def msg(**kwargs):
+    defaults = dict(
+        sender="a",
+        receiver="b",
+        performative=Performative.REQUEST,
+        action="do",
+    )
+    defaults.update(kwargs)
+    return Message(**defaults)
+
+
+class TestMessage:
+    def test_conversation_ids_unique(self):
+        assert msg().conversation != msg().conversation
+
+    def test_reply_swaps_endpoints_keeps_conversation(self):
+        original = msg()
+        reply = original.reply(Performative.INFORM, {"x": 1})
+        assert reply.sender == "b" and reply.receiver == "a"
+        assert reply.conversation == original.conversation
+        assert reply.action == original.action
+        assert reply.content == {"x": 1}
+
+    def test_is_error(self):
+        assert msg(performative=Performative.FAILURE).is_error
+        assert msg(performative=Performative.REFUSE).is_error
+        assert not msg(performative=Performative.INFORM).is_error
+
+
+class TestMailbox:
+    def test_queue_then_receive(self):
+        engine = Engine()
+        box = Mailbox(engine, "me")
+        box.deliver(msg(action="first"))
+        box.deliver(msg(action="second"))
+        got = []
+
+        def reader():
+            a = yield box.receive()
+            b = yield box.receive()
+            got.extend([a.action, b.action])
+
+        engine.spawn(reader(), "r")
+        engine.run()
+        assert got == ["first", "second"]
+
+    def test_receive_then_deliver(self):
+        engine = Engine()
+        box = Mailbox(engine, "me")
+        got = []
+
+        def reader():
+            m = yield box.receive()
+            got.append((m.action, engine.now))
+
+        engine.spawn(reader(), "r")
+        engine.schedule(5.0, box.deliver, msg(action="late"))
+        engine.run()
+        assert got == [("late", 5.0)]
+
+    def test_double_receiver_rejected(self):
+        engine = Engine()
+        box = Mailbox(engine, "me")
+        box.receive()
+        with pytest.raises(GridError):
+            box.receive()
+
+    def test_len(self):
+        engine = Engine()
+        box = Mailbox(engine, "me")
+        assert len(box) == 0
+        box.deliver(msg())
+        assert len(box) == 1

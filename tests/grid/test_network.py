@@ -1,0 +1,58 @@
+"""Network model: link profiles and delays."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid import LinkProfile, Network
+
+
+class TestLinkProfile:
+    def test_delay_formula(self):
+        link = LinkProfile(latency=0.01, bandwidth=1e6)
+        assert link.delay(1e6) == pytest.approx(0.01 + 1.0)
+
+    def test_invalid_values(self):
+        with pytest.raises(GridError):
+            LinkProfile(latency=-1, bandwidth=1)
+        with pytest.raises(GridError):
+            LinkProfile(latency=0, bandwidth=0)
+
+
+class TestNetwork:
+    def test_loopback_fast(self):
+        net = Network()
+        assert net.delay("a", "a", 1e9) < 0.01
+
+    def test_default_wan_for_unknown_pairs(self):
+        net = Network()
+        assert net.delay("x", "y", 0.0) == pytest.approx(0.05)
+
+    def test_explicit_link_symmetric(self):
+        net = Network()
+        net.connect("a", "b", LinkProfile(0.001, 1e9))
+        assert net.delay("a", "b", 1000) == net.delay("b", "a", 1000)
+        assert net.delay("a", "b", 1000) < net.delay("a", "c", 1000)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(GridError):
+            Network().connect("a", "a", LinkProfile(0.1, 1.0))
+
+    def test_sites_tracked(self):
+        net = Network()
+        net.connect("a", "b", LinkProfile(0.1, 1.0))
+        net.add_site("c")
+        assert net.sites == ("a", "b", "c")
+
+    def test_slow_cluster_is_poor_for_fine_grain(self):
+        """The Section-1 observation: high latency + low bandwidth makes a
+        site a poor choice for fine-grain (many small messages) work."""
+        net = Network()
+        net.connect("user", "goodcluster", LinkProfile(0.0001, 10e9))
+        net.connect("user", "badcluster", LinkProfile(0.1, 1e6))
+        small_messages = sum(
+            net.delay("user", "goodcluster", 1_000) for _ in range(100)
+        )
+        small_messages_bad = sum(
+            net.delay("user", "badcluster", 1_000) for _ in range(100)
+        )
+        assert small_messages_bad > 100 * small_messages

@@ -1,0 +1,184 @@
+"""Advance reservations: the ledger and the scheduling-service RPC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.grid.reservations import ReservationLedger
+
+
+class TestLedger:
+    def test_book_and_get(self):
+        ledger = ReservationLedger(capacity=2)
+        r = ledger.book("alice", start=10.0, duration=5.0)
+        assert ledger.get(r.token) is r
+        assert r.end == 15.0
+        assert len(ledger) == 1
+
+    def test_capacity_enforced(self):
+        ledger = ReservationLedger(capacity=1)
+        ledger.book("a", 0.0, 10.0)
+        with pytest.raises(SchedulingError):
+            ledger.book("b", 5.0, 10.0)
+        # Non-overlapping window is fine.
+        ledger.book("b", 10.0, 10.0)
+
+    def test_adjacent_windows_do_not_conflict(self):
+        ledger = ReservationLedger(capacity=1)
+        ledger.book("a", 0.0, 10.0)
+        ledger.book("b", 10.0, 5.0)  # starts exactly at a's end
+
+    def test_peak_overlap_detection(self):
+        # Two capacity, three bookings staggered so a peak of 2 exists in
+        # the middle: a third overlapping booking must be rejected.
+        ledger = ReservationLedger(capacity=2)
+        ledger.book("a", 0.0, 10.0)
+        ledger.book("b", 5.0, 10.0)
+        with pytest.raises(SchedulingError):
+            ledger.book("c", 6.0, 2.0)
+        ledger.book("c", 10.0, 2.0)
+
+    def test_cancel_frees_capacity(self):
+        ledger = ReservationLedger(capacity=1)
+        r = ledger.book("a", 0.0, 10.0)
+        assert ledger.cancel(r.token)
+        assert not ledger.cancel(r.token)
+        ledger.book("b", 0.0, 10.0)
+
+    def test_quote_uses_premium(self):
+        ledger = ReservationLedger(capacity=1, cost_rate=2.0)
+        assert ledger.quote(10.0) == pytest.approx(1.5 * 2.0 * 10.0)
+
+    def test_holder_bookings_sorted(self):
+        ledger = ReservationLedger(capacity=3)
+        ledger.book("a", 20.0, 1.0)
+        ledger.book("a", 5.0, 1.0)
+        ledger.book("b", 0.0, 1.0)
+        assert [r.start for r in ledger.holder_bookings("a")] == [5.0, 20.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            ReservationLedger(capacity=0)
+        ledger = ReservationLedger(capacity=1)
+        with pytest.raises(SchedulingError):
+            ledger.quote(0.0)
+        with pytest.raises(SchedulingError):
+            ledger.available(5.0, 5.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.1, 20)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_never_exceeds_capacity(self, requests, capacity):
+        ledger = ReservationLedger(capacity=capacity)
+        booked = []
+        for start, duration in requests:
+            try:
+                booked.append(ledger.book("h", start, duration))
+            except SchedulingError:
+                pass
+        # Invariant: at every booking edge, active count <= capacity.
+        for probe in booked:
+            active = sum(1 for r in booked if r.active_at(probe.start))
+            assert active <= capacity
+
+
+class TestSchedulingServiceReservations:
+    @pytest.fixture
+    def grid(self):
+        from repro.planner import GPConfig
+        from repro.services import standard_environment
+        from tests.services.conftest import synthetic_services
+
+        return standard_environment(
+            synthetic_services(),
+            containers=2,
+            reservable=True,
+            planner_config=GPConfig(population_size=20, generations=3),
+        )
+
+    def test_quote_and_book(self, grid):
+        from tests.services.conftest import drive
+
+        env, services, fleet = grid
+        user = services.coordination
+        quote = drive(
+            env, user,
+            lambda: user.call("scheduling", "quote-reservation",
+                              {"container": "ac1", "duration": 100.0}),
+        )
+        assert quote["supported"] and quote["cost"] > 0
+        booking = drive(
+            env, user,
+            lambda: user.call("scheduling", "reserve",
+                              {"container": "ac1", "start": 50.0,
+                               "duration": 100.0}),
+        )
+        assert booking["cost"] == pytest.approx(quote["cost"])
+        assert env.node("node1").reservations.get(booking["token"]) is not None
+
+    def test_unsupported_node(self):
+        from repro.errors import ServiceError
+        from repro.planner import GPConfig
+        from repro.services import standard_environment
+        from tests.services.conftest import drive, synthetic_services
+
+        env, services, fleet = standard_environment(
+            synthetic_services(), containers=1, reservable=False,
+            planner_config=GPConfig(population_size=20, generations=3),
+        )
+        user = services.coordination
+        quote = drive(
+            env, user,
+            lambda: user.call("scheduling", "quote-reservation",
+                              {"container": "ac1", "duration": 10.0}),
+        )
+        assert quote == {"supported": False}
+        with pytest.raises(ServiceError):
+            drive(
+                env, user,
+                lambda: user.call("scheduling", "reserve",
+                                  {"container": "ac1", "start": 0.0,
+                                   "duration": 10.0}),
+            )
+
+    def test_overbooking_rejected_and_cancel_recovers(self, grid):
+        from repro.errors import ServiceError
+        from tests.services.conftest import drive
+
+        env, services, fleet = grid
+        user = services.coordination
+        tokens = []
+        for _ in range(4):  # node1 has 4 slots
+            booking = drive(
+                env, user,
+                lambda: user.call("scheduling", "reserve",
+                                  {"container": "ac1", "start": 0.0,
+                                   "duration": 50.0}),
+            )
+            tokens.append(booking["token"])
+        with pytest.raises(ServiceError):
+            drive(
+                env, user,
+                lambda: user.call("scheduling", "reserve",
+                                  {"container": "ac1", "start": 10.0,
+                                   "duration": 10.0}),
+            )
+        cancelled = drive(
+            env, user,
+            lambda: user.call("scheduling", "cancel-reservation",
+                              {"container": "ac1", "token": tokens[0]}),
+        )
+        assert cancelled["cancelled"]
+        drive(
+            env, user,
+            lambda: user.call("scheduling", "reserve",
+                              {"container": "ac1", "start": 10.0,
+                               "duration": 10.0}),
+        )

@@ -1,0 +1,144 @@
+"""The metainformation bridge: enactment artifacts <-> frame instances."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology import builtin_shell
+from repro.ontology_bridge import (
+    case_from_kb,
+    kb_from_process,
+    process_from_kb,
+    task_request_from_kb,
+)
+from repro.plan import normalize, process_to_tree
+from repro.process import validate_process
+from repro.virolab import CONS1, case_study_kb, plan_tree, process_description
+
+
+@pytest.fixture
+def kb():
+    return case_study_kb()
+
+
+CONSTRAINTS = {"Cons1": CONS1}
+
+
+class TestProcessFromKb:
+    def test_reconstructs_figure10(self, kb):
+        pd = process_from_kb(kb, "PD-3DSD", CONSTRAINTS)
+        validate_process(pd)
+        assert len(pd.end_user_activities()) == 7
+        assert len(pd.transitions) == 15
+
+    def test_recovered_tree_is_figure11(self, kb):
+        pd = process_from_kb(kb, "PD-3DSD", CONSTRAINTS)
+        assert normalize(process_to_tree(pd)) == normalize(plan_tree())
+
+    def test_constraint_attached_to_loop_arc(self, kb):
+        pd = process_from_kb(kb, "PD-3DSD", CONSTRAINTS)
+        assert pd.transition_between("CHOICE", "MERGE").condition is CONS1
+        assert pd.transition_between("CHOICE", "END").condition is None
+
+    def test_service_bindings_preserved(self, kb):
+        pd = process_from_kb(kb, "PD-3DSD", CONSTRAINTS)
+        assert pd.activity("P3DR4").service == "P3DR"
+        assert pd.activity("POD").inputs == ("D1", "D7")
+
+    def test_missing_constraint_registry_rejected(self, kb):
+        with pytest.raises(OntologyError):
+            process_from_kb(kb, "PD-3DSD", {})
+
+    def test_wrong_class_rejected(self, kb):
+        with pytest.raises(OntologyError):
+            process_from_kb(kb, "T1", CONSTRAINTS)
+
+
+class TestCaseFromKb:
+    def test_initial_data_properties(self, kb):
+        case = case_from_kb(kb, "CD-3DSD")
+        assert set(case["initial_data"]) == {
+            "D1", "D2", "D3", "D4", "D5", "D6", "D7",
+        }
+        assert case["initial_data"]["D7"]["Classification"] == "2D Image"
+        assert case["result_set"] == ["D12"]
+        assert case["constraint"] == "Cons1"
+
+    def test_wrong_class_rejected(self, kb):
+        with pytest.raises(OntologyError):
+            case_from_kb(kb, "T1")
+
+
+class TestTaskRequest:
+    def test_full_request(self, kb):
+        request = task_request_from_kb(kb, "T1", CONSTRAINTS)
+        assert request["task"] == "3DSD"
+        assert "process" in request
+        assert request["initial_data"]["D1"]["Classification"] == "POD-Parameter"
+
+    def test_need_planning_omits_process(self, kb):
+        task = kb.get_instance("T1")
+        task.set("Need Planning", True)
+        request = task_request_from_kb(kb, "T1", CONSTRAINTS)
+        assert "process" not in request
+
+    def test_no_process_no_flag_rejected(self, kb):
+        task = kb.get_instance("T1")
+        task.set("Process Description", None)
+        task.values.pop("Process Description")
+        with pytest.raises(OntologyError):
+            task_request_from_kb(kb, "T1", CONSTRAINTS)
+
+
+class TestKbFromProcess:
+    def test_archive_round_trip(self, kb):
+        pd = process_description("archived")
+        inst = kb_from_process(kb, pd, creator="unit-test")
+        assert inst.get("Creator") == "unit-test"
+        restored = process_from_kb(kb, inst.id, CONSTRAINTS)
+        validate_process(restored)
+        assert normalize(process_to_tree(restored)) == normalize(plan_tree())
+
+    def test_archive_into_fresh_shell(self):
+        shell = builtin_shell()
+        pd = process_description()
+        inst = kb_from_process(shell, pd)
+        assert len(shell.instances_of("Activity")) == 13
+        assert len(shell.instances_of("Transition")) == 15
+
+    def test_predecessor_successor_sets_recorded(self, kb):
+        shell = builtin_shell()
+        kb_from_process(shell, process_description())
+        psf = shell.find_one("Activity", Name="PSF")
+        assert psf.get("Direct Predecessor Set") == ["JOIN"]
+        assert psf.get("Direct Successor Set") == ["CHOICE"]
+
+    def test_multiple_archives_no_collision(self, kb):
+        shell = builtin_shell()
+        kb_from_process(shell, process_description("plan-a"), id_prefix="a")
+        kb_from_process(shell, process_description("plan-b"), id_prefix="b")
+        assert len(shell.instances_of("ProcessDescription")) == 2
+
+
+class TestEnactmentFromInstances:
+    def test_kb_driven_enactment(self):
+        """The Figure-13 caption claim: the instances drive the execution."""
+        from repro.planner import GPConfig
+        from repro.services import standard_environment
+        from tests.services.conftest import drive, synthetic_services
+
+        env, services, fleet = standard_environment(
+            synthetic_services(),
+            containers=2,
+            planner_config=GPConfig(population_size=20, generations=3),
+        )
+        kb = case_study_kb()
+        request = task_request_from_kb(kb, "T1", CONSTRAINTS)
+        result = drive(
+            env,
+            services.coordination,
+            lambda: services.coordination.call(
+                "coordination", "execute-task", request
+            ),
+        )
+        assert result["status"] == "completed"
+        assert result["data"]["D12"]["Classification"] == "Resolution File"

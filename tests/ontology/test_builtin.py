@@ -1,0 +1,70 @@
+"""The Figure-12 schema: class census and slot spot-checks."""
+
+import pytest
+
+from repro.ontology import BUILTIN_CLASS_NAMES, builtin_shell
+
+
+@pytest.fixture(scope="module")
+def shell():
+    return builtin_shell()
+
+
+def test_ten_classes(shell):
+    assert len(BUILTIN_CLASS_NAMES) == 10
+    assert set(shell.class_names) == set(BUILTIN_CLASS_NAMES)
+
+
+@pytest.mark.parametrize(
+    "cls,expected_slots",
+    [
+        ("Task", {"ID", "Name", "Owner", "Submit Location", "Status",
+                  "Data Set", "Result Set", "Case Description",
+                  "Process Description", "Need Planning"}),
+        ("Transition", {"ID", "Source Activity", "Destination Activity"}),
+        ("Hardware", {"Type", "Speed", "Size", "Bandwidth", "Latency",
+                      "Manufacturer", "Model", "Comment"}),
+        ("Software", {"Name", "Type", "Manufacturer", "Version", "Distribution"}),
+    ],
+)
+def test_figure12_slots_verbatim(shell, cls, expected_slots):
+    assert set(shell.slots_of(cls)) == expected_slots
+
+
+def test_activity_has_figure12_slots(shell):
+    slots = set(shell.slots_of("Activity"))
+    for expected in (
+        "ID", "Name", "Task ID", "Owner", "Service Name", "Type",
+        "Execution Location", "Input Data Set", "Output Data Set",
+        "Input Data Order", "Output Data Order", "Status", "Constraint",
+        "Work Directory", "Direct Predecessor Set", "Direct Successor Set",
+        "Retry Count", "Dispatched By",
+    ):
+        assert expected in slots
+
+
+def test_data_has_classification_slot(shell):
+    assert "Classification" in shell.slots_of("Data")
+
+
+def test_resource_references_hardware_and_software(shell):
+    hardware = shell.slot_of("Resource", "Hardware")
+    assert hardware.allowed_classes == frozenset({"Hardware"})
+    software = shell.slot_of("Resource", "Software")
+    assert software.allowed_classes == frozenset({"Software"})
+
+
+def test_task_references(shell):
+    assert shell.slot_of("Task", "Process Description").allowed_classes == frozenset(
+        {"ProcessDescription"}
+    )
+    assert shell.slot_of("Task", "Case Description").allowed_classes == frozenset(
+        {"CaseDescription"}
+    )
+
+
+def test_shell_is_fresh_each_call():
+    a = builtin_shell()
+    b = builtin_shell()
+    a.new_instance("Data", {"Name": "D1"})
+    assert len(b) == 0

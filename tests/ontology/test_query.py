@@ -1,0 +1,111 @@
+"""Tests for declarative queries and equivalence classes."""
+
+import pytest
+
+from repro.ontology import (
+    HARDWARE,
+    RESOURCE,
+    Op,
+    Query,
+    SlotConstraint,
+    builtin_shell,
+    equivalence_classes,
+)
+
+
+@pytest.fixture
+def kb():
+    out = builtin_shell()
+    for name, speed, domain in (
+        ("fast1", 4.0, "ucf"),
+        ("fast2", 4.0, "ucf"),
+        ("slow1", 1.0, "purdue"),
+        ("slow2", 1.0, "ucf"),
+    ):
+        hw = out.new_instance(HARDWARE, {"Type": "CPU", "Speed": speed}, id=f"hw-{name}")
+        out.new_instance(
+            RESOURCE,
+            {
+                "Name": name,
+                "Hardware": hw.id,
+                "Administration Domain": domain,
+                "Number of Nodes": 8,
+            },
+            id=f"res-{name}",
+        )
+    return out
+
+
+class TestOps:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            (Op.EQ, 1, 1, True),
+            (Op.NE, 1, 2, True),
+            (Op.LT, 1, 2, True),
+            (Op.LE, 2, 2, True),
+            (Op.GT, 3, 2, True),
+            (Op.GE, 1, 2, False),
+            (Op.CONTAINS, ["a", "b"], "a", True),
+            (Op.CONTAINS, "abc", "b", True),
+            (Op.IN, "a", ["a", "b"], True),
+        ],
+    )
+    def test_apply(self, op, left, right, expected):
+        assert op.apply(left, right) is expected
+
+    def test_type_mismatch_is_false(self):
+        assert Op.LT.apply("a", 3) is False
+
+
+class TestQuery:
+    def test_direct_slot(self, kb):
+        q = Query(RESOURCE).where("Administration Domain", Op.EQ, "ucf")
+        assert len(q.run(kb)) == 3
+
+    def test_reference_path(self, kb):
+        q = Query(RESOURCE).where("Hardware/Speed", ">=", 2.0)
+        names = sorted(i.get("Name") for i in q.run(kb))
+        assert names == ["fast1", "fast2"]
+
+    def test_conjunction(self, kb):
+        q = (
+            Query(RESOURCE)
+            .where("Hardware/Speed", ">=", 2.0)
+            .where("Administration Domain", "=", "ucf")
+        )
+        assert len(q.run(kb)) == 2
+
+    def test_missing_slot_fails_constraint(self, kb):
+        q = Query(RESOURCE).where("Location", "=", "nowhere")
+        assert q.run(kb) == []
+
+    def test_bad_path_fails_not_raises(self, kb):
+        q = Query(RESOURCE).where("Hardware/NoSuch", "=", 1)
+        assert q.run(kb) == []
+
+    def test_constraint_on_nonref_path_segment(self, kb):
+        constraint = SlotConstraint("Name/Deeper", Op.EQ, "x")
+        inst = kb.instances_of(RESOURCE)[0]
+        assert constraint.matches(kb, inst) is False
+
+
+class TestEquivalenceClasses:
+    def test_group_by_speed(self, kb):
+        groups = equivalence_classes(
+            kb, kb.instances_of(RESOURCE), ["Hardware/Speed"]
+        )
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [2, 2]
+
+    def test_group_by_speed_and_domain(self, kb):
+        groups = equivalence_classes(
+            kb,
+            kb.instances_of(RESOURCE),
+            ["Hardware/Speed", "Administration Domain"],
+        )
+        assert len(groups) == 3
+
+    def test_unresolvable_key_becomes_none(self, kb):
+        groups = equivalence_classes(kb, kb.instances_of(RESOURCE), ["Location"])
+        assert list(groups) == [(None,)]

@@ -1,0 +1,106 @@
+"""Serialization round-trips for knowledge bases, including hypothesis
+property tests over randomly generated schemas/instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.ontology import (
+    Cardinality,
+    KnowledgeBase,
+    Slot,
+    SlotType,
+    builtin_shell,
+    kb_from_dict,
+    kb_from_json,
+    kb_to_dict,
+    kb_to_json,
+)
+
+
+def test_builtin_shell_roundtrip():
+    kb = builtin_shell()
+    restored = kb_from_json(kb_to_json(kb))
+    assert set(restored.class_names) == set(kb.class_names)
+    for cls in kb.class_names:
+        assert set(restored.slots_of(cls)) == set(kb.slots_of(cls))
+
+
+def test_instances_roundtrip():
+    kb = builtin_shell()
+    kb.new_instance("Data", {"Name": "D1", "Classification": "POD-Parameter"})
+    kb.new_instance(
+        "Hardware", {"Type": "CPU", "Speed": 2.4, "Latency": 10.0}, id="hw1"
+    )
+    kb.new_instance(
+        "Resource",
+        {"Name": "cluster", "Hardware": "hw1", "Number of Nodes": 16},
+    )
+    restored = kb_from_dict(kb_to_dict(kb))
+    assert len(restored) == len(kb)
+    res = restored.find_one("Resource", Name="cluster")
+    assert restored.resolve(res, "Hardware").get("Speed") == 2.4
+
+
+def test_unknown_format_version_rejected():
+    with pytest.raises(SchemaError):
+        kb_from_dict({"format": 99})
+
+
+def test_serialization_is_deterministic():
+    kb = builtin_shell()
+    kb.new_instance("Data", {"Name": "D1"})
+    assert kb_to_json(kb) == kb_to_json(kb)
+
+
+_slot_names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta", "Epsilon"])
+_scalar_types = st.sampled_from(
+    [SlotType.STRING, SlotType.INTEGER, SlotType.FLOAT, SlotType.BOOLEAN]
+)
+
+
+@st.composite
+def _random_kb(draw):
+    kb = KnowledgeBase("random")
+    n_slots = draw(st.integers(1, 4))
+    names = draw(
+        st.lists(_slot_names, min_size=n_slots, max_size=n_slots, unique=True)
+    )
+    slots = []
+    slot_types = {}
+    for name in names:
+        stype = draw(_scalar_types)
+        card = draw(st.sampled_from(list(Cardinality)))
+        slots.append(Slot(name, stype, cardinality=card))
+        slot_types[name] = (stype, card)
+    kb.define_class("Thing", slots)
+
+    value_strategies = {
+        SlotType.STRING: st.text(
+            alphabet=st.characters(codec="ascii", exclude_characters='"\\\n'),
+            max_size=10,
+        ),
+        SlotType.INTEGER: st.integers(-1000, 1000),
+        SlotType.FLOAT: st.floats(-1e6, 1e6, allow_nan=False),
+        SlotType.BOOLEAN: st.booleans(),
+    }
+    for i in range(draw(st.integers(0, 5))):
+        values = {}
+        for name, (stype, card) in slot_types.items():
+            if not draw(st.booleans()):
+                continue
+            base = value_strategies[stype]
+            if card is Cardinality.MULTIPLE:
+                values[name] = draw(st.lists(base, max_size=3))
+            else:
+                values[name] = draw(base)
+        kb.new_instance("Thing", values, id=f"t{i}")
+    return kb
+
+
+@given(_random_kb())
+@settings(max_examples=50, deadline=None)
+def test_random_kb_roundtrip(kb):
+    restored = kb_from_json(kb_to_json(kb))
+    assert kb_to_dict(restored) == kb_to_dict(kb)

@@ -1,0 +1,113 @@
+"""Plan-tree structure tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import (
+    Controller,
+    ControllerKind,
+    Terminal,
+    concurrent,
+    iter_nodes,
+    iterative,
+    pretty,
+    replace_at,
+    selective,
+    sequential,
+    subtree_at,
+    tree_depth,
+)
+
+
+@pytest.fixture
+def fig11():
+    return sequential(
+        "POD",
+        "P3DR1",
+        iterative("POR", concurrent("P3DR2", "P3DR3", "P3DR4"), "PSF"),
+    )
+
+
+class TestConstruction:
+    def test_terminal_size(self):
+        assert Terminal("A").size == 1
+
+    def test_fig11_size_is_ten(self, fig11):
+        assert fig11.size == 10
+
+    def test_empty_controller_rejected(self):
+        with pytest.raises(PlanError):
+            Controller(ControllerKind.SEQUENTIAL, ())
+
+    def test_empty_terminal_rejected(self):
+        with pytest.raises(PlanError):
+            Terminal("")
+
+    def test_string_children_coerced(self):
+        node = sequential("A", "B")
+        assert all(isinstance(c, Terminal) for c in node.children)
+
+    def test_single_child_controller_allowed(self):
+        # Unlike grammar forks, plan trees allow one-child controllers.
+        assert selective("A").size == 2
+
+    def test_bad_child_rejected(self):
+        with pytest.raises(PlanError):
+            Controller(ControllerKind.SEQUENTIAL, ("not a node",))
+
+
+class TestTraversal:
+    def test_activities_left_to_right(self, fig11):
+        assert fig11.activities() == [
+            "POD", "P3DR1", "POR", "P3DR2", "P3DR3", "P3DR4", "PSF",
+        ]
+
+    def test_iter_nodes_preorder(self, fig11):
+        paths = [p for p, _ in iter_nodes(fig11)]
+        assert paths[0] == ()
+        assert paths[1] == (0,)
+        assert len(paths) == fig11.size
+
+    def test_subtree_at(self, fig11):
+        node = subtree_at(fig11, (2, 1))
+        assert isinstance(node, Controller)
+        assert node.kind is ControllerKind.CONCURRENT
+
+    def test_subtree_bad_path(self, fig11):
+        with pytest.raises(PlanError):
+            subtree_at(fig11, (9,))
+        with pytest.raises(PlanError):
+            subtree_at(fig11, (0, 0))  # terminal has no children
+
+    def test_depth(self, fig11):
+        assert tree_depth(Terminal("A")) == 0
+        assert tree_depth(fig11) == 3
+
+
+class TestReplace:
+    def test_replace_root(self, fig11):
+        assert replace_at(fig11, (), Terminal("X")) == Terminal("X")
+
+    def test_replace_leaf(self, fig11):
+        out = replace_at(fig11, (0,), Terminal("X"))
+        assert out.activities()[0] == "X"
+        # original untouched (immutability)
+        assert fig11.activities()[0] == "POD"
+
+    def test_replace_subtree_changes_size(self, fig11):
+        out = replace_at(fig11, (2,), Terminal("X"))
+        assert out.size == 4
+
+    def test_replace_bad_path(self, fig11):
+        with pytest.raises(PlanError):
+            replace_at(fig11, (17,), Terminal("X"))
+
+
+class TestRendering:
+    def test_pretty_contains_structure(self, fig11):
+        text = pretty(fig11)
+        assert "Sequential" in text and "Iterative" in text and "Concurrent" in text
+        assert text.splitlines()[1] == "  POD"
+
+    def test_str_compact(self):
+        assert str(selective("A", "B")) == "Selective[A, B]"

@@ -1,0 +1,116 @@
+"""Crossover and mutation (Figures 8-9), including size-bound invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan import random_tree, selective, sequential, tree_size
+from repro.planner import crossover, mutate, random_node_path
+
+ACTS = ["A", "B", "C"]
+
+
+class TestCrossover:
+    def test_skipped_below_rate(self):
+        a, b = sequential("A", "B"), sequential("C", "C")
+        out_a, out_b = crossover(a, b, rng=0, crossover_rate=0.0)
+        assert out_a is a and out_b is b
+
+    def test_swaps_subtrees(self, rng):
+        a = sequential("A", "A", "A")
+        b = sequential("B", "B", "B")
+        for _ in range(20):
+            ca, cb = crossover(a, b, rng, crossover_rate=1.0)
+            if ca != a:
+                # material from b must appear in child a, and vice versa
+                assert "B" in ca.activities() or "A" in cb.activities()
+                break
+        else:
+            pytest.fail("crossover never exchanged material")
+
+    def test_node_count_conserved(self, rng):
+        for _ in range(50):
+            a = random_tree(ACTS, max_size=20, rng=rng)
+            b = random_tree(ACTS, max_size=20, rng=rng)
+            ca, cb = crossover(a, b, rng, smax=40, crossover_rate=1.0)
+            if (ca, cb) != (a, b):
+                assert ca.size + cb.size == a.size + b.size
+
+    def test_smax_failure_keeps_parents(self, rng):
+        big = random_tree(ACTS, size=40, max_size=40, rng=rng)
+        small = random_tree(ACTS, size=2, max_size=40, rng=rng)
+        results = {crossover(big, small, rng, smax=40, crossover_rate=1.0)
+                   for _ in range(30)}
+        for ca, cb in results:
+            assert ca.size <= 40 and cb.size <= 40
+
+    def test_parents_never_mutated(self, rng):
+        a = sequential("A", selective("B", "C"))
+        b = sequential("C", "A")
+        frozen_a, frozen_b = a, b
+        crossover(a, b, rng, crossover_rate=1.0)
+        assert a == frozen_a and b == frozen_b
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self, rng):
+        tree = sequential("A", "B")
+        assert mutate(tree, ACTS, rng, mutation_rate=0.0) is tree
+
+    def test_rate_one_replaces_root(self):
+        tree = sequential("A", "B", "C")
+        mutated = mutate(tree, ["Z"], rng=3, mutation_rate=1.0, smax=40)
+        # The root is always selected at rate 1, so the result is a fresh
+        # random tree over ["Z"] (possibly by way of a failed size check).
+        assert set(mutated.activities()) <= {"Z", "A", "B", "C"}
+
+    def test_respects_smax(self, rng):
+        for _ in range(100):
+            tree = random_tree(ACTS, max_size=40, rng=rng)
+            mutated = mutate(tree, ACTS, rng, smax=40, mutation_rate=0.3)
+            assert mutated.size <= 40
+
+    def test_small_rate_usually_identity(self, rng):
+        tree = random_tree(ACTS, size=10, rng=rng)
+        unchanged = sum(
+            mutate(tree, ACTS, rng, mutation_rate=0.001) == tree
+            for _ in range(100)
+        )
+        assert unchanged >= 90
+
+    def test_deterministic_under_seed(self):
+        tree = random_tree(ACTS, size=15, rng=1)
+        a = mutate(tree, ACTS, rng=9, mutation_rate=0.5)
+        b = mutate(tree, ACTS, rng=9, mutation_rate=0.5)
+        assert a == b
+
+
+class TestRandomNodePath:
+    def test_uniform_over_nodes(self, rng):
+        tree = sequential("A", "B")  # 3 nodes
+        seen = {random_node_path(tree, rng) for _ in range(100)}
+        assert seen == {(), (0,), (1,)}
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    rate=st.floats(0.0, 1.0),
+    smax=st.integers(5, 60),
+)
+@settings(max_examples=150, deadline=None)
+def test_mutation_never_exceeds_smax(seed, rate, smax):
+    rng = np.random.default_rng(seed)
+    tree = random_tree(ACTS, max_size=smax, rng=rng)
+    mutated = mutate(tree, ACTS, rng, smax=smax, mutation_rate=rate)
+    assert 1 <= mutated.size <= smax
+
+
+@given(seed=st.integers(0, 10_000), smax=st.integers(5, 60))
+@settings(max_examples=150, deadline=None)
+def test_crossover_never_exceeds_smax(seed, smax):
+    rng = np.random.default_rng(seed)
+    a = random_tree(ACTS, max_size=smax, rng=rng)
+    b = random_tree(ACTS, max_size=smax, rng=rng)
+    ca, cb = crossover(a, b, rng, smax=smax, crossover_rate=1.0)
+    assert ca.size <= smax and cb.size <= smax

@@ -1,0 +1,102 @@
+"""ActivitySpec and PlanningProblem tests."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.planner import ActivitySpec, PlanningProblem, WorldState
+from repro.process import ActivityKind
+from repro.process.conditions import Atom, Relation
+
+
+def ready(name):
+    return Atom(name, "Status", Relation.EQ, "ready")
+
+
+@pytest.fixture
+def spec():
+    return ActivitySpec(
+        "build",
+        precondition=ready("src"),
+        effects={"bin": {"Status": "ready", "Size": 10}},
+    )
+
+
+class TestActivitySpec:
+    def test_inputs_default_from_precondition(self, spec):
+        assert spec.inputs == ("src",)
+
+    def test_outputs_default_from_effects(self, spec):
+        assert spec.outputs == ("bin",)
+
+    def test_service_defaults_to_name(self, spec):
+        assert spec.service == "build"
+
+    def test_applicable(self, spec):
+        assert spec.applicable(WorldState({"src": {"Status": "ready"}}))
+        assert not spec.applicable(WorldState({}))
+
+    def test_apply_merges_effects(self, spec):
+        state = WorldState({"src": {"Status": "ready"}})
+        out = spec.apply(state)
+        assert out.lookup("bin", "Size") == 10
+        assert not state.has("bin")
+
+    def test_as_activity(self, spec):
+        act = spec.as_activity()
+        assert act.kind is ActivityKind.END_USER
+        assert act.inputs == ("src",)
+        assert act.outputs == ("bin",)
+
+    def test_as_activity_renamed(self, spec):
+        act = spec.as_activity("build_2")
+        assert act.name == "build_2"
+        assert act.service == "build"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PlanningError):
+            ActivitySpec("")
+
+
+class TestPlanningProblem:
+    def test_build_helper(self, spec, case_problem):
+        prob = PlanningProblem.build(
+            "p", {"src": {"Status": "ready"}}, (ready("bin"),), [spec]
+        )
+        assert prob.activity_names == ("build",)
+        assert prob.spec("build") is not None
+        assert prob.spec("nothere") is None
+
+    def test_requires_goals(self, spec):
+        with pytest.raises(PlanningError):
+            PlanningProblem.build("p", {}, (), [spec])
+
+    def test_requires_activities(self):
+        with pytest.raises(PlanningError):
+            PlanningProblem.build("p", {}, (ready("x"),), [])
+
+    def test_key_name_mismatch_rejected(self, spec):
+        with pytest.raises(PlanningError):
+            PlanningProblem(
+                initial_state=WorldState({}),
+                goals=(ready("bin"),),
+                activities={"wrong": spec},
+            )
+
+    def test_goal_score_fraction(self, spec):
+        prob = PlanningProblem.build(
+            "p",
+            {"src": {"Status": "ready"}},
+            (ready("bin"), ready("doc")),
+            [spec],
+        )
+        state = spec.apply(prob.initial_state)
+        assert prob.goal_score(state) == 0.5
+        assert prob.goal_score(prob.initial_state) == 0.0
+
+    def test_case_study_problem_shape(self, case_problem):
+        # T has the paper's seven end-user activities.
+        assert set(case_problem.activity_names) == {
+            "POD", "P3DR1", "P3DR2", "P3DR3", "P3DR4", "POR", "PSF",
+        }
+        assert len(case_problem.goals) == 1
+        assert case_problem.initial_state.has("D7")

@@ -1,0 +1,75 @@
+"""Tournament selection (Section 3.4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanningError
+from repro.plan import terminal
+from repro.planner import Fitness, tournament_select
+
+
+def fit(value):
+    return Fitness(0, 0, 0, value)
+
+
+@pytest.fixture
+def population():
+    return [terminal(name) for name in ("A", "B", "C", "D")]
+
+
+def test_same_size_by_default(population, rng):
+    fits = [fit(v) for v in (0.1, 0.2, 0.3, 0.4)]
+    out = tournament_select(population, fits, rng)
+    assert len(out) == 4
+
+
+def test_explicit_count(population, rng):
+    fits = [fit(0.5)] * 4
+    assert len(tournament_select(population, fits, rng, count=7)) == 7
+
+
+def test_selection_pressure(population, rng):
+    # D has the highest fitness: it must dominate the selected population.
+    fits = [fit(v) for v in (0.1, 0.2, 0.3, 0.9)]
+    out = tournament_select(population, fits, rng, count=2000)
+    share_d = sum(t.activity == "D" for t in out) / len(out)
+    share_a = sum(t.activity == "A" for t in out) / len(out)
+    # P(select D) = 1 - P(no D in tournament)... = 1-(3/4)^2 = 0.4375
+    assert 0.40 < share_d < 0.48
+    # A only wins tournaments against itself: (1/4)^2 = 0.0625
+    assert 0.04 < share_a < 0.09
+
+
+def test_tournament_size_one_is_uniform(population, rng):
+    fits = [fit(v) for v in (0.1, 0.2, 0.3, 0.9)]
+    out = tournament_select(population, fits, rng, tournament_size=1, count=2000)
+    share_a = sum(t.activity == "A" for t in out) / len(out)
+    assert 0.2 < share_a < 0.3
+
+
+def test_larger_tournament_stronger_pressure(rng):
+    population = [terminal(str(i)) for i in range(10)]
+    fits = [fit(i / 10) for i in range(10)]
+    soft = tournament_select(population, fits, rng, tournament_size=2, count=3000)
+    hard = tournament_select(population, fits, rng, tournament_size=5, count=3000)
+    best = population[-1].activity
+    assert (
+        sum(t.activity == best for t in hard)
+        > sum(t.activity == best for t in soft)
+    )
+
+
+def test_errors(population, rng):
+    with pytest.raises(PlanningError):
+        tournament_select(population, [fit(1)], rng)
+    with pytest.raises(PlanningError):
+        tournament_select([], [], rng)
+    with pytest.raises(PlanningError):
+        tournament_select(population, [fit(1)] * 4, rng, tournament_size=0)
+
+
+def test_deterministic_under_seed(population):
+    fits = [fit(v) for v in (0.1, 0.2, 0.3, 0.4)]
+    a = tournament_select(population, fits, np.random.default_rng(5))
+    b = tournament_select(population, fits, np.random.default_rng(5))
+    assert a == b

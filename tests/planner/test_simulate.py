@@ -1,0 +1,188 @@
+"""Plan simulation: Eq.-1 accounting, flow enumeration, merging."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.planner import (
+    ActivitySpec,
+    PlanningProblem,
+    SimulationOptions,
+    simulate_plan,
+)
+from repro.plan import concurrent, iterative, selective, sequential, terminal
+from repro.process.conditions import Atom, Relation
+
+
+def ready(name):
+    return Atom(name, "Status", Relation.EQ, "ready")
+
+
+@pytest.fixture
+def problem():
+    return PlanningProblem.build(
+        "p",
+        {"d0": {"Status": "ready"}},
+        (ready("d2"),),
+        [
+            ActivitySpec("a1", precondition=ready("d0"), effects={"d1": {"Status": "ready"}}),
+            ActivitySpec("a2", precondition=ready("d1"), effects={"d2": {"Status": "ready"}}),
+            ActivitySpec("b", precondition=ready("never"), effects={"x": {"Status": "ready"}}),
+        ],
+    )
+
+
+class TestTerminalsAndSequences:
+    def test_valid_chain(self, problem):
+        report = simulate_plan(sequential("a1", "a2"), problem)
+        assert report.validity_fitness() == 1.0
+        assert report.goal_fitness(problem) == 1.0
+        assert report.total_executed == 2
+
+    def test_wrong_order_partial_validity(self, problem):
+        report = simulate_plan(sequential("a2", "a1"), problem)
+        # a2 invalid (d1 missing), a1 valid
+        assert report.validity_fitness() == 0.5
+        assert report.goal_fitness(problem) == 0.0
+
+    def test_invalid_activity_does_not_change_state(self, problem):
+        report = simulate_plan(sequential("b", "a1", "a2"), problem)
+        assert report.validity_fitness() == pytest.approx(2 / 3)
+        assert report.goal_fitness(problem) == 1.0
+
+    def test_unknown_activity_counts_executed_never_valid(self, problem):
+        report = simulate_plan(sequential("ghost", "a1"), problem)
+        assert report.total_executed == 2
+        assert report.total_valid == 1
+
+    def test_single_terminal(self, problem):
+        report = simulate_plan(terminal("a1"), problem)
+        assert report.validity_fitness() == 1.0
+        assert report.goal_fitness(problem) == 0.0
+
+
+class TestSelective:
+    def test_enumerates_each_branch(self, problem):
+        report = simulate_plan(
+            sequential("a1", selective("a2", "b")), problem
+        )
+        assert report.flow_count == 2
+        # flow 1: a1, a2 valid (goal met); flow 2: a1 valid, b invalid
+        assert report.validity_fitness() == pytest.approx(3 / 4)
+        assert report.goal_fitness(problem) == pytest.approx(0.5)
+
+    def test_nested_selective_flows_multiply(self, problem):
+        tree = sequential(selective("a1", "a1"), selective("a2", "a2"))
+        report = simulate_plan(tree, problem)
+        assert report.flow_count == 4
+
+
+class TestIterative:
+    def test_default_counts_one_and_two(self, problem):
+        report = simulate_plan(iterative("a1"), problem)
+        # k=1: executes a1 once; k=2: twice (second application idempotent
+        # but still valid).
+        assert report.flow_count == 2
+        assert report.total_executed == 3
+        assert report.validity_fitness() == 1.0
+
+    def test_custom_iteration_counts(self, problem):
+        opts = SimulationOptions(iteration_counts=(3,))
+        report = simulate_plan(iterative("a1"), problem, opts)
+        assert report.flow_count == 1
+        assert report.total_executed == 3
+
+    def test_invalid_options(self):
+        with pytest.raises(SimulationError):
+            SimulationOptions(iteration_counts=())
+        with pytest.raises(SimulationError):
+            SimulationOptions(iteration_counts=(0,))
+        with pytest.raises(SimulationError):
+            SimulationOptions(max_flows=0)
+
+
+class TestConcurrent:
+    def test_left_to_right_default(self, problem):
+        report = simulate_plan(concurrent("a1", "a2"), problem)
+        assert report.flow_count == 1
+        assert report.validity_fitness() == 1.0
+
+    def test_multiple_orders_enumerated(self, problem):
+        opts = SimulationOptions(concurrent_orders=2)
+        report = simulate_plan(concurrent("a2", "a1"), problem, opts)
+        # order (a2, a1): a2 invalid; order (a1, a2): both valid
+        assert report.flow_count == 2
+        assert report.validity_fitness() == pytest.approx(3 / 4)
+
+
+class TestMerging:
+    def test_identical_branches_merge(self, problem):
+        # Both selective branches produce identical states -> one merged
+        # flow with weight 2.
+        report = simulate_plan(selective("a1", "a1"), problem)
+        assert len(report.flows) == 1
+        assert report.flows[0].weight == 2
+        assert report.flow_count == 2
+
+    def test_merging_preserves_fitness(self, problem):
+        tree = sequential(selective("a1", "a1"), "a2")
+        report = simulate_plan(tree, problem)
+        assert report.validity_fitness() == 1.0
+        assert report.goal_fitness(problem) == 1.0
+
+    def test_deep_nesting_does_not_overflow(self, problem):
+        # Structural unrolling of nested iteratives is O(4^depth); the
+        # execution budget must cut this off (truncated=True) while keeping
+        # the fitness components well-defined.
+        tree = terminal("a1")
+        for _ in range(16):
+            tree = iterative(selective(tree, tree))
+        report = simulate_plan(tree, problem)
+        assert report.truncated
+        assert 0.0 <= report.validity_fitness() <= 1.0
+        assert 0.0 <= report.goal_fitness(problem) <= 1.0
+
+    def test_execution_budget_configurable(self, problem):
+        opts = SimulationOptions(max_executions=3)
+        report = simulate_plan(
+            sequential("a1", "a1", "a1", "a1", "a1"), problem, opts
+        )
+        assert report.truncated
+        assert report.total_executed == 3
+
+    def test_budget_not_hit_on_normal_plans(self, problem):
+        report = simulate_plan(sequential("a1", "a2"), problem)
+        assert not report.truncated
+
+    def test_truncation_reported(self, problem):
+        # Wide selectives over distinct outcomes exceed max_flows.
+        opts = SimulationOptions(max_flows=2)
+        tree = sequential(
+            selective("a1", "b", "ghost"),
+            selective("a2", "b", "ghost"),
+        )
+        report = simulate_plan(tree, problem, opts)
+        assert report.truncated
+        assert len(report.flows) <= 2
+
+
+class TestCaseStudy:
+    def test_fig11_perfect_fitness(self, case_problem):
+        from repro.virolab import plan_tree
+
+        report = simulate_plan(plan_tree(), case_problem)
+        assert report.validity_fitness() == 1.0
+        assert report.goal_fitness(case_problem) == 1.0
+
+    def test_minimal_plan_also_perfect(self, case_problem):
+        report = simulate_plan(
+            sequential("POD", "P3DR2", "P3DR3", "PSF"), case_problem
+        )
+        assert report.validity_fitness() == 1.0
+        assert report.goal_fitness(case_problem) == 1.0
+
+    def test_psf_needs_both_streams(self, case_problem):
+        report = simulate_plan(
+            sequential("POD", "P3DR2", "PSF"), case_problem
+        )
+        assert report.validity_fitness() < 1.0
+        assert report.goal_fitness(case_problem) == 0.0

@@ -1,0 +1,83 @@
+"""WorldState: copy-on-write semantics, lookups, condition evaluation."""
+
+import pytest
+
+from repro.planner import WorldState
+from repro.process.conditions import MISSING, Atom, Relation
+
+
+@pytest.fixture
+def state():
+    return WorldState({"D1": {"Classification": "POD-Parameter", "Size": 3}})
+
+
+class TestLookup:
+    def test_lookup(self, state):
+        assert state.lookup("D1", "Size") == 3
+
+    def test_lookup_missing_raises(self, state):
+        with pytest.raises(KeyError):
+            state.lookup("D2", "Size")
+        with pytest.raises(KeyError):
+            state.lookup("D1", "Nope")
+
+    def test_peek_missing_is_sentinel(self, state):
+        assert state.peek("D2", "Size") is MISSING
+        assert state.peek("D1", "Nope") is MISSING
+        assert state.peek("D1", "Size") == 3
+
+    def test_has_and_names(self, state):
+        assert state.has("D1") and not state.has("D2")
+        assert state.data_names() == ("D1",)
+
+    def test_properties_copy(self, state):
+        props = state.properties("D1")
+        props["Size"] = 99
+        assert state.lookup("D1", "Size") == 3
+
+    def test_unknown_properties_empty(self, state):
+        assert state.properties("D9") == {}
+
+
+class TestDerivation:
+    def test_with_data_creates(self, state):
+        new = state.with_data("D2", Classification="2D Image")
+        assert new.has("D2")
+        assert not state.has("D2")
+
+    def test_with_data_merges(self, state):
+        new = state.with_data("D1", Size=10)
+        assert new.lookup("D1", "Size") == 10
+        assert new.lookup("D1", "Classification") == "POD-Parameter"
+        assert state.lookup("D1", "Size") == 3
+
+    def test_updated_multi(self, state):
+        new = state.updated({"D2": {"a": 1}, "D3": {"b": 2}})
+        assert new.has("D2") and new.has("D3")
+
+    def test_cow_shares_untouched_items(self, state):
+        # Unmodified property dicts are shared by identity (the hot-path
+        # optimization); modified ones are fresh.
+        new = state.updated({"D2": {"a": 1}})
+        assert new._data["D1"] is state._data["D1"]
+        new2 = state.updated({"D1": {"Size": 9}})
+        assert new2._data["D1"] is not state._data["D1"]
+
+    def test_copy_deep_enough(self, state):
+        clone = state.copy()
+        assert clone == state and clone is not state
+
+
+class TestConditions:
+    def test_satisfies(self, state):
+        assert state.satisfies(Atom("D1", "Size", Relation.EQ, 3))
+        assert not state.satisfies(Atom("D1", "Size", Relation.GT, 3))
+
+    def test_equality(self, state):
+        assert state == WorldState({"D1": {"Classification": "POD-Parameter", "Size": 3}})
+        assert state != WorldState({})
+        assert (state == 42) is NotImplemented or not (state == 42)
+
+    def test_len_iter(self, state):
+        assert len(state) == 1
+        assert list(state) == ["D1"]

@@ -1,0 +1,110 @@
+"""WorkflowBuilder fluent API tests."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.process import (
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    TRUE,
+    WorkflowBuilder,
+    parse_condition,
+    parse_process,
+    unparse,
+    validate_process,
+)
+
+
+def test_simple_sequence():
+    ast = WorkflowBuilder("t").activities("A", "B", "C").ast()
+    assert ast == parse_process("BEGIN; A; B; C; END")
+
+
+def test_fork():
+    ast = (
+        WorkflowBuilder("t")
+        .activity("A")
+        .fork(lambda b: b.activity("B"), lambda b: b.activity("C"))
+        .ast()
+    )
+    assert isinstance(ast.children[1], ForkNode)
+
+
+def test_loop():
+    cond = parse_condition("X.v > 1")
+    ast = WorkflowBuilder("t").loop(cond, lambda b: b.activities("A", "B")).ast()
+    assert isinstance(ast, IterativeNode)
+    assert ast.condition == cond
+
+
+def test_choice_default_branch():
+    ast = (
+        WorkflowBuilder("t")
+        .choice(
+            (parse_condition("X.v = 1"), lambda b: b.activity("A")),
+            (None, lambda b: b.activity("B")),
+        )
+        .ast()
+    )
+    assert isinstance(ast, ChoiceNode)
+    assert ast.branches[1][0] is TRUE
+
+
+def test_build_produces_valid_graph():
+    pd = (
+        WorkflowBuilder("demo")
+        .activity("A")
+        .fork(lambda b: b.activity("B"), lambda b: b.activity("C"))
+        .loop(parse_condition("X.v > 1"), lambda b: b.activity("D"))
+        .build()
+    )
+    validate_process(pd)
+    assert pd.name == "demo"
+
+
+def test_figure10_via_builder():
+    wf = (
+        WorkflowBuilder("3DSD")
+        .activities("POD", "P3DR1")
+        .loop(
+            parse_condition("D12.Value > 8"),
+            lambda b: b.activity("POR")
+            .fork(
+                lambda f: f.activity("P3DR2"),
+                lambda f: f.activity("P3DR3"),
+                lambda f: f.activity("P3DR4"),
+            )
+            .activity("PSF"),
+        )
+    )
+    expected = parse_process(
+        "BEGIN; POD; P3DR1; {ITERATIVE {COND D12.Value > 8} "
+        "{POR; {FORK {P3DR2} {P3DR3} {P3DR4} JOIN}; PSF}}; END"
+    )
+    assert wf.ast() == expected
+    assert unparse(wf.ast()) == unparse(expected)
+
+
+def test_empty_builder_rejected():
+    with pytest.raises(ProcessError):
+        WorkflowBuilder("t").ast()
+
+
+def test_fork_needs_two_branches():
+    with pytest.raises(ProcessError):
+        WorkflowBuilder("t").fork(lambda b: b.activity("A"))
+
+
+def test_sub_builder_must_return_itself():
+    with pytest.raises(ProcessError):
+        WorkflowBuilder("t").fork(
+            lambda b: b.activity("A"),
+            lambda b: WorkflowBuilder("other").activity("B"),
+        )
+
+
+def test_node_injection():
+    inner = parse_process("BEGIN; A; B; END")
+    ast = WorkflowBuilder("t").node(inner).activity("C").ast()
+    assert ast.activity_names() == ["A", "B", "C"]

@@ -1,0 +1,140 @@
+"""Condition language: atoms, connectives, compilation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConditionError
+from repro.process.conditions import (
+    TRUE,
+    And,
+    Atom,
+    MappingSource,
+    Not,
+    Or,
+    Relation,
+    compile_condition,
+)
+
+SRC = MappingSource(
+    {
+        "D1": {"Classification": "POD-Parameter", "Size": 3000},
+        "D12": {"Classification": "Resolution File", "Value": 7.5},
+    }
+)
+
+
+class TestAtom:
+    def test_string_equality(self):
+        assert Atom("D1", "Classification", Relation.EQ, "POD-Parameter").evaluate(SRC)
+
+    def test_numeric_comparison(self):
+        assert Atom("D12", "Value", Relation.LT, 8).evaluate(SRC)
+        assert not Atom("D12", "Value", Relation.GT, 8).evaluate(SRC)
+
+    def test_missing_data_is_false(self):
+        assert not Atom("D99", "Value", Relation.EQ, 1).evaluate(SRC)
+
+    def test_missing_property_is_false(self):
+        assert not Atom("D1", "Value", Relation.EQ, 1).evaluate(SRC)
+
+    def test_relation_from_string(self):
+        atom = Atom("D1", "Size", "=", 3000)
+        assert atom.relation is Relation.EQ
+        assert atom.evaluate(SRC)
+
+    def test_type_mismatch_comparison_false(self):
+        assert not Atom("D1", "Classification", Relation.LT, 5).evaluate(SRC)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ConditionError):
+            Atom("", "x", Relation.EQ, 1)
+        with pytest.raises(ConditionError):
+            Atom("x", "", Relation.EQ, 1)
+
+    def test_str_quotes_strings(self):
+        text = str(Atom("D1", "Classification", Relation.EQ, "X Y"))
+        assert text == 'D1.Classification = "X Y"'
+
+
+class TestConnectives:
+    def test_and(self):
+        cond = Atom("D1", "Size", Relation.GT, 100) & Atom(
+            "D12", "Value", Relation.LT, 8
+        )
+        assert cond.evaluate(SRC)
+
+    def test_or(self):
+        cond = Atom("D1", "Size", Relation.GT, 1e9) | Atom(
+            "D12", "Value", Relation.LT, 8
+        )
+        assert cond.evaluate(SRC)
+
+    def test_not(self):
+        assert Not(Atom("D1", "Size", Relation.GT, 1e9)).evaluate(SRC)
+
+    def test_true(self):
+        assert TRUE.evaluate(SRC)
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ConditionError):
+            And(())
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ConditionError):
+            Or(())
+
+    def test_data_names_collects_all(self):
+        cond = Atom("A", "x", "=", 1) & (Atom("B", "y", "=", 2) | Atom("C", "z", "=", 3))
+        assert cond.data_names() == {"A", "B", "C"}
+
+
+class TestCompile:
+    def test_single_atom(self):
+        check = compile_condition(Atom("D12", "Value", Relation.LT, 8))
+        assert check(SRC)
+
+    def test_nested_and_flattened(self):
+        cond = (
+            Atom("D1", "Size", Relation.GT, 100)
+            & Atom("D12", "Value", Relation.LT, 8)
+            & Atom("D1", "Classification", Relation.EQ, "POD-Parameter")
+        )
+        check = compile_condition(cond)
+        assert check(SRC)
+
+    def test_compiled_matches_interpreted(self):
+        conds = [
+            Atom("D1", "Size", Relation.GE, 3000),
+            Atom("D1", "Size", Relation.LE, 10),
+            And((Atom("D1", "Size", Relation.GT, 1), Atom("D12", "Value", Relation.NE, 7.5))),
+            Or((Atom("Dx", "y", Relation.EQ, 1), Atom("D12", "Value", Relation.EQ, 7.5))),
+            Not(Atom("D1", "Size", Relation.EQ, 3000)),
+            TRUE,
+        ]
+        for cond in conds:
+            assert compile_condition(cond)(SRC) == cond.evaluate(SRC)
+
+    def test_missing_data_compiled_false(self):
+        check = compile_condition(Atom("D99", "x", Relation.EQ, 1))
+        assert not check(SRC)
+
+
+@given(
+    value=st.integers(-100, 100),
+    threshold=st.integers(-100, 100),
+    relation=st.sampled_from(list(Relation)),
+)
+def test_relation_semantics_match_python(value, threshold, relation):
+    src = MappingSource({"D": {"v": value}})
+    atom = Atom("D", "v", relation, threshold)
+    expected = {
+        Relation.EQ: value == threshold,
+        Relation.NE: value != threshold,
+        Relation.LT: value < threshold,
+        Relation.GT: value > threshold,
+        Relation.LE: value <= threshold,
+        Relation.GE: value >= threshold,
+    }[relation]
+    assert atom.evaluate(src) == expected
+    assert compile_condition(atom)(src) == expected

@@ -1,0 +1,47 @@
+"""DOT export tests."""
+
+from repro.plan import iterative, sequential
+from repro.process.dot import plan_tree_to_dot, process_to_dot
+from repro.virolab import plan_tree, process_description
+
+
+def test_process_dot_contains_all_nodes_and_edges():
+    pd = process_description()
+    dot = process_to_dot(pd)
+    assert dot.startswith('digraph "PD-3DSD"')
+    for activity in pd.activities:
+        assert f'"{activity.name}"' in dot
+    assert dot.count("->") == len(pd.transitions)
+
+
+def test_process_dot_shapes_by_kind():
+    dot = process_to_dot(process_description())
+    assert 'shape=triangle' in dot        # FORK
+    assert 'shape=diamond' in dot         # CHOICE
+    assert 'shape=doublecircle' in dot    # END
+
+
+def test_process_dot_conditions_dashed_and_labelled():
+    dot = process_to_dot(process_description())
+    assert "style=dashed" in dot
+    assert "TR14" in dot and "D12.Value > 8" in dot
+
+
+def test_process_dot_service_label_for_shared_services():
+    dot = process_to_dot(process_description())
+    assert "(P3DR)" in dot  # P3DR1..4 share the P3DR service
+
+
+def test_plan_tree_dot_shape():
+    dot = plan_tree_to_dot(plan_tree(), name="fig11")
+    assert dot.startswith('digraph "fig11"')
+    # 10 nodes, 9 parent-child edges
+    assert dot.count("->") == 9
+    assert dot.count("shape=box") == 7
+    assert dot.count("shape=ellipse") == 3
+
+
+def test_dot_quoting():
+    tree = sequential("A", iterative("B"))
+    dot = plan_tree_to_dot(tree)
+    assert '"Sequential"' in dot and '"Iterative"' in dot

@@ -1,0 +1,105 @@
+"""ProcessDescription graph model tests."""
+
+import pytest
+
+from repro.errors import ProcessStructureError
+from repro.process import Activity, ActivityKind, ProcessDescription
+from repro.process.conditions import TRUE
+
+
+@pytest.fixture
+def pd():
+    out = ProcessDescription("t")
+    out.add("BEGIN", ActivityKind.BEGIN)
+    out.add("A")
+    out.add("B")
+    out.add("END", ActivityKind.END)
+    out.connect("BEGIN", "A")
+    out.connect("A", "B")
+    out.connect("B", "END")
+    return out
+
+
+class TestActivity:
+    def test_end_user_defaults_service_to_name(self):
+        assert Activity("POD").service_name == "POD"
+
+    def test_shared_service(self):
+        assert Activity("P3DR1", service="P3DR").service_name == "P3DR"
+
+    def test_flow_control_has_no_service(self):
+        with pytest.raises(ProcessStructureError):
+            Activity("F", ActivityKind.FORK).service_name
+
+    def test_flow_control_cannot_have_data(self):
+        with pytest.raises(ProcessStructureError):
+            Activity("F", ActivityKind.FORK, inputs=("D1",))
+
+    def test_invalid_name(self):
+        with pytest.raises(ProcessStructureError):
+            Activity("9bad")
+
+
+class TestGraph:
+    def test_duplicate_activity_rejected(self, pd):
+        with pytest.raises(ProcessStructureError):
+            pd.add("A")
+
+    def test_connect_unknown_endpoint(self, pd):
+        with pytest.raises(ProcessStructureError):
+            pd.connect("A", "nope")
+
+    def test_duplicate_transition_rejected(self, pd):
+        with pytest.raises(ProcessStructureError):
+            pd.connect("A", "B")
+
+    def test_transition_ids_generated(self, pd):
+        ids = [t.id for t in pd.transitions]
+        assert ids == ["TR1", "TR2", "TR3"]
+
+    def test_degrees(self, pd):
+        assert pd.in_degree("A") == 1
+        assert pd.out_degree("A") == 1
+        assert pd.successors("A") == ("B",)
+        assert pd.predecessors("B") == ("A",)
+
+    def test_begin_end_lookup(self, pd):
+        assert pd.begin().name == "BEGIN"
+        assert pd.end().name == "END"
+
+    def test_begin_requires_uniqueness(self, pd):
+        pd.add("BEGIN2", ActivityKind.BEGIN)
+        with pytest.raises(ProcessStructureError):
+            pd.begin()
+
+    def test_remove_transition(self, pd):
+        pd.remove_transition("TR2")
+        assert pd.successors("A") == ()
+        with pytest.raises(ProcessStructureError):
+            pd.remove_transition("TR2")
+
+    def test_set_condition(self, pd):
+        tr = pd.set_condition("A", "B", TRUE)
+        assert pd.transition_between("A", "B").condition is TRUE
+        assert tr.id == "TR2"
+
+    def test_census_helpers(self, pd):
+        assert len(pd.end_user_activities()) == 2
+        assert len(pd.flow_control_activities()) == 2
+
+    def test_copy_is_independent(self, pd):
+        clone = pd.copy("clone")
+        clone.add("C")
+        clone.connect("B", "C", id="TRX")
+        assert not pd.has_activity("C")
+        assert len(pd.transitions) == 3
+
+    def test_to_networkx(self, pd):
+        g = pd.to_networkx()
+        assert set(g.nodes) == {"BEGIN", "A", "B", "END"}
+        assert g.number_of_edges() == 3
+        assert g.nodes["A"]["kind"] == "End-user"
+
+    def test_iteration_and_len(self, pd):
+        assert len(pd) == 4
+        assert {a.name for a in pd} == {"BEGIN", "A", "B", "END"}

@@ -1,0 +1,170 @@
+"""Parser tests: the Section-2 grammar's concrete form."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.process import (
+    ActivityNode,
+    And,
+    Atom,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Or,
+    Relation,
+    SequenceNode,
+    TRUE,
+    parse_condition,
+    parse_process,
+    seq,
+)
+
+
+class TestBasics:
+    def test_single_activity(self):
+        assert parse_process("BEGIN; A; END") == ActivityNode("A")
+
+    def test_sequence(self):
+        ast = parse_process("BEGIN; A; B; C; END")
+        assert isinstance(ast, SequenceNode)
+        assert ast.activity_names() == ["A", "B", "C"]
+
+    def test_commas_and_semicolons_interchangeable(self):
+        assert parse_process("BEGIN, A, B, END") == parse_process("BEGIN; A; B; END")
+
+    def test_trailing_separator_ok(self):
+        assert parse_process("BEGIN; A; B; END") == parse_process("BEGIN; A; B;; END")
+
+    def test_multiline_with_comments(self):
+        text = """
+        BEGIN;
+          POD;        # orientation determination
+          P3DR1;
+        END
+        """
+        assert parse_process(text).activity_names() == ["POD", "P3DR1"]
+
+
+class TestFork:
+    def test_two_branches(self):
+        ast = parse_process("BEGIN; {FORK {A} {B} JOIN}; END")
+        assert ast == ForkNode((ActivityNode("A"), ActivityNode("B")))
+
+    def test_branch_sequences(self):
+        ast = parse_process("BEGIN; {FORK {A; B} {C} JOIN}; END")
+        assert isinstance(ast, ForkNode)
+        assert ast.branches[0] == seq("A", "B")
+
+    def test_nested_fork(self):
+        ast = parse_process("BEGIN; {FORK {A} {{FORK {B} {C} JOIN}} JOIN}; END")
+        assert isinstance(ast.branches[1], ForkNode)
+
+    def test_single_branch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_process("BEGIN; {FORK {A} JOIN}; END")
+
+
+class TestIterative:
+    def test_simple_loop(self):
+        ast = parse_process('BEGIN; {ITERATIVE {COND D.Value > 8} {A; B}}; END')
+        assert isinstance(ast, IterativeNode)
+        assert ast.condition == Atom("D", "Value", Relation.GT, 8)
+        assert ast.body == seq("A", "B")
+
+    def test_condition_list_is_conjunction(self):
+        ast = parse_process(
+            'BEGIN; {ITERATIVE {COND D.Value > 8; E.Size < 2} {A}}; END'
+        )
+        assert isinstance(ast.condition, And)
+        assert len(ast.condition.parts) == 2
+
+
+class TestChoice:
+    def test_two_guarded_branches(self):
+        ast = parse_process(
+            'BEGIN; {CHOICE {COND X.Size > 1} {A} {COND true} {B} MERGE}; END'
+        )
+        assert isinstance(ast, ChoiceNode)
+        (c1, b1), (c2, b2) = ast.branches
+        assert c1 == Atom("X", "Size", Relation.GT, 1)
+        assert c2 is TRUE
+        assert (b1, b2) == (ActivityNode("A"), ActivityNode("B"))
+
+    def test_single_alternative_rejected(self):
+        with pytest.raises(ParseError):
+            parse_process("BEGIN; {CHOICE {COND true} {A} MERGE}; END")
+
+
+class TestConditions:
+    def test_string_value(self):
+        cond = parse_condition('D1.Classification = "POD-Parameter"')
+        assert cond == Atom("D1", "Classification", Relation.EQ, "POD-Parameter")
+
+    def test_and_or_precedence(self):
+        cond = parse_condition("A.x = 1 and B.y = 2 or C.z = 3")
+        # 'or' binds looser than 'and'
+        assert isinstance(cond, Or)
+        assert isinstance(cond.parts[0], And)
+
+    def test_not(self):
+        cond = parse_condition("not A.x = 1")
+        assert not cond.evaluate_dummy if False else True  # structural check below
+        from repro.process import Not
+
+        assert isinstance(cond, Not)
+
+    def test_float_and_int_values(self):
+        assert parse_condition("A.x = 3.5") == Atom("A", "x", Relation.EQ, 3.5)
+        assert parse_condition("A.x = 3") == Atom("A", "x", Relation.EQ, 3)
+
+    def test_bare_name_value(self):
+        assert parse_condition("A.x = ready") == Atom("A", "x", Relation.EQ, "ready")
+
+    def test_keyword_property_allowed(self):
+        # 'and' as a property name after the dot would be ambiguous; but
+        # keywords like END can appear as property names.
+        cond = parse_condition("A.END = 1")
+        assert cond.property == "END"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A; END",  # missing BEGIN
+            "BEGIN; A",  # missing END
+            "BEGIN; END",  # empty body
+            "BEGIN; {FORK {A} {B}}; END",  # missing JOIN
+            "BEGIN; {CHOICE {COND true} {A} {COND true} {B}}; END",  # missing MERGE
+            "BEGIN; {WHILE {A}}; END",  # unknown block keyword
+            "BEGIN; A; END; B",  # trailing garbage
+            "BEGIN; {ITERATIVE {A}}; END",  # missing COND
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_process(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as err:
+            parse_process("BEGIN;\n A;\n {FORK {B} JOIN};\nEND")
+        assert err.value.line >= 2
+
+
+class TestFigure10:
+    TEXT = (
+        "BEGIN; POD; P3DR1; "
+        '{ITERATIVE {COND D12.Value > 8} '
+        "{POR; {FORK {P3DR2} {P3DR3} {P3DR4} JOIN}; PSF}}; END"
+    )
+
+    def test_shape(self):
+        ast = parse_process(self.TEXT)
+        assert ast.activity_names() == [
+            "POD", "P3DR1", "POR", "P3DR2", "P3DR3", "P3DR4", "PSF",
+        ]
+        loop = ast.children[2]
+        assert isinstance(loop, IterativeNode)
+        fork = loop.body.children[1]
+        assert isinstance(fork, ForkNode)
+        assert len(fork.branches) == 3

@@ -1,0 +1,95 @@
+"""Unparser round-trips, including a hypothesis property over random ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.process import (
+    ActivityNode,
+    normalize_ast,
+    Atom,
+    ChoiceNode,
+    ForkNode,
+    IterativeNode,
+    Relation,
+    TRUE,
+    parse_process,
+    seq,
+    unparse,
+    unparse_pretty,
+)
+
+FIG10 = (
+    "BEGIN; POD; P3DR1; "
+    '{ITERATIVE {COND D12.Value > 8} '
+    "{POR; {FORK {P3DR2} {P3DR3} {P3DR4} JOIN}; PSF}}; END"
+)
+
+
+def test_compact_roundtrip_fig10():
+    ast = parse_process(FIG10)
+    assert parse_process(unparse(ast)) == ast
+
+
+def test_pretty_roundtrip_fig10():
+    ast = parse_process(FIG10)
+    assert parse_process(unparse_pretty(ast)) == ast
+
+
+def test_string_values_quoted():
+    text = 'BEGIN; {ITERATIVE {COND D.Classification = "2D Image"} {A}}; END'
+    ast = parse_process(text)
+    rendered = unparse(ast)
+    assert '"2D Image"' in rendered
+    assert parse_process(rendered) == ast
+
+
+# -- random AST generation ---------------------------------------------------- #
+_names = st.sampled_from(["A", "B", "C", "POD", "P3DR1", "X1"])
+_conds = st.one_of(
+    st.just(TRUE),
+    st.builds(
+        Atom,
+        data=_names,
+        property=st.sampled_from(["Size", "Value", "Classification"]),
+        relation=st.sampled_from(list(Relation)),
+        value=st.one_of(st.integers(0, 99), st.sampled_from(["ready", "2D Image"])),
+    ),
+)
+
+
+def _ast_strategy():
+    leaves = st.builds(ActivityNode, _names)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(
+                lambda xs: seq(*xs),
+                st.lists(children, min_size=2, max_size=4),
+            ),
+            st.builds(
+                lambda xs: ForkNode(tuple(xs)),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda pairs: ChoiceNode(tuple(pairs)),
+                st.lists(
+                    st.tuples(_conds, children), min_size=2, max_size=3
+                ),
+            ),
+            st.builds(IterativeNode, _conds, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(_ast_strategy())
+@settings(max_examples=150, deadline=None)
+def test_random_ast_roundtrip(ast):
+    # Exact on normalized ASTs: the text form flattens nested sequences.
+    assert parse_process(unparse(ast)) == normalize_ast(ast)
+
+
+@given(_ast_strategy())
+@settings(max_examples=60, deadline=None)
+def test_pretty_agrees_with_compact(ast):
+    assert parse_process(unparse_pretty(ast)) == parse_process(unparse(ast))

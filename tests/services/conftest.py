@@ -1,0 +1,61 @@
+"""Shared environment fixture for core-service tests."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.grid import Agent, EndUserService
+from repro.planner import GPConfig
+from repro.services import standard_environment
+from repro.virolab import activity_specs
+
+
+def synthetic_services(psf_values=(12.0, 9.5, 7.5)):
+    """Case-study services with static effects; PSF yields a decreasing
+    resolution so Cons1 loops terminate."""
+    values = iter(list(psf_values) + [min(psf_values)] * 100)
+
+    def psf_compute(props, payloads):
+        return (
+            {"D12": {"Classification": "Resolution File", "Value": next(values)}},
+            {},
+        )
+
+    services = {}
+    for name, spec in activity_specs().items():
+        if spec.service == "PSF":
+            continue
+        services.setdefault(
+            spec.service or name,
+            EndUserService(spec.service or name, work=10.0, effects=spec.effects),
+        )
+    services["PSF"] = EndUserService("PSF", work=10.0, compute=psf_compute)
+    return list(services.values())
+
+
+@pytest.fixture
+def grid():
+    """(env, services, fleet) with 3 containers hosting synthetic case-study
+    services and a fast planner."""
+    return standard_environment(
+        synthetic_services(),
+        containers=3,
+        planner_config=GPConfig(population_size=30, generations=5),
+    )
+
+
+def drive(env, agent: Agent, generator_fn, max_events=2_000_000):
+    """Run *generator_fn* (bound to agent.call etc.) to completion; returns
+    its result dict or raises the ServiceError it hit."""
+    out = {}
+
+    def main():
+        try:
+            out["result"] = yield from generator_fn()
+        except ServiceError as exc:
+            out["error"] = exc
+
+    env.engine.spawn(main(), "driver")
+    env.run(max_events=max_events)
+    if "error" in out:
+        raise out["error"]
+    return out.get("result")

@@ -1,0 +1,236 @@
+"""Coordination service: the abstract ATN machine."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.virolab import planning_problem, process_description
+from tests.services.conftest import drive
+
+INITIAL = {
+    "D1": {"Classification": "POD-Parameter"},
+    "D2": {"Classification": "P3DR-Parameter"},
+    "D3": {"Classification": "P3DR-Parameter"},
+    "D4": {"Classification": "P3DR-Parameter"},
+    "D5": {"Classification": "POR-Parameter"},
+    "D6": {"Classification": "PSF-Parameter"},
+    "D7": {"Classification": "2D Image"},
+}
+
+
+def execute(grid, **overrides):
+    env, services, fleet = grid
+    user = services.coordination
+    request = {
+        "process": process_description(),
+        "initial_data": dict(INITIAL),
+        "task": "3DSD",
+    }
+    request.update(overrides)
+    return drive(
+        env, user, lambda: user.call("coordination", "execute-task", request)
+    ), env, services
+
+
+def test_full_enactment_completes(grid):
+    result, env, services = execute(grid)
+    assert result["status"] == "completed"
+    # Cons1 with PSF values 12, 9.5, 7.5 -> 3 loop iterations:
+    # POD + P3DR1 + 3*(POR + 3*P3DR + PSF) = 17 activities.
+    assert result["activities_run"] == 17
+    assert result["data"]["D12"]["Value"] == 7.5
+    assert result["replans"] == 0
+
+
+def test_loop_terminates_by_cons1(grid):
+    result, env, services = execute(grid)
+    record = services.coordination.records[0]
+    loop_events = [d for t, k, d in record.events if k == "loop-done"]
+    assert loop_events == ["3 iterations"]
+
+
+def test_fork_branches_run_concurrently(grid):
+    result, env, services = execute(grid)
+    record = services.coordination.records[0]
+    p3dr_times = [
+        t for t, k, d in record.events
+        if k == "activity" and d.startswith(("P3DR2", "P3DR3", "P3DR4"))
+    ]
+    # In each loop pass the three stream reconstructions finish together
+    # (same work, concurrent execution on 4-slot nodes).
+    assert len(p3dr_times) == 9
+    first_pass = p3dr_times[:3]
+    assert max(first_pass) - min(first_pass) < 1.0
+
+
+def test_data_flow_reaches_outputs(grid):
+    result, env, services = execute(grid)
+    for name in ("D8", "D9", "D10", "D11", "D12"):
+        assert name in result["data"], name
+    assert result["data"]["D8"]["Classification"] == "Orientation File"
+
+
+def test_scheduler_prefers_fast_container(grid):
+    result, env, services = execute(grid)
+    record = services.coordination.records[0]
+    containers = {
+        d.rsplit(" on ", 1)[1]
+        for t, k, d in record.events
+        if k == "activity"
+    }
+    # ac3 (speed 4) should get essentially everything while idle.
+    assert "ac3" in containers
+
+
+def test_performance_reported_to_broker(grid):
+    result, env, services = execute(grid)
+    perf = services.brokerage.performance_of("PSF", "ac3")
+    assert perf is not None and perf.successes >= 1
+
+
+def test_failure_without_problem_gives_up(grid):
+    env, services, fleet = grid
+    for ac in fleet:
+        ac.crash()
+    user = services.coordination
+    with pytest.raises(ServiceError):
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "coordination",
+                "execute-task",
+                {
+                    "process": process_description(),
+                    "initial_data": dict(INITIAL),
+                },
+            ),
+        )
+
+
+def test_plans_when_no_process_supplied(grid):
+    """The Figure-2 path: a task arrives with Need Planning and no process
+    description; coordination asks planning first, then enacts."""
+    env, services, fleet = grid
+    user = services.coordination
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "coordination",
+            "execute-task",
+            {
+                "problem": planning_problem(),
+                "initial_data": dict(INITIAL),
+                "task": "planned-3DSD",
+            },
+        ),
+        max_events=5_000_000,
+    )
+    assert result["status"] == "completed"
+    assert result["data"]["D12"]["Classification"] == "Resolution File"
+    assert services.planning.plans_created == 1
+
+
+def test_unstructured_process_rejected(grid):
+    env, services, fleet = grid
+    from repro.process import ActivityKind, ProcessDescription
+
+    # A Fork whose branches converge on two different Joins cannot be
+    # recovered into the Section-2 language.
+    bad = ProcessDescription("bad")
+    bad.add("BEGIN", ActivityKind.BEGIN)
+    bad.add("END", ActivityKind.END)
+    bad.add("F", ActivityKind.FORK)
+    for name in ("A", "B", "C", "D"):
+        bad.add(name)
+    bad.add("J1", ActivityKind.JOIN)
+    bad.add("J2", ActivityKind.JOIN)
+    bad.connect("BEGIN", "F")
+    bad.connect("F", "A")
+    bad.connect("F", "B")
+    bad.connect("A", "J1")
+    bad.connect("B", "J2")
+    bad.connect("C", "J1")
+    bad.connect("D", "J2")
+    bad.connect("J1", "END")
+    user = services.coordination
+    with pytest.raises(ServiceError):
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "coordination",
+                "execute-task",
+                {"process": bad, "initial_data": dict(INITIAL)},
+            ),
+        )
+
+
+def test_events_logged_in_order(grid):
+    result, env, services = execute(grid)
+    times = [t for t, k, d in result["events"]]
+    assert times == sorted(times)
+    kinds = [k for t, k, d in result["events"]]
+    assert kinds[0] == "enact"
+    assert kinds[-1] == "completed"
+
+
+def test_loop_bound_guards_nonterminating_conditions(grid):
+    """An always-true iterative condition is cut off at max_loop_iterations."""
+    env, services, fleet = grid
+    from repro.process import TRUE, WorkflowBuilder
+
+    pd = (
+        WorkflowBuilder("spinner")
+        .loop(TRUE, lambda b: b.activity("POD"))
+        .build()
+    )
+    services.coordination.max_loop_iterations = 4
+    user = services.coordination
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "coordination",
+            "execute-task",
+            {"process": pd, "initial_data": dict(INITIAL), "task": "spin"},
+        ),
+    )
+    assert result["status"] == "completed"
+    assert result["activities_run"] == 4
+    bounds = [e for e in result["events"] if e[1] == "loop-bound"]
+    assert len(bounds) == 1
+
+
+def test_choice_default_branch_when_no_condition_holds(grid):
+    """No condition true -> the last branch acts as the default arm."""
+    env, services, fleet = grid
+    from repro.process import WorkflowBuilder, parse_condition
+
+    never = parse_condition('D1.Classification = "nope"')
+    pd = (
+        WorkflowBuilder("chooser")
+        .choice(
+            (never, lambda b: b.activity("POR")),
+            (never, lambda b: b.activity("POD")),
+        )
+        .build()
+    )
+    user = services.coordination
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "coordination",
+            "execute-task",
+            {"process": pd, "initial_data": dict(INITIAL), "task": "choose"},
+        ),
+    )
+    assert result["status"] == "completed"
+    record = services.coordination.records[-1]
+    defaults = [e for e in record.events if e[1] == "choice-default"]
+    assert len(defaults) == 1
+    # The default (last) branch ran POD, not POR.
+    activities = [e[2] for e in record.events if e[1] == "activity"]
+    assert any(a.startswith("POD") for a in activities)
+    assert not any(a.startswith("POR") for a in activities)

@@ -1,0 +1,65 @@
+"""Information service: registration and lookup."""
+
+from tests.services.conftest import drive
+
+
+def test_core_services_self_register(grid):
+    env, services, fleet = grid
+    census = services.information.census
+    for kind in (
+        "information", "brokerage", "matchmaking", "monitoring", "ontology",
+        "storage", "authentication", "scheduling", "simulation", "planning",
+        "coordination",
+    ):
+        assert census.get(kind) == 1, kind
+
+
+def test_containers_registered(grid):
+    env, services, fleet = grid
+    assert services.information.census["application-container"] == 3
+    # each container registers each hosted end-user service
+    assert services.information.census["end-user"] == 3 * 4
+
+
+def test_lookup_by_type(grid):
+    env, services, fleet = grid
+    user = services.coordination
+
+    result = drive(env, user, lambda: user.call("information", "lookup", {"type": "brokerage"}))
+    assert [p["provider"] for p in result["providers"]] == ["brokerage"]
+
+
+def test_register_and_deregister_via_messages(grid):
+    env, services, fleet = grid
+    user = services.coordination
+
+    drive(
+        env,
+        user,
+        lambda: user.call(
+            "information",
+            "register",
+            {"name": "myservice", "type": "end-user", "location": "siteX"},
+        ),
+    )
+    assert services.information.find(name="myservice")
+
+    result = drive(
+        env, user, lambda: user.call("information", "deregister", {"name": "myservice"})
+    )
+    assert result["removed"] is True
+    assert not services.information.find(name="myservice")
+
+
+def test_lookup_unknown_type_empty(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    result = drive(env, user, lambda: user.call("information", "lookup", {"type": "nope"}))
+    assert result["providers"] == []
+
+
+def test_ping(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    result = drive(env, user, lambda: user.call("information", "ping", {}))
+    assert result["alive"] is True

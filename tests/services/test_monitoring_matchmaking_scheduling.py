@@ -1,0 +1,148 @@
+"""Monitoring, matchmaking and scheduling services."""
+
+import pytest
+
+from repro.errors import ServiceError
+from tests.services.conftest import drive
+
+
+class TestMonitoring:
+    def test_container_status(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        status = drive(env, user, lambda: user.call("monitoring", "status", {"agent": "ac3"}))
+        assert status["known"] and status["alive"]
+        assert status["node"] == "node3"
+        assert status["speed"] == 4.0
+        assert status["node_up"] is True
+
+    def test_unknown_agent(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        status = drive(env, user, lambda: user.call("monitoring", "status", {"agent": "zz"}))
+        assert status == {"known": False, "alive": False}
+
+    def test_crash_visible(self, grid):
+        env, services, fleet = grid
+        fleet[0].crash()
+        user = services.coordination
+        status = drive(env, user, lambda: user.call("monitoring", "status", {"agent": "ac1"}))
+        assert status["alive"] is False
+
+    def test_node_status(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        status = drive(env, user, lambda: user.call("monitoring", "node-status", {"node": "node2"}))
+        assert status["up"] and status["slots"] == 4
+
+    def test_census(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        census = drive(env, user, lambda: user.call("monitoring", "census", {}))
+        assert census["agents"] == 11 + 3
+        assert census["nodes"] == 3
+
+
+class TestMatchmaking:
+    def test_match_ranks_by_load_then_speed(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(env, user, lambda: user.call("matchmaking", "match", {"service": "POD"}))
+        # all idle -> fastest first
+        assert [c["container"] for c in result["candidates"]] == ["ac3", "ac2", "ac1"]
+
+    def test_min_speed_filter(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(
+            env,
+            user,
+            lambda: user.call("matchmaking", "match", {"service": "POD", "min_speed": 3.0}),
+        )
+        assert [c["container"] for c in result["candidates"]] == ["ac3"]
+
+    def test_site_filter(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(
+            env,
+            user,
+            lambda: user.call("matchmaking", "match", {"service": "POD", "site": "siteB"}),
+        )
+        assert [c["container"] for c in result["candidates"]] == ["ac2"]
+
+    def test_dead_containers_excluded(self, grid):
+        env, services, fleet = grid
+        fleet[2].crash()
+        user = services.coordination
+        result = drive(env, user, lambda: user.call("matchmaking", "match", {"service": "POD"}))
+        assert "ac3" not in [c["container"] for c in result["candidates"]]
+
+    def test_unknown_service_empty(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(env, user, lambda: user.call("matchmaking", "match", {"service": "NOPE"}))
+        assert result["candidates"] == []
+
+
+class TestScheduling:
+    def test_prefers_fast_idle_container(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(
+            env,
+            user,
+            lambda: user.call(
+                "scheduling",
+                "schedule",
+                {"service": "POD", "candidates": ["ac1", "ac2", "ac3"], "work": 10.0},
+            ),
+        )
+        assert result["container"] == "ac3"
+        assert result["estimate"] == pytest.approx(10.0 / 4.0)
+        assert result["alternatives"] == ["ac2", "ac1"]
+
+    def test_reliability_penalty(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        # Make ac3 look unreliable: estimate doubles, ac2 wins (2.5*2 = 5 = work/2).
+        for _ in range(10):
+            services.brokerage.record("POD", "ac3", 0.0, success=False)
+        result = drive(
+            env,
+            user,
+            lambda: user.call(
+                "scheduling",
+                "schedule",
+                {"service": "POD", "candidates": ["ac2", "ac3"], "work": 10.0},
+            ),
+        )
+        assert result["container"] == "ac2"
+
+    def test_no_candidates_rejected(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "scheduling", "schedule", {"service": "POD", "candidates": []}
+                ),
+            )
+
+    def test_all_dead_rejected(self, grid):
+        env, services, fleet = grid
+        for ac in fleet:
+            ac.crash()
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "scheduling",
+                    "schedule",
+                    {"service": "POD", "candidates": ["ac1", "ac2", "ac3"]},
+                ),
+            )

@@ -1,0 +1,166 @@
+"""Planning service: Figure-2 planning and Figure-3 re-planning protocols."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.plan import PlanNode
+from repro.process import ProcessDescription, validate_process
+from repro.virolab import planning_problem
+from tests.services.conftest import drive
+
+
+def test_plan_request_returns_valid_process(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    problem = planning_problem()
+    result = drive(env, user, lambda: user.call("planning", "plan", {"problem": problem}))
+    assert isinstance(result["plan"], PlanNode)
+    assert isinstance(result["process"], ProcessDescription)
+    validate_process(result["process"])
+    assert 0.0 < result["fitness"] <= 1.0
+    assert services.planning.plans_created == 1
+
+
+def test_figure2_message_trace(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    drive(env, user, lambda: user.call("planning", "plan", {"problem": planning_problem()}))
+    between = [
+        t for t in env.trace.actions() if {t[0], t[1]} == {"coordination", "planning"}
+    ]
+    assert between == [
+        ("coordination", "planning", "request", "plan"),
+        ("planning", "coordination", "inform", "plan"),
+    ]
+
+
+def test_replan_excludes_failed_activities(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    problem = planning_problem()
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "planning",
+            "replan",
+            {
+                "problem": problem,
+                "data": {"D1": {"Classification": "POD-Parameter"}},
+                "failed_activities": ["POR", "P3DR4"],
+            },
+        ),
+    )
+    assert result["excluded_activities"] == ["P3DR4", "POR"]
+    leaf_services = set()
+    for activity in result["process"].end_user_activities():
+        leaf_services.add(activity.name.rsplit("_", 1)[0])
+    assert "POR" not in leaf_services
+    assert "P3DR4" not in leaf_services
+    assert services.planning.replans_created == 1
+
+
+def test_figure3_protocol_steps(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    drive(
+        env,
+        user,
+        lambda: user.call(
+            "planning",
+            "replan",
+            {"problem": planning_problem(), "failed_activities": ["POR"]},
+        ),
+    )
+    actions = env.trace.actions()
+
+    def first_index(src, dst, action):
+        for i, t in enumerate(actions):
+            if (t[0], t[1], t[3]) == (src, dst, action):
+                return i
+        raise AssertionError(f"missing {src}->{dst} {action}")
+
+    # The eight Figure-3 steps, in causal order.
+    s1 = first_index("coordination", "planning", "replan")
+    s2 = first_index("planning", "information", "lookup")
+    s3 = first_index("information", "planning", "lookup")
+    s4 = first_index("planning", "brokerage", "find-containers")
+    s5 = first_index("brokerage", "planning", "find-containers")
+    s6 = first_index("planning", "ac1", "can-execute")
+    s7 = first_index("ac1", "planning", "can-execute")
+    s8 = first_index("planning", "coordination", "replan")
+    assert s1 < s2 < s3 < s4 < s5 < s6 < s7 < s8
+
+
+def test_replan_probes_detect_dead_containers(grid):
+    env, services, fleet = grid
+    for ac in fleet:
+        ac.crash()
+    user = services.coordination
+    with pytest.raises(ServiceError):
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "planning",
+                "replan",
+                {"problem": planning_problem(), "failed_activities": []},
+            ),
+        )
+
+
+def test_replan_without_probe_keeps_unfailed(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "planning",
+            "replan",
+            {
+                "problem": planning_problem(),
+                "failed_activities": ["PSF"],
+                "probe": False,
+            },
+        ),
+    )
+    assert result["excluded_activities"] == ["PSF"]
+
+
+def test_replan_all_excluded_fails(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    problem = planning_problem()
+    with pytest.raises(ServiceError):
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "planning",
+                "replan",
+                {
+                    "problem": problem,
+                    "failed_activities": list(problem.activity_names),
+                    "probe": False,
+                },
+            ),
+        )
+
+
+def test_iterative_conditions_are_goal_driven(grid):
+    """Plans emitted by the planning service must not contain always-true
+    loop conditions (they would never terminate at enactment)."""
+    env, services, fleet = grid
+    user = services.coordination
+    from repro.process import IterativeNode, process_to_ast
+    from repro.process.conditions import TRUE
+
+    for seed in range(3):
+        result = drive(
+            env, user, lambda: user.call("planning", "plan", {"problem": planning_problem()})
+        )
+        ast = process_to_ast(result["process"])
+        for node in ast.walk():
+            if isinstance(node, IterativeNode):
+                assert node.condition is not TRUE

@@ -1,0 +1,167 @@
+"""Core-service replication failover + ticketed (secure) execution."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.planner import GPConfig
+from repro.services import BrokerageService, ContainerAd, standard_environment
+from repro.virolab import planning_problem, process_description
+from tests.services.conftest import drive, synthetic_services
+
+INITIAL = {
+    "D1": {"Classification": "POD-Parameter"},
+    "D2": {"Classification": "P3DR-Parameter"},
+    "D3": {"Classification": "P3DR-Parameter"},
+    "D4": {"Classification": "P3DR-Parameter"},
+    "D5": {"Classification": "POR-Parameter"},
+    "D6": {"Classification": "PSF-Parameter"},
+    "D7": {"Classification": "2D Image"},
+}
+
+
+class TestBrokerageReplication:
+    @pytest.fixture
+    def replicated(self):
+        env, services, fleet = standard_environment(
+            synthetic_services(),
+            containers=2,
+            planner_config=GPConfig(population_size=20, generations=3),
+        )
+        # A second brokerage replica holding the same advertisements.
+        replica = BrokerageService(env, name="brokerage2", site="core")
+        for container in fleet:
+            replica.advertise(
+                ContainerAd(
+                    container=container.name,
+                    site=container.site,
+                    services=list(container.hosted),
+                    speed=container.node.hardware.speed,
+                    advertised_at=0.0,
+                    node=container.node.name,
+                )
+            )
+        return env, services, fleet, replica
+
+    def test_replica_registered_with_information(self, replicated):
+        env, services, fleet, replica = replicated
+        providers = services.information.find(type="brokerage")
+        assert [p.provider for p in providers] == ["brokerage", "brokerage2"]
+
+    def test_replan_survives_primary_broker_crash(self, replicated):
+        env, services, fleet, replica = replicated
+        services.brokerage.crash()
+        user = services.coordination
+        result = drive(
+            env,
+            user,
+            lambda: user.call(
+                "planning",
+                "replan",
+                {"problem": planning_problem(), "failed_activities": ["POR"]},
+            ),
+        )
+        assert result["excluded_activities"] == ["POR"]
+        # The failover actually used the replica.
+        actions = env.trace.actions()
+        assert ("planning", "brokerage2", "request", "find-containers") in actions
+
+    def test_replan_fails_when_all_replicas_down(self, replicated):
+        env, services, fleet, replica = replicated
+        services.brokerage.crash()
+        replica.crash()
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "planning",
+                    "replan",
+                    {"problem": planning_problem(), "failed_activities": []},
+                ),
+            )
+
+
+class TestSecureExecution:
+    @pytest.fixture
+    def secure_grid(self):
+        return standard_environment(
+            synthetic_services(),
+            containers=2,
+            secure=True,
+            planner_config=GPConfig(population_size=20, generations=3),
+        )
+
+    def test_enactment_acquires_ticket_and_completes(self, secure_grid):
+        env, services, fleet = secure_grid
+        user = services.coordination
+        result = drive(
+            env,
+            user,
+            lambda: user.call(
+                "coordination",
+                "execute-task",
+                {
+                    "process": process_description(),
+                    "initial_data": dict(INITIAL),
+                    "task": "secure-case",
+                },
+            ),
+        )
+        assert result["status"] == "completed"
+        # An authenticate exchange happened exactly once (ticket cached).
+        auth_calls = [
+            t for t in env.trace.actions()
+            if t[1] == "authentication" and t[3] == "authenticate"
+        ]
+        assert len(auth_calls) == 1
+
+    def test_unticketed_direct_request_rejected(self, secure_grid):
+        env, services, fleet = secure_grid
+        user = services.planning  # any agent without credentials
+        with pytest.raises(ServiceError) as err:
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "ac1",
+                    "execute-activity",
+                    {"service": "POD",
+                     "inputs": {"D1": {"Classification": "POD-Parameter"},
+                                "D7": {"Classification": "2D Image"}}},
+                ),
+            )
+        assert "ticket" in str(err.value)
+
+    def test_bogus_ticket_rejected(self, secure_grid):
+        env, services, fleet = secure_grid
+        user = services.planning
+        with pytest.raises(ServiceError) as err:
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "ac1",
+                    "execute-activity",
+                    {"service": "POD", "ticket": "tkt-forged",
+                     "inputs": {"D1": {"Classification": "POD-Parameter"},
+                                "D7": {"Classification": "2D Image"}}},
+                ),
+            )
+        assert "rejected ticket" in str(err.value)
+
+    def test_insecure_grid_needs_no_ticket(self, grid):
+        env, services, fleet = grid
+        user = services.planning
+        result = drive(
+            env,
+            user,
+            lambda: user.call(
+                "ac1",
+                "execute-activity",
+                {"service": "POD",
+                 "inputs": {"D1": {"Classification": "POD-Parameter"},
+                            "D7": {"Classification": "2D Image"}}},
+            ),
+        )
+        assert result["outputs"]["D8"]["Classification"] == "Orientation File"

@@ -1,0 +1,156 @@
+"""Persistent storage, authentication and ontology services."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.ontology import builtin_shell, kb_from_dict
+from tests.services.conftest import drive
+
+
+class TestStorage:
+    def test_store_retrieve_roundtrip(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        payload = np.arange(10)
+        drive(env, user, lambda: user.call("storage", "store", {"key": "k1", "payload": payload}))
+        result = drive(env, user, lambda: user.call("storage", "retrieve", {"key": "k1"}))
+        assert np.array_equal(result["payload"], payload)
+        assert result["meta"]["owner"] == "coordination"
+
+    def test_retrieve_missing_fails(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(env, user, lambda: user.call("storage", "retrieve", {"key": "ghost"}))
+
+    def test_delete(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        services.storage.put("k2", "value")
+        result = drive(env, user, lambda: user.call("storage", "delete", {"key": "k2"}))
+        assert result["deleted"] is True
+        result = drive(env, user, lambda: user.call("storage", "delete", {"key": "k2"}))
+        assert result["deleted"] is False
+
+    def test_list_keys_prefix(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        services.storage.put("case/D1", 1)
+        services.storage.put("case/D2", 2)
+        services.storage.put("other/x", 3)
+        result = drive(env, user, lambda: user.call("storage", "list-keys", {"prefix": "case/"}))
+        assert result["keys"] == ["case/D1", "case/D2"]
+
+    def test_direct_api(self, grid):
+        env, services, fleet = grid
+        services.storage.put("a", 1)
+        assert services.storage.get("a") == 1
+        assert len(services.storage) == 1
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            services.storage.get("b")
+
+
+class TestAuthentication:
+    def test_ticket_lifecycle(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        services.authentication.add_principal("alice", "s3cret")
+        auth = drive(
+            env,
+            user,
+            lambda: user.call(
+                "authentication", "authenticate",
+                {"principal": "alice", "secret": "s3cret"},
+            ),
+        )
+        check = drive(
+            env,
+            user,
+            lambda: user.call("authentication", "validate", {"ticket": auth["ticket"]}),
+        )
+        assert check == {"valid": True, "principal": "alice"}
+
+    def test_bad_credentials(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        services.authentication.add_principal("alice", "s3cret")
+        with pytest.raises(ServiceError):
+            drive(
+                env,
+                user,
+                lambda: user.call(
+                    "authentication", "authenticate",
+                    {"principal": "alice", "secret": "wrong"},
+                ),
+            )
+
+    def test_unknown_ticket_invalid(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(
+            env, user, lambda: user.call("authentication", "validate", {"ticket": "zz"})
+        )
+        assert result["valid"] is False
+
+    def test_ticket_expiry(self, grid):
+        env, services, fleet = grid
+        services.authentication.add_principal("bob", "pw")
+        ticket = services.authentication.issue("bob", "pw")
+        env.engine.now = ticket.expires_at + 1.0
+        from repro.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            services.authentication.check(ticket.token)
+
+    def test_duplicate_principal(self, grid):
+        env, services, fleet = grid
+        services.authentication.add_principal("carol", "pw")
+        from repro.errors import AuthenticationError
+
+        with pytest.raises(AuthenticationError):
+            services.authentication.add_principal("carol", "pw2")
+
+
+class TestOntologyService:
+    def test_grid_shell_available_by_default(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(env, user, lambda: user.call("ontology", "get-shell", {"name": "grid"}))
+        kb = kb_from_dict(result["kb"])
+        assert set(kb.class_names) == set(builtin_shell().class_names)
+        assert len(kb) == 0
+
+    def test_register_and_fetch_populated(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        from repro.ontology import kb_to_dict
+        from repro.virolab import case_study_kb
+
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "ontology",
+                "register-ontology",
+                {"name": "3DSD", "kb": kb_to_dict(case_study_kb())},
+            ),
+        )
+        result = drive(env, user, lambda: user.call("ontology", "get-ontology", {"name": "3DSD"}))
+        kb = kb_from_dict(result["kb"])
+        assert len(kb.instances_of("Activity")) == 13
+
+    def test_unknown_ontology_fails(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(env, user, lambda: user.call("ontology", "get-shell", {"name": "zz"}))
+
+    def test_list_ontologies(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        result = drive(env, user, lambda: user.call("ontology", "list-ontologies", {}))
+        names = [o["name"] for o in result["ontologies"]]
+        assert "grid" in names

@@ -1,0 +1,189 @@
+"""Discrete-event engine: ordering, processes, signals, joins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(3.0, log.append, "c")
+        engine.schedule(1.0, log.append, "a")
+        engine.schedule(2.0, log.append, "b")
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_broken_by_schedule_order(self):
+        engine = Engine()
+        log = []
+        for tag in "abc":
+            engine.schedule(1.0, log.append, tag)
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_cancelled_events_skipped(self):
+        engine = Engine()
+        log = []
+        handle = engine.schedule(1.0, log.append, "x")
+        handle.cancelled = True
+        engine.schedule(2.0, log.append, "y")
+        engine.run()
+        assert log == ["y"]
+
+    def test_run_until(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, log.append, "a")
+        engine.schedule(5.0, log.append, "b")
+        engine.run(until=2.0)
+        assert log == ["a"]
+        assert engine.now == 2.0
+        assert engine.pending == 1
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=10)
+
+
+class TestProcesses:
+    def test_delay_yield(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            log.append(("start", engine.now))
+            yield 2.5
+            log.append(("end", engine.now))
+            return 42
+
+        handle = engine.spawn(proc())
+        engine.run()
+        assert log == [("start", 0.0), ("end", 2.5)]
+        assert handle.done and handle.result == 42
+
+    def test_join_other_process(self):
+        engine = Engine()
+        results = []
+
+        def worker():
+            yield 5.0
+            return "done"
+
+        def main():
+            value = yield engine.spawn(worker(), "w")
+            results.append((value, engine.now))
+
+        engine.spawn(main(), "m")
+        engine.run()
+        assert results == [("done", 5.0)]
+
+    def test_join_already_finished_process(self):
+        engine = Engine()
+        results = []
+        worker = engine.spawn(iter([]), "w") if False else None
+
+        def quick():
+            return "fast"
+            yield  # pragma: no cover
+
+        handle = engine.spawn(quick(), "q")
+
+        def late():
+            yield 10.0
+            value = yield handle
+            results.append(value)
+
+        engine.spawn(late(), "l")
+        engine.run()
+        assert results == ["fast"]
+
+    def test_signal_wakes_waiters(self):
+        engine = Engine()
+        signal = engine.signal("evt")
+        woken = []
+
+        def waiter(tag):
+            payload = yield signal
+            woken.append((tag, payload, engine.now))
+
+        engine.spawn(waiter("a"), "a")
+        engine.spawn(waiter("b"), "b")
+        engine.schedule(3.0, signal.fire, "hello")
+        engine.run()
+        assert woken == [("a", "hello", 3.0), ("b", "hello", 3.0)]
+
+    def test_signal_fires_once(self):
+        engine = Engine()
+        signal = engine.signal()
+        signal.fire(1)
+        with pytest.raises(SimulationError):
+            signal.fire(2)
+
+    def test_late_waiter_resumes_immediately(self):
+        engine = Engine()
+        signal = engine.signal()
+        signal.fire("早")
+        got = []
+
+        def late():
+            value = yield signal
+            got.append(value)
+
+        engine.spawn(late(), "late")
+        engine.run()
+        assert got == ["早"]
+
+    def test_negative_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield -1.0
+
+        engine.spawn(bad(), "bad")
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_unsupported_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield "nope"
+
+        engine.spawn(bad(), "bad")
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_spawn_requires_generator(self):
+        with pytest.raises(SimulationError):
+            Engine().spawn(lambda: None)  # type: ignore[arg-type]
+
+
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_completion_times_sorted(delays):
+    """Whatever the schedule order, events execute in nondecreasing time."""
+    engine = Engine()
+    seen = []
+    for delay in delays:
+        engine.schedule(delay, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

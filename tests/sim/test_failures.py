@@ -1,0 +1,79 @@
+"""Failure models: Bernoulli invocation failures, crash/restart cycling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BernoulliFailures, CrashRestartModel, Engine
+
+
+class TestBernoulli:
+    def test_zero_probability_never_fails(self):
+        failures = BernoulliFailures(0.0, rng=0)
+        assert not any(failures.should_fail("c") for _ in range(100))
+
+    def test_one_probability_always_fails(self):
+        failures = BernoulliFailures(1.0, rng=0)
+        assert all(failures.should_fail("c") for _ in range(10))
+        assert failures.log.count("invocation-failure") == 10
+
+    def test_rate_approximate(self):
+        failures = BernoulliFailures(0.3, rng=1)
+        hits = sum(failures.should_fail("c") for _ in range(2000))
+        assert 0.25 < hits / 2000 < 0.35
+
+    def test_per_component_override(self):
+        failures = BernoulliFailures(
+            0.0, rng=0, per_component={"flaky": 1.0}
+        )
+        assert failures.should_fail("flaky")
+        assert not failures.should_fail("solid")
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            BernoulliFailures(1.5)
+
+    def test_deterministic_under_seed(self):
+        a = [BernoulliFailures(0.5, rng=7).should_fail("c") for _ in range(1)]
+        b = [BernoulliFailures(0.5, rng=7).should_fail("c") for _ in range(1)]
+        assert a == b
+
+
+class TestCrashRestart:
+    def test_cycles_logged(self):
+        engine = Engine()
+        model = CrashRestartModel(mttf=10.0, mttr=2.0, rng=0)
+        state = {"up": True}
+        model.attach(
+            engine,
+            "node1",
+            on_crash=lambda: state.update(up=False),
+            on_restart=lambda: state.update(up=True),
+        )
+        engine.run(until=200.0)
+        crashes = model.log.count("crash")
+        restarts = model.log.count("restart")
+        assert crashes > 0
+        assert abs(crashes - restarts) <= 1
+
+    def test_none_mttf_disables(self):
+        engine = Engine()
+        model = CrashRestartModel(mttf=None)
+        model.attach(engine, "n", lambda: None, lambda: None)
+        engine.run(until=100.0)
+        assert model.log.count() == 0
+        assert engine.events_processed == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            CrashRestartModel(mttf=0.0)
+        with pytest.raises(SimulationError):
+            CrashRestartModel(mttf=1.0, mttr=0.0)
+
+    def test_mean_uptime_near_mttf(self):
+        engine = Engine()
+        model = CrashRestartModel(mttf=50.0, mttr=1.0, rng=3)
+        model.attach(engine, "n", lambda: None, lambda: None)
+        engine.run(until=50_000.0)
+        crashes = model.log.count("crash")
+        # ~ 50000 / 51 ≈ 980 cycles; loose bounds for stochastic variation
+        assert 700 < crashes < 1300

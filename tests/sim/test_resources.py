@@ -1,0 +1,123 @@
+"""Capacity resources: FIFO grants, releases, utilization."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CapacityResource, Engine
+
+
+def test_capacity_enforced():
+    engine = Engine()
+    res = CapacityResource(engine, 2)
+    log = []
+
+    def worker(i):
+        grant = yield res.acquire()
+        log.append(("start", i, engine.now))
+        yield 10.0
+        res.release(grant)
+        log.append(("end", i, engine.now))
+
+    for i in range(4):
+        engine.spawn(worker(i), f"w{i}")
+    engine.run()
+    starts = [(i, t) for kind, i, t in log if kind == "start"]
+    assert starts == [(0, 0.0), (1, 0.0), (2, 10.0), (3, 10.0)]
+
+
+def test_fifo_order():
+    engine = Engine()
+    res = CapacityResource(engine, 1)
+    order = []
+
+    def worker(i):
+        grant = yield res.acquire()
+        order.append(i)
+        yield 1.0
+        res.release(grant)
+
+    for i in range(5):
+        engine.spawn(worker(i), f"w{i}")
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_try_acquire():
+    engine = Engine()
+    res = CapacityResource(engine, 1)
+    grant = res.try_acquire()
+    assert grant is not None
+    assert res.try_acquire() is None
+    res.release(grant)
+    assert res.try_acquire() is not None
+
+
+def test_double_release_rejected():
+    engine = Engine()
+    res = CapacityResource(engine, 1)
+    grant = res.try_acquire()
+    res.release(grant)
+    with pytest.raises(SimulationError):
+        res.release(grant)
+
+
+def test_cross_resource_release_rejected():
+    engine = Engine()
+    a = CapacityResource(engine, 1, "a")
+    b = CapacityResource(engine, 1, "b")
+    grant = a.try_acquire()
+    with pytest.raises(SimulationError):
+        b.release(grant)
+
+
+def test_queued_count():
+    engine = Engine()
+    res = CapacityResource(engine, 1)
+
+    def holder():
+        grant = yield res.acquire()
+        yield 10.0
+        res.release(grant)
+
+    def waiter():
+        grant = yield res.acquire()
+        res.release(grant)
+
+    engine.spawn(holder(), "h")
+    engine.spawn(waiter(), "w1")
+    engine.spawn(waiter(), "w2")
+    engine.run(until=5.0)
+    assert res.queued == 2
+
+
+def test_utilization_full():
+    engine = Engine()
+    res = CapacityResource(engine, 1)
+
+    def worker():
+        grant = yield res.acquire()
+        yield 10.0
+        res.release(grant)
+
+    engine.spawn(worker(), "w")
+    engine.run()
+    assert res.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_half():
+    engine = Engine()
+    res = CapacityResource(engine, 2)
+
+    def worker():
+        grant = yield res.acquire()
+        yield 10.0
+        res.release(grant)
+
+    engine.spawn(worker(), "w")
+    engine.run()
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_invalid_capacity():
+    with pytest.raises(SimulationError):
+        CapacityResource(Engine(), 0)

@@ -1,0 +1,66 @@
+"""Metric collection: tallies and time series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import MetricSet, Tally, TimeSeries
+
+
+class TestTally:
+    def test_empty(self):
+        tally = Tally()
+        assert tally.count == 0
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+    def test_known_values(self):
+        tally = Tally()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            tally.observe(v)
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert tally.minimum == 1.0 and tally.maximum == 4.0
+
+    def test_as_dict(self):
+        tally = Tally()
+        tally.observe(2.0)
+        d = tally.as_dict()
+        assert d["count"] == 1 and d["mean"] == 2.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, values):
+        tally = Tally()
+        for v in values:
+            tally.observe(v)
+        assert tally.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert tally.std == pytest.approx(np.std(values, ddof=1), rel=1e-6, abs=1e-5)
+
+
+class TestTimeSeries:
+    def test_time_average_piecewise(self):
+        ts = TimeSeries()
+        ts.observe(0.0, 1.0)
+        ts.observe(10.0, 3.0)  # value 1 for [0,10)
+        assert ts.time_average(horizon=20.0) == pytest.approx((1 * 10 + 3 * 10) / 20)
+
+    def test_empty(self):
+        assert TimeSeries().time_average() == 0.0
+
+    def test_single_point(self):
+        ts = TimeSeries()
+        ts.observe(5.0, 7.0)
+        assert ts.time_average() == 7.0
+
+
+class TestMetricSet:
+    def test_named_access(self):
+        metrics = MetricSet()
+        metrics.observe("latency", 1.0)
+        metrics.observe("latency", 3.0)
+        metrics.observe_at("queue", 0.0, 2.0)
+        assert metrics.tally("latency").mean == 2.0
+        assert metrics.timeseries("queue").values == [2.0]
+        assert "latency" in metrics.as_dict()

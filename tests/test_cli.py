@@ -1,0 +1,63 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Population Size" in out and "200" in out
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "fig4_7", "fig12_13"]) == 0
+    out = capsys.readouterr().out
+    assert "Figures 4-7" in out
+    assert "Figures 12-13" in out
+
+
+def test_figures_unknown_name(capsys):
+    assert main(["figures", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_validate_ok(tmp_path, capsys):
+    wf = tmp_path / "wf.txt"
+    wf.write_text("BEGIN; A; {FORK {B} {C} JOIN}; END")
+    assert main(["validate", str(wf)]) == 0
+    assert "OK: 3 end-user" in capsys.readouterr().out
+
+
+def test_validate_invalid(tmp_path, capsys):
+    wf = tmp_path / "wf.txt"
+    wf.write_text("BEGIN; {FORK {A} JOIN}; END")
+    assert main(["validate", str(wf)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_validate_missing_file(capsys):
+    assert main(["validate", "/no/such/file"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table2_tiny(capsys):
+    # Exercise the table2 path with a non-default run count via argv.
+    # (Uses the full Table-1 GP config; 1 run keeps it quick.)
+    assert main(["table2", "--runs", "1", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "Average Fitness" in out
+
+
+def test_render_writes_dot_files(tmp_path, capsys):
+    out = tmp_path / "figs"
+    assert main(["render", "--out", str(out)]) == 0
+    fig10 = (out / "fig10_process.dot").read_text()
+    fig11 = (out / "fig11_plan_tree.dot").read_text()
+    assert fig10.startswith('digraph "PD-3DSD"')
+    assert fig11.count("->") == 9

@@ -1,0 +1,92 @@
+"""Shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    IdGenerator,
+    as_rng,
+    indent,
+    pairwise,
+    stable_unique,
+    valid_identifier,
+)
+
+
+class TestIdGenerator:
+    def test_per_prefix_counters(self):
+        ids = IdGenerator()
+        assert ids.next("A") == "A1"
+        assert ids.next("A") == "A2"
+        assert ids.next("B") == "B1"
+
+    def test_reset(self):
+        ids = IdGenerator()
+        ids.next("A")
+        ids.reset()
+        assert ids.next("A") == "A1"
+
+
+class TestAsRng:
+    def test_int_seed_deterministic(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestHelpers:
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert list(pairwise([1])) == []
+
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_indent_skips_empty_lines(self):
+        assert indent("a\n\nb") == "  a\n\n  b"
+
+    @pytest.mark.parametrize(
+        "name,ok",
+        [
+            ("POD", True),
+            ("P3DR1", True),
+            ("PD-3DSD", True),
+            ("a_b", True),
+            ("9lives", False),
+            ("", False),
+            ("with space", False),
+        ],
+    )
+    def test_valid_identifier(self, name, ok):
+        assert valid_identifier(name) is ok
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro import errors
+
+        assert issubclass(errors.ParseError, errors.ProcessError)
+        assert issubclass(errors.ProcessError, errors.ReproError)
+        assert issubclass(errors.ServiceNotFoundError, errors.ServiceError)
+        assert issubclass(errors.ServiceError, errors.GridError)
+        assert issubclass(errors.TreeSizeError, errors.PlanError)
+
+    def test_lex_parse_errors_carry_location(self):
+        from repro.errors import LexError, ParseError
+
+        err = LexError("bad", line=3, column=7)
+        assert (err.line, err.column) == (3, 7)
+        err = ParseError("bad", line=1, column=2)
+        assert (err.line, err.column) == (1, 2)
+
+    def test_single_catch_all(self):
+        from repro.errors import ReproError
+        from repro.process import parse_process
+
+        with pytest.raises(ReproError):
+            parse_process("not a workflow")

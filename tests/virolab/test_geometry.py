@@ -1,0 +1,107 @@
+"""Rotation utilities: group properties, grids, perturbations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VirolabError
+from repro.virolab import (
+    angular_distance,
+    euler_to_matrix,
+    orientation_grid,
+    perturb_rotation,
+    random_rotations,
+)
+
+_angles = st.floats(0, 2 * np.pi, allow_nan=False)
+
+
+def is_rotation(m, tol=1e-9):
+    return (
+        np.allclose(m @ m.T, np.eye(3), atol=tol)
+        and abs(np.linalg.det(m) - 1.0) < tol
+    )
+
+
+class TestEuler:
+    @given(_angles, _angles, _angles)
+    @settings(max_examples=100, deadline=None)
+    def test_always_a_rotation(self, phi, theta, psi):
+        assert is_rotation(euler_to_matrix(phi, theta, psi))
+
+    def test_identity(self):
+        assert np.allclose(euler_to_matrix(0, 0, 0), np.eye(3))
+
+    def test_z_rotation_composition(self):
+        a = euler_to_matrix(0.3, 0, 0)
+        b = euler_to_matrix(0, 0, 0.4)
+        # phi and psi are both z-rotations when theta = 0.
+        assert np.allclose(a @ b, euler_to_matrix(0.7, 0, 0), atol=1e-12)
+
+
+class TestRandomRotations:
+    def test_all_valid(self, rng):
+        for rotation in random_rotations(50, rng):
+            assert is_rotation(rotation, tol=1e-8)
+
+    def test_deterministic(self):
+        assert np.allclose(random_rotations(5, 3), random_rotations(5, 3))
+
+    def test_roughly_uniform_trace(self, rng):
+        # Under Haar measure trace = 1 + 2cos(theta) has expectation 0.
+        traces = [np.trace(r) for r in random_rotations(3000, rng)]
+        assert abs(np.mean(traces)) < 0.1
+
+    def test_count_validation(self, rng):
+        with pytest.raises(VirolabError):
+            random_rotations(0, rng)
+
+
+class TestOrientationGrid:
+    def test_product_structure(self):
+        grid = orientation_grid(8, 4)
+        assert grid.shape == (32, 3, 3)
+        for rotation in grid:
+            assert is_rotation(rotation, tol=1e-9)
+
+    def test_grid_covers_so3(self):
+        # Every random rotation must have a grid neighbour within a bound
+        # that shrinks as the grid grows.
+        rng = np.random.default_rng(0)
+        targets = random_rotations(30, rng)
+        coarse = orientation_grid(32, 6)
+        fine = orientation_grid(128, 12)
+
+        def nearest(grid, target):
+            return min(angular_distance(g, target) for g in grid)
+
+        coarse_err = np.median([nearest(coarse, t) for t in targets])
+        fine_err = np.median([nearest(fine, t) for t in targets])
+        assert fine_err < coarse_err
+        assert np.degrees(fine_err) < 15.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(VirolabError):
+            orientation_grid(0, 4)
+
+
+class TestPerturbAndDistance:
+    def test_distance_zero_to_self(self, rng):
+        r = random_rotations(1, rng)[0]
+        assert angular_distance(r, r) == pytest.approx(0.0, abs=1e-6)
+
+    def test_distance_symmetric(self, rng):
+        a, b = random_rotations(2, rng)
+        assert angular_distance(a, b) == pytest.approx(angular_distance(b, a))
+
+    def test_perturbation_bounded(self, rng):
+        r = random_rotations(1, rng)[0]
+        for _ in range(50):
+            p = perturb_rotation(r, 0.2, rng)
+            assert is_rotation(p, tol=1e-8)
+            assert angular_distance(r, p) <= 0.2 + 1e-9
+
+    def test_zero_magnitude_is_identity(self, rng):
+        r = random_rotations(1, rng)[0]
+        assert np.allclose(perturb_rotation(r, 0.0, rng), r)

@@ -1,0 +1,203 @@
+"""Phantom, projection, POD, P3DR, POR, PSF numerics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VirolabError
+from repro.virolab import (
+    angular_distance,
+    backproject,
+    fsc_curve,
+    make_dataset,
+    make_initial_model,
+    make_phantom,
+    match_orientations,
+    p3dr,
+    pod,
+    por,
+    project,
+    psf,
+    random_rotations,
+    reference_projections,
+    resolution_angstroms,
+)
+
+
+@pytest.fixture(scope="module")
+def phantom():
+    return make_phantom(size=24, seed=0)
+
+
+@pytest.fixture(scope="module")
+def dataset(phantom):
+    return make_dataset(phantom, count=24, noise_sigma=0.0, seed=2)
+
+
+class TestPhantom:
+    def test_shape_and_normalization(self, phantom):
+        assert phantom.shape == (24, 24, 24)
+        assert phantom.max() == pytest.approx(1.0)
+        assert phantom.min() >= 0.0
+
+    def test_deterministic(self):
+        assert np.allclose(make_phantom(size=16, seed=3), make_phantom(size=16, seed=3))
+        assert not np.allclose(make_phantom(size=16, seed=3), make_phantom(size=16, seed=4))
+
+    def test_mass_concentrated_inside(self, phantom):
+        # Negligible density at the box boundary (projections stay inside).
+        assert phantom[0].max() < 0.05
+        assert phantom[-1].max() < 0.05
+
+    def test_too_small_rejected(self):
+        with pytest.raises(VirolabError):
+            make_phantom(size=4)
+
+    def test_initial_model_is_degraded_truth(self, phantom):
+        initial = make_initial_model(phantom, seed=1)
+        assert initial.shape == phantom.shape
+        # correlated with the truth, but far from identical
+        c = np.corrcoef(initial.ravel(), phantom.ravel())[0, 1]
+        assert 0.3 < c < 0.995
+
+
+class TestProjection:
+    def test_projection_shape(self, phantom):
+        image = project(phantom, np.eye(3))
+        assert image.shape == (24, 24)
+
+    def test_identity_projection_is_axis_sum(self, phantom):
+        image = project(phantom, np.eye(3))
+        assert np.allclose(image, phantom.sum(axis=0), atol=1e-6)
+
+    def test_mass_preserved_under_rotation(self, phantom, rng):
+        base = project(phantom, np.eye(3)).sum()
+        for rotation in random_rotations(5, rng):
+            assert project(phantom, rotation).sum() == pytest.approx(base, rel=0.05)
+
+    def test_backproject_adjointness(self, phantom, rng):
+        # B is the adjoint of P up to the 1/size smear normalization:
+        # <P(v), i> == size * <v, B(i)>, modulo interpolation error.
+        rotation = random_rotations(1, rng)[0]
+        rng2 = np.random.default_rng(1)
+        image = rng2.random((24, 24))
+        lhs = float((project(phantom, rotation) * image).sum())
+        rhs = 24.0 * float((phantom * backproject(image, rotation, 24)).sum())
+        assert lhs == pytest.approx(rhs, rel=0.05)
+
+    def test_non_cubic_rejected(self):
+        with pytest.raises(VirolabError):
+            project(np.zeros((8, 8, 4)), np.eye(3))
+
+    def test_dataset_properties(self, dataset):
+        assert dataset.count == 24
+        assert dataset.size == 24
+        even, odd = dataset.split_streams()
+        assert len(even) == 12 and len(odd) == 12
+        assert set(even) | set(odd) == set(range(24))
+
+    def test_noise_level(self, phantom):
+        clean = make_dataset(phantom, count=4, noise_sigma=0.0, seed=2)
+        noisy = make_dataset(phantom, count=4, noise_sigma=0.2, seed=2)
+        assert not np.allclose(clean.images, noisy.images)
+
+
+class TestPOD:
+    def test_exact_grid_recovers_exactly(self, phantom, dataset):
+        refs = reference_projections(phantom, dataset.true_rotations)
+        assigned, scores = match_orientations(
+            dataset.images, refs, dataset.true_rotations
+        )
+        for a, b in zip(assigned, dataset.true_rotations):
+            assert angular_distance(a, b) == pytest.approx(0.0, abs=1e-6)
+        assert scores.min() > 0.999
+
+    def test_pod_accuracy_on_clean_data(self, phantom, dataset):
+        orientations, scores = pod(dataset.images, phantom, directions=128, inplane=12)
+        errors = [
+            np.degrees(angular_distance(a, b))
+            for a, b in zip(orientations, dataset.true_rotations)
+        ]
+        assert np.median(errors) < 20.0
+        assert scores.mean() > 0.9
+
+
+class TestP3DR:
+    def test_reconstruction_correlates_with_truth(self, phantom, dataset):
+        model = p3dr(dataset.images, dataset.true_rotations)
+        c = np.corrcoef(model.ravel(), phantom.ravel())[0, 1]
+        assert c > 0.5
+
+    def test_more_images_better(self, phantom):
+        big = make_dataset(phantom, count=48, noise_sigma=0.0, seed=5)
+        small_model = p3dr(big.images[:6], big.true_rotations[:6])
+        full_model = p3dr(big.images, big.true_rotations)
+        c_small = np.corrcoef(small_model.ravel(), phantom.ravel())[0, 1]
+        c_full = np.corrcoef(full_model.ravel(), phantom.ravel())[0, 1]
+        assert c_full > c_small
+
+    def test_mismatched_lengths_rejected(self, dataset):
+        with pytest.raises(VirolabError):
+            p3dr(dataset.images[:3], dataset.true_rotations[:2])
+
+    def test_empty_rejected(self, dataset):
+        with pytest.raises(VirolabError):
+            p3dr(dataset.images[:0], dataset.true_rotations[:0])
+
+
+class TestPOR:
+    def test_refinement_reduces_error(self, phantom, dataset):
+        rng = np.random.default_rng(0)
+        from repro.virolab import perturb_rotation
+
+        noisy = np.stack(
+            [perturb_rotation(r, 0.25, rng) for r in dataset.true_rotations]
+        )
+        refined, scores = por(
+            dataset.images, noisy, phantom, trials=15, magnitude=0.3, seed=1
+        )
+        before = np.mean(
+            [angular_distance(a, b) for a, b in zip(noisy, dataset.true_rotations)]
+        )
+        after = np.mean(
+            [angular_distance(a, b) for a, b in zip(refined, dataset.true_rotations)]
+        )
+        assert after < before
+
+    def test_scores_monotone_nondecreasing(self, phantom, dataset):
+        refined, scores = por(
+            dataset.images, dataset.true_rotations, phantom, trials=5, seed=1
+        )
+        # starting from the truth, greedy refinement cannot do worse
+        assert scores.min() > 0.99
+
+
+class TestPSF:
+    def test_identical_maps_perfect_fsc(self, phantom):
+        _, fsc = fsc_curve(phantom, phantom)
+        assert np.allclose(fsc[1:], 1.0, atol=1e-9)
+        assert resolution_angstroms(phantom, phantom) == pytest.approx(4.0)
+
+    def test_independent_noise_fsc_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(24, 24, 24))
+        b = rng.normal(size=(24, 24, 24))
+        _, fsc = fsc_curve(a, b)
+        assert np.abs(fsc[1:]).mean() < 0.2
+        assert resolution_angstroms(a, b) > 10.0
+
+    def test_resolution_monotone_in_blur(self, phantom):
+        from scipy import ndimage
+
+        mild = ndimage.gaussian_filter(phantom, 0.8)
+        heavy = ndimage.gaussian_filter(phantom, 2.5)
+        res_mild = resolution_angstroms(phantom, mild)
+        res_heavy = resolution_angstroms(phantom, heavy)
+        assert res_mild <= res_heavy
+
+    def test_psf_dict(self, phantom):
+        result = psf(phantom, phantom)
+        assert set(result) == {"resolution", "frequencies", "fsc"}
+
+    def test_shape_mismatch_rejected(self, phantom):
+        with pytest.raises(VirolabError):
+            fsc_curve(phantom, phantom[:12, :12, :12])

@@ -1,0 +1,84 @@
+"""Synthetic planning-problem generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanningError
+from repro.planner import forward_search, simulate_plan
+from repro.plan import sequential
+from repro.workloads import (
+    chain_problem,
+    choice_problem,
+    diamond_problem,
+    distractor_problem,
+    random_problem,
+)
+
+
+class TestChain:
+    def test_exact_order_required(self):
+        problem = chain_problem(3)
+        good = simulate_plan(sequential("a1", "a2", "a3"), problem)
+        bad = simulate_plan(sequential("a3", "a2", "a1"), problem)
+        assert good.validity_fitness() == 1.0
+        assert good.goal_fitness(problem) == 1.0
+        assert bad.goal_fitness(problem) == 0.0
+
+    def test_invalid_length(self):
+        with pytest.raises(PlanningError):
+            chain_problem(0)
+
+
+class TestDiamond:
+    def test_all_parts_needed(self):
+        problem = diamond_problem(3)
+        partial = simulate_plan(
+            sequential("produce", "mid1", "mid2", "join"), problem
+        )
+        full = simulate_plan(
+            sequential("produce", "mid1", "mid2", "mid3", "join"), problem
+        )
+        assert partial.goal_fitness(problem) == 0.0
+        assert full.goal_fitness(problem) == 1.0
+
+    def test_invalid_width(self):
+        with pytest.raises(PlanningError):
+            diamond_problem(1)
+
+
+class TestChoice:
+    def test_either_route_works(self):
+        problem = choice_problem()
+        left = simulate_plan(sequential("left1", "left2"), problem)
+        right = simulate_plan(sequential("right1", "right2"), problem)
+        assert left.goal_fitness(problem) == 1.0
+        assert right.goal_fitness(problem) == 1.0
+
+
+class TestDistractor:
+    def test_junk_never_applicable(self):
+        problem = distractor_problem(2, 4)
+        report = simulate_plan(sequential("junk0", "a1", "a2"), problem)
+        assert report.validity_fitness() == pytest.approx(2 / 3)
+        assert report.goal_fitness(problem) == 1.0
+
+
+class TestRandom:
+    @given(
+        n=st.integers(3, 20),
+        layers=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_solvable(self, n, layers, seed):
+        if n < layers:
+            return
+        problem = random_problem(n, layers, seed=seed)
+        result = forward_search(problem)
+        assert result.solved
+
+    def test_deterministic(self):
+        a = random_problem(8, 3, seed=1)
+        b = random_problem(8, 3, seed=1)
+        assert a.activity_names == b.activity_names
