@@ -1,0 +1,158 @@
+"""Record planner-performance numbers to BENCH_planner.json.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [--out BENCH_planner.json]
+
+Measures, on the Section-5 case-study problem:
+
+* ``evaluate_many`` on a population-60 batch — serial backend vs. the
+  process-pool backend (pool warmed outside timing, worker-side caching
+  off so every round simulates);
+* the same batch with only 12 unique structures (in-batch dedup);
+* a seeded GP run with the shared fitness cache vs. the identical run
+  with caching disabled (unique-simulation counts);
+* one full Table-1-budget GP generation sequence at population 60.
+
+Each PR can re-run this and diff against the committed JSON to keep a
+perf trajectory.  Timings are medians of --rounds repetitions; the host
+block records the CPU budget the numbers were taken under (a single-core
+host cannot show a parallel win — the dispatch overhead is then the
+honest number).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.plan import random_tree
+from repro.planner import EvaluationEngine, GPConfig, GPPlanner, PlanEvaluator
+from repro.virolab import planning_problem
+
+
+def _population(problem, count, seed=0):
+    rng = np.random.default_rng(seed)
+    activities = list(problem.activity_names)
+    return [
+        random_tree(activities, max_size=40, rng=rng, max_branch=4)
+        for _ in range(count)
+    ]
+
+
+def _time(fn, rounds):
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "rounds": rounds,
+    }
+
+
+def bench_evaluate_many(problem, rounds, workers):
+    trees = _population(problem, 60)
+    out = {}
+
+    serial = EvaluationEngine(problem)
+
+    def serial_run():
+        serial.evaluator.clear_cache()
+        serial.evaluate_many(trees)
+
+    out["serial_60"] = _time(serial_run, rounds)
+
+    with EvaluationEngine(
+        problem, workers=workers, worker_cache_size=0
+    ) as engine:
+        engine.evaluate_many(trees[:2])  # warm the pool outside timing
+
+        def parallel_run():
+            engine.evaluator.clear_cache()
+            engine.evaluate_many(trees)
+
+        out[f"parallel_60_workers{workers}"] = _time(parallel_run, rounds)
+        out["pool_error"] = engine.pool_error
+
+    unique = _population(problem, 12)
+    dup_trees = [unique[i % 12] for i in range(60)]
+    dedup = EvaluationEngine(problem)
+
+    def dedup_run():
+        dedup.evaluator.clear_cache()
+        dedup.evaluate_many(dup_trees)
+
+    out["dedup_60_of_12_unique"] = _time(dedup_run, rounds)
+    return out
+
+
+def bench_cache_effect(problem):
+    cfg = GPConfig(population_size=60, generations=10)
+    cached = GPPlanner(cfg, rng=0).plan(problem)
+    uncached = GPPlanner(cfg, rng=0).plan(
+        problem, evaluator=PlanEvaluator(problem, cache_size=0)
+    )
+    assert cached.best_fitness == uncached.best_fitness
+    return {
+        "evaluator_calls": uncached.cache_hits + uncached.cache_misses,
+        "simulations_in_batch_dedup_only": uncached.evaluations,
+        "simulations_with_shared_cache": cached.evaluations,
+        "cache_hit_rate": cached.cache_hit_rate,
+        "eval_time_cached_s": cached.eval_time,
+        "eval_time_uncached_s": uncached.eval_time,
+    }
+
+
+def bench_gp_run(problem, rounds):
+    cfg = GPConfig(population_size=60, generations=10)
+
+    def run():
+        GPPlanner(cfg, rng=1).plan(problem)
+
+    return _time(run, rounds)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_planner.json")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, min(4, os.cpu_count() or 1)),
+        help="pool size for the parallel measurement",
+    )
+    args = parser.parse_args(argv)
+
+    problem = planning_problem()
+    record = {
+        "benchmark": "GP planner evaluation engine",
+        "problem": problem.name,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "evaluate_many": bench_evaluate_many(problem, args.rounds, args.workers),
+        "cache_effect_pop60_gen10": bench_cache_effect(problem),
+        "gp_run_pop60_gen10": bench_gp_run(problem, max(2, args.rounds // 2)),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments import table2
 
-    result = table2(runs=args.runs, base_seed=args.seed)
+    result = table2(runs=args.runs, base_seed=args.seed, workers=args.workers)
     print(result.table.render())
     return 0
 
@@ -70,13 +70,18 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         else GPConfig(population_size=60, generations=10)
     )
     seeds = range(args.seeds)
-    print(exp.weight_sweep(seeds=seeds, config=config).render())
+    workers = args.workers
+    print(exp.weight_sweep(seeds=seeds, config=config, workers=workers).render())
     print()
-    print(exp.smax_sweep(seeds=seeds, config=config).render())
+    print(exp.smax_sweep(seeds=seeds, config=config, workers=workers).render())
     print()
-    print(exp.budget_sweep(seeds=seeds).render())
+    print(exp.budget_sweep(seeds=seeds, workers=workers).render())
     print()
-    print(exp.baseline_comparison(seeds=seeds, config=config).render())
+    print(
+        exp.baseline_comparison(
+            seeds=seeds, config=config, workers=workers
+        ).render()
+    )
     print()
     print(exp.replanning_sweep(cases=max(2, args.seeds)).render())
     return 0
@@ -177,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     p2 = sub.add_parser("table2", help="run the Section-5 experiment")
     p2.add_argument("--runs", type=int, default=10)
     p2.add_argument("--seed", type=int, default=0)
+    p2.add_argument("--workers", type=int, default=0,
+                    help="process-pool workers for seed-parallel runs "
+                    "(0 = serial; results are identical either way)")
 
     pf = sub.add_parser("figures", help="regenerate figure tables")
     pf.add_argument("only", nargs="*", help=f"subset of: {', '.join(_FIGURES)}")
@@ -185,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--seeds", type=int, default=3)
     pa.add_argument("--full", action="store_true",
                     help="use the full Table-1 GP budget (slow)")
+    pa.add_argument("--workers", type=int, default=0,
+                    help="process-pool workers for seed-parallel sweeps "
+                    "(0 = serial; results are identical either way)")
 
     pc = sub.add_parser("casestudy", help="enact the real reconstruction")
     pc.add_argument("--containers", type=int, default=3)

@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PlanningError, ServiceError
-from repro.experiments.harness import Table, summarize_runs
+from repro.experiments.harness import Table, run_seeds, summarize_runs
 from repro.grid.container import EndUserService
 from repro.planner.baselines import forward_search, hill_climb, random_search
 from repro.planner.config import GPConfig
@@ -38,14 +38,21 @@ __all__ = [
 ]
 
 
-def _runs(config: GPConfig, problem: PlanningProblem, seeds: Sequence[int]):
-    return [GPPlanner(config, rng=seed).plan(problem) for seed in seeds]
+def _runs(
+    config: GPConfig,
+    problem: PlanningProblem,
+    seeds: Sequence[int],
+    workers: int = 0,
+):
+    """Seed-parallel GP runs (see :func:`repro.experiments.harness.run_seeds`)."""
+    return run_seeds(config, problem, seeds, workers=workers)
 
 
 def weight_sweep(
     problem: PlanningProblem | None = None,
     seeds: Sequence[int] = range(5),
     config: GPConfig | None = None,
+    workers: int = 0,
 ) -> Table:
     """A1: vary (wv, wg, wr); report solve rate and plan size."""
     problem = problem or planning_problem()
@@ -64,7 +71,7 @@ def weight_sweep(
     ]
     for wv, wg, wr in settings:
         cfg = base.with_(weights=FitnessWeights(wv, wg, wr))
-        runs = _runs(cfg, problem, seeds)
+        runs = _runs(cfg, problem, seeds, workers)
         solve = sum(r.solved for r in runs) / len(runs)
         table.add(
             wv,
@@ -82,6 +89,7 @@ def smax_sweep(
     seeds: Sequence[int] = range(5),
     smax_values: Sequence[int] = (10, 20, 40, 80, 160),
     config: GPConfig | None = None,
+    workers: int = 0,
 ) -> Table:
     """A2: the Smax bloat bound vs solve rate and emitted plan size."""
     problem = problem or planning_problem()
@@ -92,7 +100,7 @@ def smax_sweep(
     )
     for smax in smax_values:
         cfg = base.with_(smax=smax)
-        runs = _runs(cfg, problem, seeds)
+        runs = _runs(cfg, problem, seeds, workers)
         table.add(
             smax,
             sum(r.solved for r in runs) / len(runs),
@@ -113,6 +121,7 @@ def budget_sweep(
         (400, 20),
     ),
     config: GPConfig | None = None,
+    workers: int = 0,
 ) -> Table:
     """A3: population x generations vs solve rate."""
     problem = problem or planning_problem()
@@ -123,7 +132,7 @@ def budget_sweep(
     )
     for population, generations in settings:
         cfg = base.with_(population_size=population, generations=generations)
-        runs = _runs(cfg, problem, seeds)
+        runs = _runs(cfg, problem, seeds, workers)
         table.add(
             population,
             generations,
@@ -138,6 +147,7 @@ def baseline_comparison(
     problems: Sequence[PlanningProblem] | None = None,
     seeds: Sequence[int] = range(5),
     config: GPConfig | None = None,
+    workers: int = 0,
 ) -> Table:
     """A4: GP vs baselines at a matched evaluation budget.
 
@@ -157,7 +167,7 @@ def baseline_comparison(
         ("problem", "planner", "solve rate", "avg fitness", "avg budget"),
     )
     for problem in problems:
-        gp_runs = _runs(cfg, problem, seeds)
+        gp_runs = _runs(cfg, problem, seeds, workers)
         budget = max(1, int(np.mean([r.evaluations for r in gp_runs])))
         table.add(
             problem.name,

@@ -2,17 +2,58 @@
 
 Every table/figure driver returns a :class:`Table` whose ``render()``
 produces the same rows the paper prints; benches ``print`` it and assert
-on the underlying values.
+on the underlying values.  :func:`run_seeds` is the shared multi-seed GP
+runner: seeds are independent, so with ``workers`` > 1 it fans whole runs
+out to a process pool (results identical to serial — each run is
+self-contained and seeded).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
-__all__ = ["Table", "summarize_runs"]
+if TYPE_CHECKING:  # circular-import guard: gp imports nothing from here
+    from repro.planner.config import GPConfig
+    from repro.planner.gp import PlanningResult
+    from repro.planner.problem import PlanningProblem
+
+__all__ = ["Table", "summarize_runs", "run_seeds"]
+
+
+def _run_one_seed(args: tuple) -> "PlanningResult":
+    """Module-level for picklability (ProcessPoolExecutor dispatch)."""
+    from repro.planner.gp import GPPlanner
+
+    config, problem, seed = args
+    return GPPlanner(config, rng=seed).plan(problem)
+
+
+def run_seeds(
+    config: "GPConfig",
+    problem: "PlanningProblem",
+    seeds: Sequence[int],
+    workers: int = 0,
+) -> list["PlanningResult"]:
+    """One independent GP run per seed, in seed order.
+
+    ``workers`` > 1 runs seeds concurrently in a process pool (each worker
+    re-derives its compiled problem on unpickle); falls back to serial
+    in-process execution on pool failure or when there is nothing to
+    parallelize.
+    """
+    jobs = [(config, problem, int(seed)) for seed in seeds]
+    if workers > 1 and len(jobs) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+                return list(pool.map(_run_one_seed, jobs))
+        except Exception:  # sandboxed fork etc.: degrade to serial
+            pass
+    return [_run_one_seed(job) for job in jobs]
 
 
 @dataclass

@@ -17,9 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.harness import Table
+from repro.experiments.harness import Table, run_seeds
 from repro.planner.config import GPConfig
-from repro.planner.gp import GPPlanner, PlanningResult
+from repro.planner.gp import PlanningResult
 from repro.planner.problem import PlanningProblem
 from repro.virolab.workflow import planning_problem
 
@@ -74,17 +74,20 @@ def table2(
     config: GPConfig | None = None,
     problem: PlanningProblem | None = None,
     base_seed: int = 0,
+    workers: int = 0,
 ) -> Table2Result:
     """Reproduce Table 2: *runs* independent GP runs, averaged.
 
     Each run uses seed ``base_seed + i``; the best individual of the final
-    generation is the run's solution, exactly as in Section 5.
+    generation is the run's solution, exactly as in Section 5.  The ten
+    runs are independent, so ``workers`` > 1 executes them seed-parallel
+    (identical results, see :func:`repro.experiments.harness.run_seeds`).
     """
     config = config or GPConfig()
     problem = problem or planning_problem()
-    results = [
-        GPPlanner(config, rng=base_seed + i).plan(problem) for i in range(runs)
-    ]
+    results = run_seeds(
+        config, problem, range(base_seed, base_seed + runs), workers=workers
+    )
     table = Table(
         "Table 2. Experiment results collected from the best solutions "
         f"of {runs} runs.",

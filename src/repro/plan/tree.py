@@ -73,6 +73,26 @@ class PlanNode:
         """Activity names at the leaves, left to right."""
         return [n.activity for n in self.walk() if isinstance(n, Terminal)]
 
+    def struct_key(self) -> tuple:
+        """Canonical, hashable structural key of the subtree.
+
+        Two trees have equal keys iff they are structurally equal (same
+        shape, kinds and leaf activities), so the key can stand in for the
+        tree itself in fitness caches and dedup maps.  Computed once per
+        node and cached — tournament selection and surviving individuals
+        hit the evaluator with the same instances over and over, and
+        recursive dataclass hashing of a 40-node tree on every lookup is
+        what this avoids.
+        """
+        raise NotImplementedError
+
+    def __getstate__(self) -> dict:
+        # Keep cached structural keys out of pickles: process-pool dispatch
+        # ships trees to workers, and the key roughly doubles the payload.
+        state = dict(self.__dict__)
+        state.pop("_skey", None)
+        return state
+
 
 @dataclass(frozen=True)
 class Terminal(PlanNode):
@@ -90,6 +110,13 @@ class Terminal(PlanNode):
 
     def walk(self) -> Iterator[PlanNode]:
         yield self
+
+    def struct_key(self) -> tuple:
+        key = getattr(self, "_skey", None)
+        if key is None:
+            key = ("T", self.activity)
+            object.__setattr__(self, "_skey", key)
+        return key
 
     def __str__(self) -> str:
         return self.activity
@@ -120,6 +147,13 @@ class Controller(PlanNode):
         yield self
         for child in self.children:
             yield from child.walk()
+
+    def struct_key(self) -> tuple:
+        key = getattr(self, "_skey", None)
+        if key is None:
+            key = (self.kind.value, *(child.struct_key() for child in self.children))
+            object.__setattr__(self, "_skey", key)
+        return key
 
     def __str__(self) -> str:
         inner = ", ".join(str(c) for c in self.children)

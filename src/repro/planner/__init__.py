@@ -9,7 +9,8 @@ Public surface: :class:`~repro.planner.problem.PlanningProblem` /
 
 from repro.planner.baselines import forward_search, hill_climb, random_search
 from repro.planner.config import GPConfig, table1_config
-from repro.planner.fitness import Fitness, FitnessWeights, PlanEvaluator
+from repro.planner.engine import EvaluationEngine
+from repro.planner.fitness import Fitness, FitnessWeights, PlanEvaluator, evaluate_tree
 from repro.planner.gp import GenerationStats, GPPlanner, PlanningResult
 from repro.planner.operators import crossover, mutate, random_node_path
 from repro.planner.problem import ActivitySpec, PlanningProblem
@@ -39,6 +40,8 @@ __all__ = [
     "FitnessWeights",
     "Fitness",
     "PlanEvaluator",
+    "EvaluationEngine",
+    "evaluate_tree",
     "crossover",
     "mutate",
     "random_node_path",

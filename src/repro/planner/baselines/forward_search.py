@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.errors import PlanningError
 from repro.plan.tree import PlanNode, Terminal, sequential
+from repro.planner.engine import EvaluationEngine
 from repro.planner.fitness import PlanEvaluator
 from repro.planner.gp import PlanningResult
 from repro.planner.problem import PlanningProblem
@@ -30,6 +31,9 @@ __all__ = ["forward_search"]
 
 
 def _fingerprint(state: WorldState) -> tuple:
+    key = state.merge_key()
+    if key is not None:
+        return key
     return tuple(
         (name, tuple(sorted(state.properties(name).items())))
         for name in sorted(state.data_names())
@@ -38,7 +42,7 @@ def _fingerprint(state: WorldState) -> tuple:
 
 def forward_search(
     problem: PlanningProblem,
-    evaluator: PlanEvaluator | None = None,
+    evaluator: PlanEvaluator | EvaluationEngine | None = None,
     max_states: int = 100_000,
 ) -> PlanningResult:
     """BFS to a goal state; raises :class:`PlanningError` when the goal is

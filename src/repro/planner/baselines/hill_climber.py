@@ -6,6 +6,10 @@ non-worsening neighbour.  Restarts from a fresh random tree after
 *stall_limit* consecutive rejected moves, which keeps the climber honest on
 deceptive landscapes instead of letting it burn the whole budget in a local
 optimum.
+
+Unlike random search this cannot batch — each candidate depends on whether
+the previous one was accepted — so it calls the evaluator one tree at a
+time and benefits from the shared fitness cache only.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import numpy as np
 from repro._util import as_rng
 from repro.plan.randgen import random_tree
 from repro.plan.tree import replace_at
+from repro.planner.engine import EvaluationEngine
 from repro.planner.fitness import PlanEvaluator
 from repro.planner.gp import PlanningResult
 from repro.planner.operators import random_node_path
@@ -25,7 +30,7 @@ __all__ = ["hill_climb"]
 
 def hill_climb(
     problem: PlanningProblem,
-    evaluator: PlanEvaluator,
+    evaluator: PlanEvaluator | EvaluationEngine,
     budget: int,
     rng: int | np.random.Generator | None = None,
     stall_limit: int = 50,

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro._util import as_rng
 from repro.plan.randgen import random_tree
+from repro.planner.engine import EvaluationEngine
 from repro.planner.fitness import PlanEvaluator
 from repro.planner.gp import PlanningResult
 from repro.planner.problem import PlanningProblem
@@ -21,28 +22,35 @@ __all__ = ["random_search"]
 
 def random_search(
     problem: PlanningProblem,
-    evaluator: PlanEvaluator,
+    evaluator: PlanEvaluator | EvaluationEngine,
     budget: int,
     rng: int | np.random.Generator | None = None,
     max_branch: int = 4,
 ) -> PlanningResult:
-    """Evaluate *budget* random trees; return the best found."""
+    """Evaluate *budget* random trees; return the best found.
+
+    Trees are drawn up front (tree generation never consults the
+    evaluator, so the RNG stream is unchanged) and scored in one
+    ``evaluate_many`` batch — deduped, cached, and parallel when
+    *evaluator* is an :class:`EvaluationEngine` with workers.  The first
+    tree with the maximal fitness wins, as in the sequential version.
+    """
     generator = as_rng(rng)
     activities = list(problem.activity_names)
-    best_tree = random_tree(
-        activities, max_size=evaluator.smax, rng=generator, max_branch=max_branch
-    )
-    best_fitness = evaluator(best_tree)
-    for _ in range(budget - 1):
-        tree = random_tree(
+    trees = [
+        random_tree(
             activities, max_size=evaluator.smax, rng=generator, max_branch=max_branch
         )
-        fitness = evaluator(tree)
-        if fitness.overall > best_fitness.overall:
-            best_tree, best_fitness = tree, fitness
+        for _ in range(max(1, budget))
+    ]
+    fitnesses = evaluator.evaluate_many(trees)
+    best_idx = 0
+    for idx in range(1, len(trees)):
+        if fitnesses[idx].overall > fitnesses[best_idx].overall:
+            best_idx = idx
     return PlanningResult(
-        best_plan=best_tree,
-        best_fitness=best_fitness,
+        best_plan=trees[best_idx],
+        best_fitness=fitnesses[best_idx],
         evaluations=evaluator.evaluations,
         generations_run=0,
     )

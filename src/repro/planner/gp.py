@@ -26,6 +26,7 @@ from repro._util import as_rng
 from repro.plan.randgen import random_tree
 from repro.plan.tree import PlanNode
 from repro.planner.config import GPConfig
+from repro.planner.engine import EvaluationEngine
 from repro.planner.fitness import Fitness, PlanEvaluator
 from repro.planner.operators import crossover, mutate
 from repro.planner.problem import PlanningProblem
@@ -36,7 +37,12 @@ __all__ = ["GenerationStats", "PlanningResult", "GPPlanner"]
 
 @dataclass(frozen=True)
 class GenerationStats:
-    """Per-generation telemetry recorded by the planner."""
+    """Per-generation telemetry recorded by the planner.
+
+    Timing fields are excluded from equality so that results from
+    different evaluation backends (serial vs process pool) compare equal
+    when — as guaranteed — the evolved populations are bit-identical.
+    """
 
     generation: int
     best_fitness: float
@@ -45,6 +51,11 @@ class GenerationStats:
     best_goal: float
     best_size: int
     mean_size: float
+    cache_hit_rate: float = 0.0
+    """Fraction of this generation's evaluations served from the fitness
+    cache (in-batch dedup counts as a hit)."""
+    eval_time: float = field(default=0.0, compare=False)
+    """Wall-clock seconds spent evaluating this generation's population."""
 
 
 @dataclass(frozen=True)
@@ -56,11 +67,20 @@ class PlanningResult:
     history: tuple[GenerationStats, ...] = ()
     evaluations: int = 0
     generations_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    eval_time: float = field(default=0.0, compare=False)
+    """Total wall-clock seconds spent in population evaluation."""
 
     @property
     def solved(self) -> bool:
         """Perfect validity and goal fitness (the Table-2 success notion)."""
         return self.best_fitness.validity == 1.0 and self.best_fitness.goal == 1.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class GPPlanner:
@@ -98,20 +118,46 @@ class GPPlanner:
         self,
         problem: PlanningProblem,
         evaluator: PlanEvaluator | None = None,
+        engine: EvaluationEngine | None = None,
+    ) -> PlanningResult:
+        """Run the GP loop.
+
+        Population scoring goes through an :class:`EvaluationEngine`
+        (batched, deduped, cached, and parallel when ``config.workers`` >
+        0).  Passing *evaluator* shares its fitness cache with the engine;
+        passing *engine* reuses pool and cache across calls (the caller
+        keeps ownership and closes it).
+        """
+        cfg = self.config
+        owns_engine = engine is None
+        if engine is None:
+            engine = EvaluationEngine(
+                problem,
+                cfg.weights,
+                cfg.smax,
+                cfg.simulation,
+                workers=cfg.workers,
+                evaluator=evaluator,
+            )
+        try:
+            return self._plan(problem, engine)
+        finally:
+            if owns_engine:
+                engine.close()
+
+    def _plan(
+        self, problem: PlanningProblem, engine: EvaluationEngine
     ) -> PlanningResult:
         cfg = self.config
-        evaluator = evaluator or PlanEvaluator(
-            problem, cfg.weights, cfg.smax, cfg.simulation
-        )
         activities = list(problem.activity_names)
         population = self.initial_population(problem)
         history: list[GenerationStats] = []
         generations_run = 0
 
-        fitnesses = [evaluator(tree) for tree in population]
+        fitnesses = self._evaluate(engine, population)
         for generation in range(cfg.generations):
             generations_run = generation + 1
-            history.append(self._stats(generation, population, fitnesses))
+            history.append(self._stats(generation, population, fitnesses, engine))
             if cfg.early_stop and any(
                 f.validity == 1.0 and f.goal == 1.0 for f in fitnesses
             ):
@@ -150,20 +196,39 @@ class GPPlanner:
                 )
                 for tree in next_population
             ]
-            fitnesses = [evaluator(tree) for tree in population]
+            fitnesses = self._evaluate(engine, population)
 
         best_idx = int(np.argmax([f.overall for f in fitnesses]))
         return PlanningResult(
             best_plan=population[best_idx],
             best_fitness=fitnesses[best_idx],
             history=tuple(history),
-            evaluations=evaluator.evaluations,
+            evaluations=engine.evaluations,
             generations_run=generations_run,
+            cache_hits=engine.cache_hits,
+            cache_misses=engine.cache_misses,
+            eval_time=engine.eval_time,
         )
 
-    @staticmethod
+    def _evaluate(
+        self, engine: EvaluationEngine, population: list[PlanNode]
+    ) -> list[Fitness]:
+        """Score a population, remembering the per-batch telemetry deltas."""
+        hits0, misses0 = engine.cache_hits, engine.cache_misses
+        fitnesses = engine.evaluate_many(population)
+        calls = (engine.cache_hits - hits0) + (engine.cache_misses - misses0)
+        self._gen_hit_rate = (
+            (engine.cache_hits - hits0) / calls if calls else 0.0
+        )
+        self._gen_eval_time = engine.last_batch_time
+        return fitnesses
+
     def _stats(
-        generation: int, population: list[PlanNode], fitnesses: list[Fitness]
+        self,
+        generation: int,
+        population: list[PlanNode],
+        fitnesses: list[Fitness],
+        engine: EvaluationEngine,
     ) -> GenerationStats:
         overall = np.array([f.overall for f in fitnesses])
         sizes = np.array([tree.size for tree in population])
@@ -176,4 +241,6 @@ class GPPlanner:
             best_goal=fitnesses[best].goal,
             best_size=int(sizes[best]),
             mean_size=float(sizes.mean()),
+            cache_hit_rate=self._gen_hit_rate,
+            eval_time=self._gen_eval_time,
         )

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.errors import PlanningError
 from repro.planner.state import WorldState
@@ -63,6 +63,20 @@ class ActivitySpec:
             self, "_compiled_pre", compile_condition(self.precondition)
         )
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Compiled precondition closures are not picklable; drop them and
+        # recompile on the other side (process-pool workers receive specs
+        # through here).
+        state = dict(self.__dict__)
+        state.pop("_compiled_pre", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        object.__setattr__(
+            self, "_compiled_pre", compile_condition(self.precondition)
+        )
+
     def applicable(self, state: WorldState) -> bool:
         return self._compiled_pre(state)  # type: ignore[attr-defined]
 
@@ -105,9 +119,44 @@ class PlanningProblem:
         if not specs:
             raise PlanningError("a planning problem needs a non-empty T")
         object.__setattr__(self, "activities", specs)
+        self._compile()
+
+    def _compile(self) -> None:
+        """Pre-compile goals and the per-activity execution table.
+
+        The simulator executes terminals hundreds of thousands of times
+        per GP run; indexing ``name -> (compiled precondition, effects)``
+        once here keeps condition-AST traversal, ``spec()`` lookups and
+        bound-method creation out of that inner loop.
+        """
         object.__setattr__(
             self, "_compiled_goals", tuple(compile_condition(g) for g in self.goals)
         )
+        object.__setattr__(
+            self,
+            "_exec_table",
+            {
+                name: (spec._compiled_pre, spec.effects)  # type: ignore[attr-defined]
+                for name, spec in self.activities.items()
+            },
+        )
+        object.__setattr__(self, "_goal_cache", {})
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        for key in ("_compiled_goals", "_exec_table", "_goal_cache"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._compile()
+
+    def execution_table(
+        self,
+    ) -> Mapping[str, tuple[Callable[[WorldState], bool], Mapping[str, Any]]]:
+        """``name -> (applicable, effects)`` for every activity in T."""
+        return self._exec_table  # type: ignore[attr-defined]
 
     @property
     def activity_names(self) -> tuple[str, ...]:
@@ -122,11 +171,31 @@ class PlanningProblem:
         """
         return self.activities.get(name)
 
+    #: Goal-score memo bound; final states repeat heavily across the flows
+    #: and trees of one GP run, far beyond this many distinct ones.
+    _GOAL_CACHE_MAX = 4096
+
     def goal_score(self, state: WorldState) -> float:
-        """Eq. 2: fraction of goal specifications the state satisfies."""
+        """Eq. 2: fraction of goal specifications the state satisfies.
+
+        Memoized on the state's canonical merge key (bounded FIFO):
+        distinct plan trees funnel into a small set of reachable final
+        states, so most scores are repeat lookups.
+        """
+        key = state.merge_key() if isinstance(state, WorldState) else None
+        cache: dict = self._goal_cache  # type: ignore[attr-defined]
+        if key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
         compiled = self._compiled_goals  # type: ignore[attr-defined]
         satisfied = sum(1 for check in compiled if check(state))
-        return satisfied / len(compiled)
+        score = satisfied / len(compiled)
+        if key is not None:
+            if len(cache) >= self._GOAL_CACHE_MAX:
+                cache.pop(next(iter(cache)))
+            cache[key] = score
+        return score
 
     @staticmethod
     def build(

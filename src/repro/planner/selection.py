@@ -31,7 +31,17 @@ def tournament_select(
     tournament_size: int = 2,
     count: int | None = None,
 ) -> list[PlanNode]:
-    """Select *count* individuals (default: population size) by tournaments."""
+    """Select *count* individuals (default: population size) by tournaments.
+
+    Vectorized: all contender indices come from one
+    ``rng.integers(..., size=(wanted, tournament_size))`` draw and winners
+    from a NumPy argmax over the fitness array.  Both preserve the
+    previous per-tournament semantics exactly — PCG64 produces the same
+    index stream whether bounded integers are drawn in one call or in
+    *wanted* calls of *tournament_size*, and ``argmax`` matches
+    ``max(...)``'s first-of-equals tie-breaking — so seeded runs are
+    unchanged.
+    """
     if len(population) != len(fitnesses):
         raise PlanningError(
             f"population/fitness length mismatch: "
@@ -44,9 +54,10 @@ def tournament_select(
     generator = as_rng(rng)
     n = len(population)
     wanted = count if count is not None else n
-    selected: list[PlanNode] = []
-    for _ in range(wanted):
-        contenders = generator.integers(0, n, size=tournament_size)
-        best = max(contenders, key=lambda idx: fitnesses[int(idx)].overall)
-        selected.append(population[int(best)])
-    return selected
+    if not wanted:
+        return []
+    overall = np.fromiter((f.overall for f in fitnesses), dtype=float, count=n)
+    contenders = generator.integers(0, n, size=(wanted, tournament_size))
+    winner_col = np.argmax(overall[contenders], axis=1)
+    winners = contenders[np.arange(wanted), winner_col]
+    return [population[int(idx)] for idx in winners]

@@ -182,23 +182,20 @@ def simulate_with_attribution(
     )
 
 
-def _fingerprint(state: WorldState) -> tuple:
-    data = state._data
-    return tuple(
-        sorted((name, tuple(sorted(props.items()))) for name, props in data.items())
-    )
-
-
 def _merge(partials: list[_Partial]) -> list[_Partial]:
-    """Merge flows with identical states (exact; see module docstring)."""
+    """Merge flows with identical states (exact; see module docstring).
+
+    Keys on :meth:`WorldState.merge_key`, which each state computes once
+    and caches — join-point merging previously rebuilt the canonical
+    tuple from the full state dict for every flow at every join.
+    """
     if len(partials) <= 1:
         return partials
     merged: dict[tuple, list] = {}
     order: list[tuple] = []
     for state, executed, valid, weight in partials:
-        try:
-            key = _fingerprint(state)
-        except TypeError:  # unhashable property value: skip merging entirely
+        key = state.merge_key()
+        if key is None:  # unhashable property value: skip merging entirely
             return partials
         slot = merged.get(key)
         if slot is None:
@@ -259,21 +256,22 @@ def _simulate(
 
     if isinstance(node, Terminal):
         budget[0] -= len(partials)
-        spec = problem.spec(node.activity)
+        entry = problem.execution_table().get(node.activity)
         record = None
         if stats is not None:
             record = stats.setdefault(path, [0.0, 0.0])
         out: list[_Partial] = []
-        if spec is None:
+        if entry is None:
             for state, executed, valid, weight in partials:
                 out.append((state, executed + weight, valid, weight))
                 if record is not None:
                     record[0] += weight
             return out, truncated
+        applicable, effects = entry
         for state, executed, valid, weight in partials:
-            if spec.applicable(state):
+            if applicable(state):
                 out.append(
-                    (spec.apply(state), executed + weight, valid + weight, weight)
+                    (state.updated(effects), executed + weight, valid + weight, weight)
                 )
                 if record is not None:
                     record[0] += weight

@@ -20,6 +20,10 @@ from repro.process.conditions import Condition
 
 __all__ = ["WorldState"]
 
+#: Cached-merge-key sentinel for states whose property values are
+#: unhashable (lists, dicts); such states cannot key a merge/memo table.
+_UNHASHABLE = object()
+
 
 class WorldState:
     """An immutable-by-convention map ``data name -> {property: value}``.
@@ -33,19 +37,52 @@ class WorldState:
     execution derives a state), so the sharing matters.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_mkey")
 
     def __init__(self, data: Mapping[str, Mapping[str, Any]] | None = None) -> None:
         self._data: dict[str, dict[str, Any]] = {
             name: dict(props) for name, props in (data or {}).items()
         }
+        self._mkey: Any = None
 
     @classmethod
     def _adopt(cls, data: dict[str, dict[str, Any]]) -> "WorldState":
         """Internal: wrap *data* without copying (caller transfers ownership)."""
         out = cls.__new__(cls)
         out._data = data
+        out._mkey = None
         return out
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {"_data": self._data}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._data = state["_data"]
+        self._mkey = None
+
+    def merge_key(self) -> tuple | None:
+        """Canonical frozen key of this state, or None if unhashable.
+
+        Valid for the state's whole lifetime because states are
+        immutable-by-convention (all mutation derives new states).  Used
+        by the simulator's flow merging and by goal-score memoization —
+        both previously rebuilt this tuple from the full data dict at
+        every join point of every flow.
+        """
+        key = self._mkey
+        if key is None:
+            key = tuple(
+                sorted(
+                    (name, tuple(sorted(props.items())))
+                    for name, props in self._data.items()
+                )
+            )
+            try:
+                hash(key)
+            except TypeError:
+                key = _UNHASHABLE
+            self._mkey = key
+        return None if key is _UNHASHABLE else key
 
     # -- PropertySource protocol -------------------------------------------- #
     def lookup(self, data_name: str, prop: str) -> Any:

@@ -73,3 +73,35 @@ def test_deterministic_under_seed(population):
     a = tournament_select(population, fits, np.random.default_rng(5))
     b = tournament_select(population, fits, np.random.default_rng(5))
     assert a == b
+
+
+def test_vectorized_matches_sequential_reference(population):
+    """The one-shot (wanted, k) index draw + argmax must reproduce the old
+    per-tournament loop exactly: same RNG consumption, same winners."""
+    fits = [fit(v) for v in (0.1, 0.4, 0.4, 0.2)]  # ties included
+
+    def reference(rng, wanted, k):
+        out = []
+        for _ in range(wanted):
+            contenders = rng.integers(0, len(population), size=k)
+            best = max(contenders, key=lambda idx: fits[int(idx)].overall)
+            out.append(population[int(best)])
+        return out
+
+    for k in (1, 2, 3):
+        seed = 100 + k
+        expected = reference(np.random.default_rng(seed), 31, k)
+        got = tournament_select(
+            population, fits, np.random.default_rng(seed), tournament_size=k, count=31
+        )
+        assert got == expected
+        # and the generator ends in the same state (downstream draws align)
+        r1, r2 = np.random.default_rng(seed), np.random.default_rng(seed)
+        reference(r1, 31, k)
+        tournament_select(population, fits, r2, tournament_size=k, count=31)
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+
+def test_count_zero_is_empty(population):
+    fits = [fit(0.5)] * 4
+    assert tournament_select(population, fits, np.random.default_rng(0), count=0) == []

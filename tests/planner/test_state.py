@@ -81,3 +81,31 @@ class TestConditions:
     def test_len_iter(self, state):
         assert len(state) == 1
         assert list(state) == ["D1"]
+
+
+class TestMergeKey:
+    def test_equal_states_equal_keys(self):
+        a = WorldState({"D1": {"Size": 3}, "D2": {"x": 1}})
+        b = WorldState({"D2": {"x": 1}, "D1": {"Size": 3}})
+        assert a.merge_key() == b.merge_key()
+        assert hash(a.merge_key()) == hash(b.merge_key())
+
+    def test_key_is_cached(self, state):
+        assert state.merge_key() is state.merge_key()
+
+    def test_derived_state_gets_fresh_key(self, state):
+        derived = state.with_data("D9", flag=True)
+        assert derived.merge_key() != state.merge_key()
+
+    def test_unhashable_values_yield_none(self):
+        weird = WorldState({"D1": {"blob": [1, 2, 3]}})
+        assert weird.merge_key() is None
+        assert weird.merge_key() is None  # cached negative result too
+
+    def test_pickle_drops_cached_key(self, state):
+        import pickle
+
+        key = state.merge_key()
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state
+        assert clone.merge_key() == key
