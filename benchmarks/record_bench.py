@@ -1,10 +1,11 @@
-"""Record planner-performance numbers to BENCH_planner.json.
+"""Record performance numbers (planner and message bus).
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--out BENCH_planner.json]
+    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus]
 
-Measures, on the Section-5 case-study problem:
+The **planner** suite (BENCH_planner.json) measures, on the Section-5
+case-study problem:
 
 * ``evaluate_many`` on a population-60 batch — serial backend vs. the
   process-pool backend (pool warmed outside timing, worker-side caching
@@ -13,6 +14,14 @@ Measures, on the Section-5 case-study problem:
 * a seeded GP run with the shared fitness cache vs. the identical run
   with caching disabled (unique-simulation counts);
 * one full Table-1-budget GP generation sequence at population 60.
+
+The **bus** suite (BENCH_bus.json) measures message-fabric throughput:
+
+* one-way fire-and-forget routing (router + mailbox + trace + metrics),
+  at the default trace capacity and at a tiny bounded capacity (eviction
+  on the hot path);
+* sequential RPC round trips through ``Agent.call`` (request, handler
+  dispatch, reply, latency histogram).
 
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
@@ -121,9 +130,86 @@ def bench_gp_run(problem, rounds):
     return _time(run, rounds)
 
 
+def _bus_env(trace_capacity=None):
+    from repro.grid import Agent, GridEnvironment
+
+    env = GridEnvironment(trace_capacity=trace_capacity)
+
+    class Sink(Agent):
+        def handle_ping(self, message):
+            return {"pong": True}
+
+    Sink(env, "sink", "core")
+    driver = Agent(env, "driver", "core")
+    return env, driver
+
+
+def bench_bus_throughput(rounds, oneway_count=5_000, rpc_count=2_000):
+    """Message-fabric throughput: routing, delivery, tracing, metrics."""
+    from repro.grid import Message, Performative
+
+    out = {}
+
+    def oneway(trace_capacity):
+        def run():
+            env, driver = _bus_env(trace_capacity)
+            for _ in range(oneway_count):
+                driver.send(
+                    Message(
+                        sender="driver",
+                        receiver="sink",
+                        performative=Performative.INFORM,
+                        action="event",
+                    )
+                )
+            env.run()
+
+        return run
+
+    for label, capacity in (("default_trace", None), ("trace_capacity_256", 256)):
+        timing = _time(oneway(capacity), rounds)
+        timing["messages_per_s"] = oneway_count / timing["median_s"]
+        out[f"oneway_{oneway_count}_{label}"] = timing
+
+    def rpc_run():
+        env, driver = _bus_env()
+
+        def main():
+            for _ in range(rpc_count):
+                yield from driver.call("sink", "ping")
+
+        env.engine.spawn(main(), "main")
+        env.run()
+
+    timing = _time(rpc_run, rounds)
+    timing["roundtrips_per_s"] = rpc_count / timing["median_s"]
+    out[f"rpc_roundtrip_{rpc_count}"] = timing
+    return out
+
+
+def _host():
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def _write(path, record):
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite", choices=("all", "planner", "bus"), default="all"
+    )
     parser.add_argument("--out", default="BENCH_planner.json")
+    parser.add_argument("--bus-out", default="BENCH_bus.json")
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
         "--workers",
@@ -133,24 +219,27 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    problem = planning_problem()
-    record = {
-        "benchmark": "GP planner evaluation engine",
-        "problem": problem.name,
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
-        "evaluate_many": bench_evaluate_many(problem, args.rounds, args.workers),
-        "cache_effect_pop60_gen10": bench_cache_effect(problem),
-        "gp_run_pop60_gen10": bench_gp_run(problem, max(2, args.rounds // 2)),
-    }
-    with open(args.out, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(record, indent=2))
-    print(f"\nwrote {args.out}")
+    if args.suite in ("all", "planner"):
+        problem = planning_problem()
+        record = {
+            "benchmark": "GP planner evaluation engine",
+            "problem": problem.name,
+            "host": _host(),
+            "evaluate_many": bench_evaluate_many(
+                problem, args.rounds, args.workers
+            ),
+            "cache_effect_pop60_gen10": bench_cache_effect(problem),
+            "gp_run_pop60_gen10": bench_gp_run(problem, max(2, args.rounds // 2)),
+        }
+        _write(args.out, record)
+
+    if args.suite in ("all", "bus"):
+        record = {
+            "benchmark": "message bus throughput",
+            "host": _host(),
+            "throughput": bench_bus_throughput(args.rounds),
+        }
+        _write(args.bus_out, record)
     return 0
 
 

@@ -96,7 +96,7 @@ def main() -> None:
     print(f"\nenactment: {outcome['status']} after "
           f"{outcome['activities_run']} activity executions "
           f"({env.engine.now:.1f} simulated seconds, "
-          f"{len(env.trace.records)} messages)")
+          f"{env.trace.total_recorded} messages)")
 
 
 if __name__ == "__main__":

@@ -73,7 +73,7 @@ def main() -> None:
     print(f"model vs hidden truth: {truth_res:.1f} A; "
           f"median orientation error {np.median(errors):.1f} deg")
     print(f"\nsimulated makespan {env.engine.now:.1f}s, "
-          f"{len(env.trace.records)} messages, "
+          f"{env.trace.total_recorded} messages, "
           f"{len(core.storage)} stored objects")
 
 

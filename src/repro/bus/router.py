@@ -1,0 +1,170 @@
+"""The message router: delivery, identity, causality, drop injection.
+
+The router owns everything that used to be welded into
+``GridEnvironment.route`` plus the identity state that used to leak
+through module globals:
+
+* **Delivery** — each routed message is scheduled after the network model's
+  delay and lands in the receiver's mailbox, recording a
+  :class:`~repro.bus.tracing.TraceEvent` at delivery time.  Messages to
+  unknown or crashed agents are dropped (the sender's timeout policy
+  handles it), exactly as before.
+* **Identity** — conversation ids, message ids and trace ids are counters
+  *per router*, so two environments in one process produce independent,
+  reproducible id streams (the old module-global conversation counter
+  broke test isolation).
+* **Causality** — ``route(message, cause=...)`` links the message to the
+  message whose handler produced it: same ``trace_id``, ``parent_id`` =
+  the cause's ``message_id``.  Root messages open a fresh trace.
+* **Failure injection** — an optional *drop oracle* (any callable
+  ``Message -> bool``; :meth:`Router.bernoulli_oracle` adapts a
+  :class:`~repro.sim.failures.BernoulliFailures` model) makes the fabric
+  itself lossy, which is what recovery experiments need to exercise
+  timeout/retry/failover paths without crashing whole agents.
+
+Metrics for every send, delivery and drop go to the router's
+:class:`~repro.bus.metrics.MetricsRegistry`.  All accounting is
+synchronous: the router schedules exactly one engine event per routed
+message, so migrating onto it preserves event ordering byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable
+
+from repro.bus.metrics import MetricsRegistry
+from repro.bus.tracing import MessageTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.agent import Agent
+    from repro.grid.messages import Message
+    from repro.grid.network import Network
+    from repro.sim.engine import Engine
+    from repro.sim.failures import BernoulliFailures
+
+__all__ = ["Router"]
+
+#: A drop oracle decides, per routed message, whether the fabric loses it.
+DropOracle = Callable[["Message"], bool]
+
+
+class Router:
+    """Owns the message path of one environment."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        network: "Network",
+        agents: dict[str, "Agent"] | None = None,
+        trace: MessageTrace | None = None,
+        metrics: MetricsRegistry | None = None,
+        drop_oracle: DropOracle | None = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        #: Live registry view — shared with the owning environment.
+        self._agents: dict[str, "Agent"] = agents if agents is not None else {}
+        self.trace = trace if trace is not None else MessageTrace()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.drop_oracle = drop_oracle
+        self.dropped: list["Message"] = []
+        self._conversations = itertools.count(1)
+        self._message_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # -- identity ------------------------------------------------------------ #
+    def fresh_conversation(self) -> str:
+        return f"conv-{next(self._conversations)}"
+
+    def _fresh_trace(self) -> str:
+        return f"trace-{next(self._trace_ids)}"
+
+    def prepare(self, message: "Message", cause: "Message | None" = None) -> None:
+        """Assign identity and causal links in place (idempotent).
+
+        Fields live on a frozen dataclass and are excluded from equality;
+        the router is their single writer.
+        """
+        if not message.conversation:
+            object.__setattr__(message, "conversation", self.fresh_conversation())
+        if message.message_id is None:
+            object.__setattr__(message, "message_id", next(self._message_ids))
+        if message.trace_id is None:
+            if cause is not None and cause.trace_id is not None:
+                object.__setattr__(message, "trace_id", cause.trace_id)
+                object.__setattr__(message, "parent_id", cause.message_id)
+            else:
+                object.__setattr__(message, "trace_id", self._fresh_trace())
+
+    # -- delivery ------------------------------------------------------------ #
+    def route(self, message: "Message", cause: "Message | None" = None) -> None:
+        """Deliver *message* after the network delay; the trace records at
+        delivery time.  Messages to unknown or crashed agents — or taken
+        by the drop oracle — are dropped; the sender's timeout handles it.
+        """
+        self.prepare(message, cause)
+        self.metrics.inc("messages_sent", agent=message.sender, action=message.action)
+        target = self._agents.get(message.receiver)
+        if target is None:
+            self._drop(message, "unknown-receiver")
+            return
+        if self.drop_oracle is not None and self.drop_oracle(message):
+            self._drop(message, "oracle")
+            return
+        sender = self._agents.get(message.sender)
+        src_site = sender.site if sender is not None else target.site
+        delay = self.network.delay(src_site, target.site, message.size)
+
+        def deliver() -> None:
+            if not target.alive:
+                self._drop(message, "receiver-down")
+                return
+            self.trace.record(self.engine.now, message)
+            self.metrics.inc(
+                "messages_delivered", agent=message.receiver, action=message.action
+            )
+            target.mailbox.deliver(message)
+
+        self.engine.schedule(delay, deliver)
+
+    def _drop(self, message: "Message", reason: str) -> None:
+        self.dropped.append(message)
+        self.metrics.inc(
+            "messages_dropped", agent=message.receiver, action=message.action
+        )
+        self.metrics.inc("drop_reason", agent=reason)
+
+    # -- failure-injection adapters ------------------------------------------- #
+    def bernoulli_oracle(
+        self,
+        failures: "BernoulliFailures",
+        component_of: Callable[["Message"], str] | None = None,
+    ) -> DropOracle:
+        """Adapt a :class:`~repro.sim.failures.BernoulliFailures` model
+        into a drop oracle (assign the result to :attr:`drop_oracle`, or
+        use :meth:`use_bernoulli`).
+
+        *component_of* maps a message to the failure-oracle component name
+        (default: the receiver, so per-component probabilities address
+        agents).  Draws share the model's RNG stream and are logged to its
+        :class:`~repro.sim.failures.FailureLog` at the current simulated
+        time, so experiments can assert on injected drops exactly like on
+        injected invocation failures.
+        """
+
+        def oracle(message: "Message") -> bool:
+            component = (
+                component_of(message) if component_of is not None else message.receiver
+            )
+            return failures.should_fail(component, self.engine.now)
+
+        return oracle
+
+    def use_bernoulli(
+        self,
+        failures: "BernoulliFailures",
+        component_of: Callable[["Message"], str] | None = None,
+    ) -> None:
+        """Install a Bernoulli drop oracle on this router."""
+        self.drop_oracle = self.bernoulli_oracle(failures, component_of)

@@ -1,0 +1,183 @@
+"""Causal tracing: the bounded message trace and call-tree reconstruction.
+
+Every message the router delivers becomes a :class:`TraceEvent`.  Messages
+carry three router-assigned identifiers (see
+:class:`~repro.grid.messages.Message`):
+
+* ``message_id`` — unique per router;
+* ``trace_id`` — shared by every message causally downstream of one root
+  request (a coordination -> planning -> brokerage chain is one trace);
+* ``parent_id`` — the ``message_id`` of the message whose handler (or
+  reply path) produced this one.
+
+That is enough to reconstruct any protocol exchange as a tree
+(:meth:`MessageTrace.tree`) — the Figure-2/3 flows become literal call
+trees instead of flat transcripts.
+
+The trace itself is a *bounded* ring: ``capacity`` caps resident events
+while ``total_recorded`` keeps exact accounting, so week-long simulated
+runs don't grow memory without limit yet census statistics stay correct.
+``between()`` / ``actions()`` keep their historical semantics — the
+Figure-2/3 protocol benches assert on them byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (messages imports nothing from us)
+    from repro.grid.messages import Message
+
+__all__ = ["TraceEvent", "TraceNode", "MessageTrace", "format_tree"]
+
+#: Default resident-event bound; high enough that every experiment in the
+#: repo sees a complete trace, low enough to bound long soak runs.
+DEFAULT_TRACE_CAPACITY = 100_000
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message, stamped with its delivery time."""
+
+    time: float
+    message: "Message"
+
+    @property
+    def message_id(self) -> int | None:
+        return self.message.message_id
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.message.trace_id
+
+    @property
+    def parent_id(self) -> int | None:
+        return self.message.parent_id
+
+    def action_tuple(self) -> tuple[str, str, str, str]:
+        m = self.message
+        return (m.sender, m.receiver, m.performative.value, m.action)
+
+
+@dataclass
+class TraceNode:
+    """A node of a reconstructed causal call tree."""
+
+    event: TraceEvent
+    children: list["TraceNode"] = field(default_factory=list)
+
+    def walk(self, depth: int = 0) -> Iterable[tuple[int, TraceEvent]]:
+        yield depth, self.event
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(child.size for child in self.children)
+
+    @property
+    def depth(self) -> int:
+        return 1 + max((child.depth for child in self.children), default=0)
+
+
+def format_tree(roots: list[TraceNode]) -> str:
+    """Render call trees as an indented transcript (README example)."""
+    lines: list[str] = []
+    for root in roots:
+        for depth, event in root.walk():
+            m = event.message
+            lines.append(
+                f"{'  ' * depth}@{event.time:.4f} {m.sender} -> {m.receiver} "
+                f"{m.performative.value} {m.action}"
+            )
+    return "\n".join(lines)
+
+
+class MessageTrace:
+    """Bounded, queryable view over the router's delivery event stream."""
+
+    def __init__(self, capacity: int | None = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.records: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Exact count of every event ever recorded (survives eviction).
+        self.total_recorded = 0
+
+    # -- recording ---------------------------------------------------------- #
+    def record(self, time: float, message: "Message") -> None:
+        self.records.append(TraceEvent(time, message))
+        self.total_recorded += 1
+
+    @property
+    def evicted(self) -> int:
+        """How many events the capacity bound has discarded."""
+        return self.total_recorded - len(self.records)
+
+    # -- historical query API (Figure-2/3 benches) -------------------------- #
+    def between(self, sender: str, receiver: str) -> list["Message"]:
+        return [
+            e.message
+            for e in self.records
+            if e.message.sender == sender and e.message.receiver == receiver
+        ]
+
+    def actions(self) -> list[tuple[str, str, str, str]]:
+        """(sender, receiver, performative, action) tuples, in order."""
+        return [e.action_tuple() for e in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- causal queries ------------------------------------------------------ #
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for event in self.records:
+            if event.trace_id is not None:
+                seen.setdefault(event.trace_id, None)
+        return list(seen)
+
+    def events(
+        self, trace_id: str | None = None, conversation: str | None = None
+    ) -> list[TraceEvent]:
+        out = []
+        for event in self.records:
+            if trace_id is not None and event.trace_id != trace_id:
+                continue
+            if conversation is not None and event.message.conversation != conversation:
+                continue
+            out.append(event)
+        return out
+
+    def tree(self, trace_id: str) -> list[TraceNode]:
+        """Reconstruct the causal call tree(s) for one trace.
+
+        Events whose parent is missing from the resident window (never
+        routed, or evicted by the capacity bound) become roots — the tree
+        degrades gracefully instead of failing on bounded traces.
+        """
+        events = self.events(trace_id=trace_id)
+        nodes = {
+            e.message_id: TraceNode(e) for e in events if e.message_id is not None
+        }
+        roots: list[TraceNode] = []
+        for event in events:
+            node = nodes.get(event.message_id)
+            if node is None:  # untagged message: cannot place it in a tree
+                continue
+            parent = nodes.get(event.parent_id) if event.parent_id is not None else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        return roots
+
+    def render(self, trace_id: str) -> str:
+        return format_tree(self.tree(trace_id))

@@ -19,12 +19,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import PlanningError, ServiceError
-from repro.experiments.harness import Table, run_seeds, summarize_runs
+from repro.experiments.harness import Table, run_seeds
 from repro.grid.container import EndUserService
 from repro.planner.baselines import forward_search, hill_climb, random_search
 from repro.planner.config import GPConfig
 from repro.planner.fitness import FitnessWeights, PlanEvaluator
-from repro.planner.gp import GPPlanner
 from repro.planner.problem import PlanningProblem
 from repro.services.bootstrap import standard_environment
 from repro.virolab.workflow import activity_specs, planning_problem, process_description

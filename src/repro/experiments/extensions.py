@@ -207,7 +207,7 @@ def scalability_sweep(
         env.engine.spawn(run(), "user")
         env.run(max_events=3_000_000)
         assert outcome.get("status") == "completed"
-        table.add(count, env.engine.now, len(env.trace.records))
+        table.add(count, env.engine.now, env.trace.total_recorded)
     return table
 
 

@@ -10,7 +10,6 @@ where useful) that the corresponding bench prints and asserts on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.experiments.harness import Table

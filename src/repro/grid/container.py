@@ -186,6 +186,9 @@ class ApplicationContainer(Agent):
                 self.executions.append(
                     (self.engine.now, activity, service_name, False)
                 )
+                self.metrics.inc(
+                    "activities_failed", agent=self.name, action=service_name
+                )
                 raise ServiceError(
                     f"service {service_name!r} on {self.name} failed at "
                     f"checkpoint {index + 1}/{chunks}"
@@ -282,7 +285,10 @@ class ApplicationContainer(Agent):
                     spec, dest_byte_order=self.node.hardware.byte_order
                 )
                 _, _, dest_seconds = execute_plan(
-                    plan, dest_speed=self.node.hardware.speed
+                    plan,
+                    dest_speed=self.node.hardware.speed,
+                    metrics=self.metrics,
+                    component=self.name,
                 )
                 if dest_seconds > 0:
                     yield dest_seconds
@@ -307,6 +313,9 @@ class ApplicationContainer(Agent):
                 ):
                     self.executions.append(
                         (self.engine.now, activity, service_name, False)
+                    )
+                    self.metrics.inc(
+                        "activities_failed", agent=self.name, action=service_name
                     )
                     raise ServiceError(
                         f"service {service_name!r} on {self.name} failed"
@@ -340,6 +349,15 @@ class ApplicationContainer(Agent):
             payload_keys[data_name] = key
 
         self.executions.append((self.engine.now, activity, service_name, True))
+        self.metrics.inc(
+            "activities_completed", agent=self.name, action=service_name
+        )
+        self.metrics.observe(
+            "activity_duration",
+            self.node.duration(service.work),
+            agent=self.name,
+            action=service_name,
+        )
         return {
             "activity": activity,
             "service": service_name,

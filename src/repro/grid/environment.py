@@ -1,8 +1,10 @@
-"""The grid environment: agents, routing, nodes, wiring helpers.
+"""The grid environment: agents, nodes, wiring helpers.
 
 :class:`GridEnvironment` owns the simulation engine, the network model and
-the agent registry, and routes every message with the network's delay — so
-any experiment gets a faithful, deterministic message trace for free.
+the agent registry; the message path itself — delivery, conversation /
+trace identity, drop injection, metrics — lives in the environment's
+:class:`~repro.bus.router.Router`, so any experiment gets a faithful,
+deterministic, *observable* message fabric for free.
 
 The environment is substrate only; the Figure-1 core services live in
 :mod:`repro.services` and are attached by
@@ -14,8 +16,11 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.bus.metrics import MetricsRegistry
+from repro.bus.router import Router
+from repro.bus.tracing import MessageTrace
 from repro.errors import GridError
-from repro.grid.agent import Agent, MessageTrace
+from repro.grid.agent import Agent
 from repro.grid.messages import Message
 from repro.grid.network import LinkProfile, Network
 from repro.grid.node import GridNode, HardwareProfile
@@ -31,13 +36,45 @@ class GridEnvironment:
     #: it for payload traffic.
     storage_name = "storage"
 
-    def __init__(self, engine: Engine | None = None, network: Network | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine | None = None,
+        network: Network | None = None,
+        router: Router | None = None,
+        trace_capacity: int | None = None,
+    ) -> None:
         self.engine = engine or Engine()
         self.network = network or Network()
-        self.trace = MessageTrace()
         self._agents: dict[str, Agent] = {}
         self._nodes: dict[str, GridNode] = {}
-        self.dropped: list[Message] = []
+        if router is not None:
+            self.router = router
+            router._agents = self._agents
+        else:
+            trace = (
+                MessageTrace(capacity=trace_capacity)
+                if trace_capacity is not None
+                else MessageTrace()
+            )
+            self.router = Router(
+                self.engine, self.network, agents=self._agents, trace=trace
+            )
+
+    # -- bus views --------------------------------------------------------------- #
+    @property
+    def trace(self) -> MessageTrace:
+        """The router's bounded delivery trace (Figure-2/3 assertions)."""
+        return self.router.trace
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.router.metrics
+
+    @property
+    def dropped(self) -> list[Message]:
+        """Messages the fabric lost (unknown receiver, crashed agent, or
+        the drop oracle) — the sender's timeout policy handles them."""
+        return self.router.dropped
 
     # -- agents ---------------------------------------------------------------- #
     def _register_agent(self, agent: Agent) -> None:
@@ -90,26 +127,9 @@ class GridEnvironment:
         return tuple(sorted(self._nodes))
 
     # -- routing ----------------------------------------------------------------- #
-    def route(self, message: Message) -> None:
-        """Deliver *message* after the network delay; records the trace at
-        delivery time.  Messages to unknown or crashed agents are dropped
-        (recorded in :attr:`dropped`) — the sender's timeout handles it."""
-        target = self._agents.get(message.receiver)
-        sender = self._agents.get(message.sender)
-        if target is None:
-            self.dropped.append(message)
-            return
-        src_site = sender.site if sender is not None else target.site
-        delay = self.network.delay(src_site, target.site, message.size)
-
-        def deliver() -> None:
-            if not target.alive:
-                self.dropped.append(message)
-                return
-            self.trace.record(self.engine.now, message)
-            target.mailbox.deliver(message)
-
-        self.engine.schedule(delay, deliver)
+    def route(self, message: Message, cause: Message | None = None) -> None:
+        """Hand *message* to the router (see :meth:`Router.route`)."""
+        self.router.route(message, cause=cause)
 
     # -- running ------------------------------------------------------------------ #
     def run(self, until: float | None = None, max_events: int | None = None) -> float:

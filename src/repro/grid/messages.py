@@ -6,12 +6,20 @@ receiver, content — over the discrete-event kernel.  A
 :class:`Mailbox` hands messages to its owning agent process in arrival
 order; arrival times come from the network model, so message traces (the
 Figure-2/Figure-3 protocols) are fully deterministic.
+
+Identity is assigned by the environment's
+:class:`~repro.bus.router.Router` when a message is first routed:
+conversation ids are counters *per router* (two environments in one
+process get independent, reproducible streams), and every message is
+stamped with ``message_id`` / ``trace_id`` / ``parent_id`` so protocol
+exchanges reconstruct as causal trees.  The id fields are excluded from
+equality/repr — two messages with the same observable ACL content compare
+equal regardless of when they were routed.
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -20,12 +28,6 @@ from repro.errors import GridError
 from repro.sim.engine import Engine, Signal
 
 __all__ = ["Performative", "Message", "Mailbox"]
-
-_conversation_counter = itertools.count(1)
-
-
-def _fresh_conversation() -> str:
-    return f"conv-{next(_conversation_counter)}"
 
 
 class Performative(enum.Enum):
@@ -46,6 +48,10 @@ class Message:
     *action* names the operation requested/answered (e.g. ``plan``,
     ``execute-activity``); *content* is a plain dict payload; *size* is the
     payload size in bytes for network-delay modelling.
+
+    *conversation* is usually left empty and assigned by the router at
+    send time (replies inherit it via :meth:`reply`).  The trailing id
+    fields are router-owned tracing metadata.
     """
 
     sender: str
@@ -53,8 +59,14 @@ class Message:
     performative: Performative
     action: str
     content: dict[str, Any] = field(default_factory=dict)
-    conversation: str = field(default_factory=_fresh_conversation)
+    conversation: str = ""
     size: float = 1_000.0
+    #: Router-assigned identity (set once at first routing, excluded from
+    #: equality): unique message id, causal trace id, and the message id
+    #: of the message that caused this one.
+    message_id: int | None = field(default=None, compare=False, repr=False)
+    trace_id: str | None = field(default=None, compare=False, repr=False)
+    parent_id: int | None = field(default=None, compare=False, repr=False)
 
     def reply(
         self,

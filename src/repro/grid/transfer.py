@@ -163,12 +163,33 @@ def execute_plan(
     plan: TransferPlan,
     source_speed: float = 1.0,
     dest_speed: float = 1.0,
+    metrics: "MetricsRegistry | None" = None,
+    component: str = "transfer",
 ) -> tuple[float, float, float]:
-    """(wire bytes, source CPU seconds, destination CPU seconds)."""
+    """(wire bytes, source CPU seconds, destination CPU seconds).
+
+    With a *metrics* registry (the bus's
+    :class:`~repro.bus.metrics.MetricsRegistry`), the execution is also
+    recorded: wire bytes and per-side CPU seconds as histograms labelled
+    with *component*, plus a counter per transformation kind — so
+    migration costs show up in the same observability plane as RPC
+    latencies.
+    """
     if source_speed <= 0 or dest_speed <= 0:
         raise GridError("node speeds must be positive")
-    return (
-        plan.wire_size,
-        plan.work_on("source") / source_speed,
-        plan.work_on("destination") / dest_speed,
-    )
+    source_seconds = plan.work_on("source") / source_speed
+    dest_seconds = plan.work_on("destination") / dest_speed
+    if metrics is not None:
+        metrics.inc("transfer_plans", agent=component)
+        metrics.observe("transfer_wire_bytes", plan.wire_size, agent=component)
+        if source_seconds > 0:
+            metrics.observe(
+                "transfer_cpu_seconds", source_seconds, agent=component, action="source"
+            )
+        if dest_seconds > 0:
+            metrics.observe(
+                "transfer_cpu_seconds", dest_seconds, agent=component, action="destination"
+            )
+        for step in plan.steps:
+            metrics.inc("transfer_steps", agent=component, action=step.kind)
+    return (plan.wire_size, source_seconds, dest_seconds)

@@ -10,6 +10,7 @@ message-based, matching how Jade platforms bring up their AMS/DF).
 
 from __future__ import annotations
 
+from repro.bus.policy import CallPolicy
 from repro.grid.agent import Agent
 from repro.grid.environment import GridEnvironment
 
@@ -69,19 +70,12 @@ class CoreService(Agent):
         is down (silent -> timeout, or failing), the caller moves on to
         the next.  Raises the last error when every replica fails.
         Generator: ``result = yield from self.call_with_failover(...)``.
-        """
-        from repro.errors import ServiceError
 
-        if not providers:
-            raise ServiceError(f"no providers available for {action!r}")
-        last_error: ServiceError | None = None
-        for provider in providers:
-            try:
-                result = yield from self.call(
-                    provider, action, content, timeout=timeout
-                )
-                return result
-            except ServiceError as exc:
-                last_error = exc
-        assert last_error is not None
-        raise last_error
+        Kept as the historical entry point; the mechanics now live in
+        :meth:`~repro.grid.agent.Agent.call_any` under a declarative
+        :class:`~repro.bus.policy.CallPolicy`.
+        """
+        result = yield from self.call_any(
+            providers, action, content, policy=CallPolicy(timeout=timeout)
+        )
+        return result

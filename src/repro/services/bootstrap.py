@@ -9,10 +9,8 @@ Figure 1 shows, ready for a coordination request.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
-
-import numpy as np
 
 from repro.grid.container import ApplicationContainer, EndUserService
 from repro.grid.environment import GridEnvironment

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
+from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
 from repro.grid.messages import Message
@@ -208,6 +209,9 @@ class CoordinationService(CoreService):
             try:
                 yield from self._enact(ast, current, case, record, work)
                 record.completed = True
+                self.metrics.inc(
+                    "enactments_completed", agent=self.name, action=record.task
+                )
                 break
             except _ActivityFailed as failure:
                 record.activities_failed += 1
@@ -217,6 +221,9 @@ class CoordinationService(CoreService):
                 )
                 if problem is None or record.replans >= self.max_replans:
                     record.failed = True
+                    self.metrics.inc(
+                        "enactments_failed", agent=self.name, action=record.task
+                    )
                     raise ServiceError(
                         f"enactment of {record.task!r} failed at activity "
                         f"{failure.activity!r} and cannot re-plan"
@@ -225,6 +232,7 @@ class CoordinationService(CoreService):
                     self._planner_activity_name(current, failure.activity)
                 )
                 record.replans += 1
+                self.metrics.inc("replans", agent=self.name, action=record.task)
                 record.log(
                     self.engine.now, "replan",
                     f"excluding {sorted(set(failed_activities))}",
@@ -344,8 +352,11 @@ class CoordinationService(CoreService):
             except _ActivityFailed as exc:
                 return ("failed", exc)
 
+        # spawn_scoped (not engine.spawn) so every branch stays inside the
+        # requesting message's causal trace — the fork's concurrent calls
+        # reconstruct as siblings under the execute-task request.
         handles = [
-            self.engine.spawn(wrap(branch), name=f"{self.name}.branch{i}")
+            self.spawn_scoped(wrap(branch), name=f"{self.name}.branch{i}")
             for i, branch in enumerate(node.branches)
         ]
         failures = []
@@ -412,7 +423,7 @@ class CoordinationService(CoreService):
                         "checkpoint_key": f"ckpt/{record.task}/{name}",
                         **({"ticket": ticket} if ticket else {}),
                     },
-                    timeout=self.activity_timeout,
+                    policy=CallPolicy(timeout=self.activity_timeout),
                 )
                 yield from self.call(
                     self.broker_name,

@@ -10,6 +10,7 @@ monitor's live status and returns ranked candidates.
 
 from __future__ import annotations
 
+from repro.bus.policy import DEFAULT_POLICY, CallPolicy
 from repro.grid.messages import Message
 from repro.services.base import CoreService, WELL_KNOWN
 
@@ -21,6 +22,11 @@ class MatchmakingService(CoreService):
 
     broker_name = WELL_KNOWN["brokerage"]
     monitor_name = WELL_KNOWN["monitoring"]
+
+    #: Envelope for broker/monitor lookups.  Core services are "persistent
+    #: and reliable" (Section 2), so the default single-attempt, no-timeout
+    #: policy applies; deployments with flakier cores override this.
+    lookup_policy: CallPolicy = DEFAULT_POLICY
 
     def handle_match(self, message: Message):
         """Rank containers able to run a service under the given conditions.
@@ -38,12 +44,18 @@ class MatchmakingService(CoreService):
         max_candidates = int(content.get("max_candidates", 8))
 
         found = yield from self.call(
-            self.broker_name, "find-containers", {"service": service}
+            self.broker_name,
+            "find-containers",
+            {"service": service},
+            policy=self.lookup_policy,
         )
         candidates = []
         for container in found["containers"]:
             status = yield from self.call(
-                self.monitor_name, "status", {"agent": container}
+                self.monitor_name,
+                "status",
+                {"agent": container},
+                policy=self.lookup_policy,
             )
             if require_alive and not (
                 status.get("alive") and status.get("node_up", True)

@@ -1,17 +1,44 @@
-"""Monitoring service: ground-truth status of agents and nodes.
+"""Monitoring service: ground-truth status of agents, nodes and the bus.
 
 "Accurate information about the status of a resource may be obtained using
 monitoring services" — in contrast to the broker's possibly-stale
 advertisements, the monitor inspects the live environment at query time.
+
+Beyond per-agent/per-node status it exposes the message fabric's
+observability plane over plain RPC:
+
+* ``metrics`` — a dump of the environment's
+  :class:`~repro.bus.metrics.MetricsRegistry` (counters + latency
+  histograms), filterable by agent or metric name;
+* ``trace`` — the router's bounded delivery trace (exact totals survive
+  eviction);
+* ``trace-tree`` — a causal call tree reconstructed from
+  ``trace_id``/``parent_id`` links, rendered and structured.
 """
 
 from __future__ import annotations
 
+from repro.bus.tracing import TraceEvent, format_tree
 from repro.grid.container import ApplicationContainer
 from repro.grid.messages import Message
 from repro.services.base import CoreService
 
 __all__ = ["MonitoringService"]
+
+
+def _event_dict(event: TraceEvent) -> dict:
+    m = event.message
+    return {
+        "time": event.time,
+        "sender": m.sender,
+        "receiver": m.receiver,
+        "performative": m.performative.value,
+        "action": m.action,
+        "conversation": m.conversation,
+        "message_id": m.message_id,
+        "trace_id": m.trace_id,
+        "parent_id": m.parent_id,
+    }
 
 
 class MonitoringService(CoreService):
@@ -58,11 +85,77 @@ class MonitoringService(CoreService):
         }
 
     def handle_census(self, message: Message):
-        """Environment-wide summary (agents, nodes, messages)."""
+        """Environment-wide summary (agents, nodes, messages).
+
+        Message counts come from the trace's exact accounting (and the
+        metrics registry), so they stay correct even after the bounded
+        trace starts evicting old events.
+        """
         return {
             "agents": len(self.env.agent_names),
             "nodes": len(self.env.node_names),
-            "messages_delivered": len(self.env.trace.records),
+            "messages_sent": int(self.env.metrics.total("messages_sent")),
+            "messages_delivered": self.env.trace.total_recorded,
             "messages_dropped": len(self.env.dropped),
             "time": self.engine.now,
+        }
+
+    # -- bus observability ------------------------------------------------- #
+    def handle_metrics(self, message: Message):
+        """Dump the environment's metrics registry.
+
+        Content (all optional): ``agent`` and ``name`` filter the dump to
+        one agent / one metric family.  Reply: ``counters`` (name ->
+        "agent|action" -> value) and ``histograms`` (name -> "agent|action"
+        -> count/sum/mean/min/max/p50/p99).
+        """
+        content = message.content
+        return self.env.metrics.dump(
+            agent=content.get("agent"), name=content.get("name")
+        )
+
+    def handle_trace(self, message: Message):
+        """Query the router's bounded delivery trace.
+
+        Content (optional): ``trace_id``, ``conversation``, ``limit``.
+        Reply: serialized events plus the exact totals (``total_recorded``,
+        ``evicted``) and the distinct ``trace_ids`` seen.
+        """
+        content = message.content
+        trace = self.env.trace
+        events = trace.events(
+            trace_id=content.get("trace_id"),
+            conversation=content.get("conversation"),
+        )
+        limit = content.get("limit")
+        if limit is not None:
+            events = events[-int(limit):]
+        return {
+            "total_recorded": trace.total_recorded,
+            "resident": len(trace),
+            "evicted": trace.evicted,
+            "trace_ids": trace.trace_ids(),
+            "events": [_event_dict(e) for e in events],
+        }
+
+    def handle_trace_tree(self, message: Message):
+        """Reconstruct one trace's causal call tree.
+
+        Content: ``trace_id``.  Reply: a ``rendered`` indented transcript,
+        the flattened ``nodes`` in walk order (each with its depth), and
+        size/depth summaries.
+        """
+        trace_id = message.content["trace_id"]
+        roots = self.env.trace.tree(trace_id)
+        nodes = []
+        for root in roots:
+            for depth, event in root.walk():
+                nodes.append({"depth": depth, **_event_dict(event)})
+        return {
+            "trace_id": trace_id,
+            "roots": len(roots),
+            "size": sum(root.size for root in roots),
+            "depth": max((root.depth for root in roots), default=0),
+            "rendered": format_tree(roots),
+            "nodes": nodes,
         }

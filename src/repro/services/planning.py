@@ -30,6 +30,7 @@ from typing import Any
 import numpy as np
 
 from repro._util import as_rng
+from repro.bus.policy import CallPolicy
 from repro.errors import ServiceError
 from repro.grid.environment import GridEnvironment
 from repro.grid.messages import Message
@@ -51,6 +52,13 @@ class PlanningService(CoreService):
     service_type = "planning"
 
     information_name = WELL_KNOWN["information"]
+
+    #: Reliability envelope for brokerage lookups during re-planning
+    #: (replicated core service: timeout then fail over to the next).
+    broker_policy = CallPolicy(timeout=30.0)
+    #: Availability probes against possibly-crashed containers (Figure-3
+    #: steps 6-7): silent peers must not hang the re-planning exchange.
+    probe_policy = CallPolicy(timeout=60.0)
 
     def __init__(
         self,
@@ -173,8 +181,11 @@ class PlanningService(CoreService):
             for name, spec in problem.activities.items():
                 if name in unexecutable:
                     continue
-                found = yield from self.call_with_failover(
-                    brokers, "find-containers", {"service": spec.service}
+                found = yield from self.call_any(
+                    brokers,
+                    "find-containers",
+                    {"service": spec.service},
+                    policy=self.broker_policy,
                 )
                 executable = False
                 for container in found["containers"]:
@@ -186,7 +197,7 @@ class PlanningService(CoreService):
                                 container,
                                 "can-execute",
                                 {"service": spec.service},
-                                timeout=60.0,
+                                policy=self.probe_policy,
                             )
                             verdict = bool(answer.get("executable"))
                         except ServiceError:

@@ -10,6 +10,7 @@ and picks the minimum.
 
 from __future__ import annotations
 
+from repro.bus.policy import DEFAULT_POLICY, CallPolicy
 from repro.errors import SchedulingError, ServiceError
 from repro.grid.messages import Message
 from repro.services.base import CoreService, WELL_KNOWN
@@ -22,6 +23,11 @@ class SchedulingService(CoreService):
 
     broker_name = WELL_KNOWN["brokerage"]
     monitor_name = WELL_KNOWN["monitoring"]
+
+    #: Envelope for the per-candidate fact-gathering RPCs (monitor status,
+    #: broker performance).  Default single-attempt, no-timeout — core
+    #: services are reliable; override for flaky-core experiments.
+    lookup_policy: CallPolicy = DEFAULT_POLICY
 
     #: Penalty factor applied per observed failure fraction: a container at
     #: 50% success rate looks twice as slow as its raw estimate.
@@ -71,7 +77,10 @@ class SchedulingService(CoreService):
         facts: list[dict] = []
         for container in candidates:
             status = yield from self.call(
-                self.monitor_name, "status", {"agent": container}
+                self.monitor_name,
+                "status",
+                {"agent": container},
+                policy=self.lookup_policy,
             )
             if not status.get("known") or not status.get("alive"):
                 continue
@@ -79,6 +88,7 @@ class SchedulingService(CoreService):
                 self.broker_name,
                 "performance",
                 {"service": service, "container": container},
+                policy=self.lookup_policy,
             )
             reliability = float(perf.get("success_rate", 1.0))
             facts.append(

@@ -51,6 +51,11 @@ class PersistentStorageService(CoreService):
         if "format" in content:
             meta["format"] = dict(content["format"])
         self.put(key, content.get("payload"), **meta)
+        # The request's wire size is the payload's nominal size — feed it
+        # to the bus metrics so storage traffic shows up next to RPC load.
+        self.metrics.observe(
+            "storage_payload_bytes", message.size, agent=self.name, action="store"
+        )
         return {"key": key}
 
     def handle_retrieve(self, message: Message):

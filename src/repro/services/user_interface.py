@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Mapping
 
+from repro.bus.policy import CallPolicy
 from repro.errors import ServiceError
 from repro.grid.agent import Agent
 from repro.grid.environment import GridEnvironment
@@ -108,7 +109,7 @@ class UserInterface(Agent):
                     self.coordination_name,
                     "task-status",
                     {"task": task},
-                    timeout=self.poll_timeout,
+                    policy=CallPolicy(timeout=self.poll_timeout),
                 )
             except ServiceError:
                 continue  # lost poll (e.g. disconnected mid-flight)

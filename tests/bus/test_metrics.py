@@ -1,0 +1,77 @@
+"""MetricsRegistry: counters, histograms, dumps."""
+
+from repro.bus import LatencyHistogram, MetricsRegistry
+
+
+class TestLatencyHistogram:
+    def test_accounting(self):
+        h = LatencyHistogram()
+        for v in (0.001, 0.01, 0.1, 1.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 1.111
+        assert h.min == 0.001 and h.max == 1.0
+        assert h.mean == 1.111 / 4
+
+    def test_quantiles_bound_observations(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.observe(0.002)
+        h.observe(25_000.0)
+        assert h.quantile(0.5) <= 0.003
+        # Quantiles report the upper bound of the holding bucket.
+        assert h.quantile(0.99) <= 30_000.0
+        assert h.quantile(1.0) >= h.max
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.mean == 0.0 and h.quantile(0.5) == 0.0
+        assert h.as_dict()["count"] == 0 and h.as_dict()["min"] == 0.0
+
+    def test_overflow_bucket(self):
+        h = LatencyHistogram()
+        h.observe(1e9)  # beyond every bound
+        assert h.buckets[-1] == 1
+
+
+class TestMetricsRegistry:
+    def test_counters_keyed_by_agent_and_action(self):
+        m = MetricsRegistry()
+        m.inc("rpc_ok", agent="planner", action="plan")
+        m.inc("rpc_ok", agent="planner", action="plan")
+        m.inc("rpc_ok", agent="broker", action="find")
+        assert m.value("rpc_ok", agent="planner", action="plan") == 2
+        assert m.value("rpc_ok", agent="missing") == 0
+        assert m.total("rpc_ok") == 3
+        assert m.total("rpc_ok", agent="broker") == 1
+
+    def test_observe_creates_histograms(self):
+        m = MetricsRegistry()
+        m.observe("rpc_latency", 0.5, agent="planner", action="plan")
+        m.observe("rpc_latency", 1.5, agent="planner", action="plan")
+        h = m.histogram("rpc_latency", agent="planner", action="plan")
+        assert h is not None and h.count == 2
+        assert [a for a, _, _ in m.histograms("rpc_latency")] == ["planner"]
+
+    def test_dump_shape_and_filters(self):
+        m = MetricsRegistry()
+        m.inc("rpc_ok", agent="planner", action="plan")
+        m.inc("rpc_ok", agent="broker", action="find")
+        m.observe("rpc_latency", 0.25, agent="planner", action="plan")
+        dump = m.dump()
+        assert dump["counters"]["rpc_ok"] == {
+            "broker|find": 1,
+            "planner|plan": 1,
+        }
+        assert dump["histograms"]["rpc_latency"]["planner|plan"]["count"] == 1
+        only_planner = m.dump(agent="planner")
+        assert "broker|find" not in only_planner["counters"]["rpc_ok"]
+        only_latency = m.dump(name="rpc_latency")
+        assert "rpc_ok" not in only_latency["counters"]
+
+    def test_clear(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        m.observe("y", 1.0)
+        m.clear()
+        assert m.dump() == {"counters": {}, "histograms": {}}

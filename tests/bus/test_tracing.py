@@ -1,0 +1,164 @@
+"""Bounded trace accounting and causal call-tree reconstruction."""
+
+import pytest
+
+from repro.bus import MessageTrace
+from repro.grid import Agent, GridEnvironment, Message, Performative
+
+
+def msg(i=0, **kwargs):
+    defaults = dict(
+        sender="a",
+        receiver="b",
+        performative=Performative.REQUEST,
+        action=f"act{i}",
+    )
+    defaults.update(kwargs)
+    return Message(**defaults)
+
+
+class TestBoundedTrace:
+    def test_capacity_evicts_but_total_is_exact(self):
+        trace = MessageTrace(capacity=3)
+        for i in range(10):
+            trace.record(float(i), msg(i))
+        assert len(trace) == 3
+        assert trace.total_recorded == 10
+        assert trace.evicted == 7
+        # The resident window holds the newest events.
+        assert [e.message.action for e in trace.records] == ["act7", "act8", "act9"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MessageTrace(capacity=0)
+        MessageTrace(capacity=None)  # unbounded is allowed
+
+    def test_between_and_actions_semantics(self):
+        trace = MessageTrace()
+        trace.record(0.0, msg(1))
+        trace.record(1.0, msg(2, sender="b", receiver="a"))
+        trace.record(2.0, msg(3))
+        assert [m.action for m in trace.between("a", "b")] == ["act1", "act3"]
+        assert trace.actions() == [
+            ("a", "b", "request", "act1"),
+            ("b", "a", "request", "act2"),
+            ("a", "b", "request", "act3"),
+        ]
+
+    def test_clear_resets_totals(self):
+        trace = MessageTrace(capacity=2)
+        for i in range(5):
+            trace.record(float(i), msg(i))
+        trace.clear()
+        assert len(trace) == 0 and trace.total_recorded == 0 and trace.evicted == 0
+
+    def test_environment_accepts_trace_capacity(self):
+        env = GridEnvironment(trace_capacity=2)
+        assert env.trace.capacity == 2
+
+
+class Relay(Agent):
+    """a -> relay -> leaf: a two-hop chain for tree reconstruction."""
+
+    def handle_front(self, message):
+        result = yield from self.call("leaf", "back", {"n": 1})
+        return {"via": result}
+
+
+class Leaf(Agent):
+    def handle_back(self, message):
+        return {"leaf": True}
+
+
+class TestCausalTree:
+    def test_multi_hop_chain_reconstructs_as_tree(self):
+        env = GridEnvironment()
+        Relay(env, "relay", "s1")
+        Leaf(env, "leaf", "s2")
+        user = Agent(env, "user", "s3")
+        out = {}
+
+        def main():
+            out["r"] = yield from user.call("relay", "front")
+
+        env.engine.spawn(main(), "driver")
+        env.run()
+        assert out["r"]["via"] == {"leaf": True}
+
+        trace_ids = env.trace.trace_ids()
+        assert len(trace_ids) == 1  # the whole exchange is one trace
+        roots = env.trace.tree(trace_ids[0])
+        assert len(roots) == 1
+        root = roots[0]
+        # user->relay REQUEST at the root; downstream: relay->leaf REQUEST,
+        # leaf->relay INFORM, relay->user INFORM all inside the same tree.
+        assert root.event.action_tuple() == ("user", "relay", "request", "front")
+        assert root.size == 4
+        assert root.depth >= 3
+        rendered = env.trace.render(trace_ids[0])
+        assert "user -> relay request front" in rendered
+        assert "relay -> leaf request back" in rendered
+
+    def test_unrelated_calls_get_separate_traces(self):
+        env = GridEnvironment()
+        Leaf(env, "leaf", "s1")
+        user = Agent(env, "user", "s2")
+
+        def main():
+            yield from user.call("leaf", "back")
+            yield from user.call("leaf", "back")
+
+        env.engine.spawn(main(), "driver")
+        env.run()
+        assert len(env.trace.trace_ids()) == 2
+
+    def test_fork_branches_stay_in_scope(self):
+        """Processes spawned with spawn_scoped inherit the causal scope, so
+        concurrent branches appear inside the requesting trace."""
+        env = GridEnvironment()
+
+        class Forker(Agent):
+            def handle_fanout(self, message):
+                def branch():
+                    result = yield from self.call("leaf", "back")
+                    return result
+
+                handles = [
+                    self.spawn_scoped(branch(), name=f"branch{i}") for i in range(2)
+                ]
+                for handle in handles:
+                    yield handle
+                return {"done": True}
+
+        Forker(env, "forker", "s1")
+        Leaf(env, "leaf", "s2")
+        user = Agent(env, "user", "s3")
+
+        def main():
+            yield from user.call("forker", "fanout")
+
+        env.engine.spawn(main(), "driver")
+        env.run()
+        trace_ids = env.trace.trace_ids()
+        assert len(trace_ids) == 1
+        roots = env.trace.tree(trace_ids[0])
+        assert len(roots) == 1
+        # root + 2*(request+reply) to leaf + final reply = 6 events.
+        assert roots[0].size == 6
+
+    def test_tree_degrades_gracefully_under_eviction(self):
+        env = GridEnvironment(trace_capacity=2)
+        Relay(env, "relay", "s1")
+        Leaf(env, "leaf", "s2")
+        user = Agent(env, "user", "s3")
+
+        def main():
+            yield from user.call("relay", "front")
+
+        env.engine.spawn(main(), "driver")
+        env.run()
+        assert env.trace.evicted == 2
+        (trace_id,) = env.trace.trace_ids()
+        roots = env.trace.tree(trace_id)
+        # Orphaned events (parents evicted) surface as roots, not errors.
+        assert sum(r.size for r in roots) == 2

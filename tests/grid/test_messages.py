@@ -19,8 +19,20 @@ def msg(**kwargs):
 
 
 class TestMessage:
-    def test_conversation_ids_unique(self):
-        assert msg().conversation != msg().conversation
+    def test_conversation_assigned_per_router(self):
+        from repro.grid import GridEnvironment
+
+        env = GridEnvironment()
+        first, second = msg(), msg()
+        env.route(first)
+        env.route(second)
+        assert first.conversation != second.conversation
+        # A second environment restarts its own stream: ids no longer leak
+        # through a process-global counter.
+        other = GridEnvironment()
+        third = msg()
+        other.route(third)
+        assert third.conversation == first.conversation
 
     def test_reply_swaps_endpoints_keeps_conversation(self):
         original = msg()
