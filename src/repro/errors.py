@@ -34,6 +34,7 @@ __all__ = [
     "StorageError",
     "SchedulingError",
     "VirolabError",
+    "WorkloadError",
 ]
 
 
@@ -163,3 +164,10 @@ class SchedulingError(ServiceError):
 # --------------------------------------------------------------------------- #
 class VirolabError(ReproError):
     """Error in the virus-reconstruction case-study substrate."""
+
+
+# --------------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------------- #
+class WorkloadError(ReproError):
+    """Error in a synthetic workload driver."""

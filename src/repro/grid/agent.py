@@ -31,6 +31,7 @@ trees.  RPC round-trips are timed into the environment's
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import Any, Generator, Sequence
 
 from repro.bus.policy import CallPolicy
@@ -278,7 +279,7 @@ class Agent:
             yield self.service_delay
         try:
             gen = handler(message)
-            result = (yield from gen) if isinstance(gen, Generator) else gen
+            result = (yield from gen) if isinstance(gen, GeneratorType) else gen
         except ServiceError as exc:
             self.reply_to(message, Performative.FAILURE, {"error": str(exc)})
             return

@@ -42,6 +42,7 @@ class GridEnvironment:
         network: Network | None = None,
         router: Router | None = None,
         trace_capacity: int | None = None,
+        tracing: bool = True,
     ) -> None:
         self.engine = engine or Engine()
         self.network = network or Network()
@@ -56,8 +57,14 @@ class GridEnvironment:
                 if trace_capacity is not None
                 else MessageTrace()
             )
+            # tracing=False keeps id streams identical but skips per-message
+            # TraceEvent recording — the throughput configuration.
             self.router = Router(
-                self.engine, self.network, agents=self._agents, trace=trace
+                self.engine,
+                self.network,
+                agents=self._agents,
+                trace=trace,
+                record_trace=tracing,
             )
 
     # -- bus views --------------------------------------------------------------- #

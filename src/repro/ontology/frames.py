@@ -181,11 +181,17 @@ class Instance:
     cls: str
     values: dict[str, Any] = field(default_factory=dict)
 
+    #: Owning KB once registered (class attribute, not a dataclass field):
+    #: lets :meth:`set` keep the KB's slot indexes consistent.
+    _kb = None
+
     def get(self, slot: str, default: Any = None) -> Any:
         return self.values.get(slot, default)
 
     def set(self, slot: str, value: Any) -> None:
         self.values[slot] = value
+        if self._kb is not None:
+            self._kb._slot_mutated(slot)
 
     def __contains__(self, slot: str) -> bool:
         return slot in self.values
@@ -209,6 +215,16 @@ class KnowledgeBase:
         self._instances: dict[str, Instance] = {}
         self._by_class: dict[str, set[str]] = {}
         self._ids = IdGenerator()
+        #: Bumped on every structural change (class added, instance added /
+        #: removed / slot set) — external caches key their entries on it.
+        self.version = 0
+        #: Lazy hash indexes: slot name -> value -> set of instance ids.
+        self._slot_indexes: dict[str, dict[Any, set[str]]] = {}
+        #: Slots observed holding unhashable values — never indexed.
+        self._unindexable_slots: set[str] = set()
+        #: Telemetry for the benchmark suite.
+        self.index_hits = 0
+        self.index_builds = 0
 
     # -- classes ----------------------------------------------------------- #
     def add_class(self, cls: OntologyClass) -> OntologyClass:
@@ -220,6 +236,7 @@ class KnowledgeBase:
             )
         self._classes[cls.name] = cls
         self._by_class.setdefault(cls.name, set())
+        self.version += 1
         return cls
 
     def define_class(
@@ -305,6 +322,8 @@ class KnowledgeBase:
         self._instances[id] = instance
         for ancestor in self.ancestors(cls):
             self._by_class.setdefault(ancestor, set()).add(id)
+        instance._kb = self
+        self._index_added(instance)
         return instance
 
     def add_instance(self, instance: Instance, validate: bool = True) -> Instance:
@@ -337,6 +356,9 @@ class KnowledgeBase:
         del self._instances[id]
         for ids in self._by_class.values():
             ids.discard(id)
+        self._index_removed(instance)
+        if instance._kb is self:
+            instance._kb = None
         return instance
 
     def instances_of(self, cls: str, direct_only: bool = False) -> list[Instance]:
@@ -464,6 +486,108 @@ class KnowledgeBase:
         for instance in other.instances():
             self.new_instance(instance.cls, instance.values, id=instance.id)
 
+    # -- hash indexes -------------------------------------------------------- #
+    def _index_put(
+        self, index: dict[Any, set[str]], slot_name: str, value: Any, id: str
+    ) -> bool:
+        """Add one (value, id) pair to *index*; on an unhashable value the
+        slot is permanently demoted to scans and False is returned."""
+        try:
+            bucket = index.get(value)
+        except TypeError:
+            self._unindexable_slots.add(slot_name)
+            self._slot_indexes.pop(slot_name, None)
+            return False
+        if bucket is None:
+            index[value] = {id}
+        else:
+            bucket.add(id)
+        return True
+
+    def _index_for(self, slot_name: str) -> dict[Any, set[str]] | None:
+        """The (lazily built) value index for *slot_name*, or None when the
+        slot holds unhashable values.  ``None``-valued slots are left out:
+        equality lookups never match them (see :meth:`equality_candidates`)."""
+        if slot_name in self._unindexable_slots:
+            return None
+        index = self._slot_indexes.get(slot_name)
+        if index is None:
+            index = {}
+            for instance in self._instances.values():
+                value = instance.values.get(slot_name)
+                if value is None:
+                    continue
+                if not self._index_put(index, slot_name, value, instance.id):
+                    return None
+            self._slot_indexes[slot_name] = index
+            self.index_builds += 1
+        return index
+
+    def _index_added(self, instance: Instance) -> None:
+        self.version += 1
+        for slot_name, value in instance.values.items():
+            if value is None:
+                continue
+            index = self._slot_indexes.get(slot_name)
+            if index is not None:
+                self._index_put(index, slot_name, value, instance.id)
+
+    def _index_removed(self, instance: Instance) -> None:
+        self.version += 1
+        for slot_name, value in instance.values.items():
+            index = self._slot_indexes.get(slot_name)
+            if index is None:
+                continue
+            try:
+                bucket = index.get(value)
+            except TypeError:  # pragma: no cover - such slots are never indexed
+                continue
+            if bucket is not None:
+                bucket.discard(instance.id)
+                if not bucket:
+                    del index[value]
+
+    def _slot_mutated(self, slot_name: str) -> None:
+        """In-place ``Instance.set``: drop that slot's index (cheap, rare)."""
+        self.version += 1
+        self._slot_indexes.pop(slot_name, None)
+        self._unindexable_slots.discard(slot_name)
+
+    def invalidate_indexes(self) -> None:
+        """Drop every hash index and bump :attr:`version`.
+
+        Call this after mutating ``Instance.values`` dicts directly
+        (bypassing :meth:`Instance.set`), which the indexes cannot observe.
+        """
+        self.version += 1
+        self._slot_indexes.clear()
+        self._unindexable_slots.clear()
+
+    def equality_candidates(
+        self, cls: str | None, slot_name: str, value: Any
+    ) -> set[str] | None:
+        """Ids of instances whose *slot_name* stores exactly *value*, via
+        the hash index; restricted to *cls* (subclasses included) when
+        given.  Returns None when the index cannot answer — *value* is
+        None or unhashable, or the slot holds unhashable values — and the
+        caller must fall back to a scan.  Callers re-verify candidates
+        against their full constraint semantics; the index only narrows.
+        """
+        if value is None:
+            return None
+        index = self._index_for(slot_name)
+        if index is None:
+            return None
+        try:
+            bucket = index.get(value)
+        except TypeError:
+            return None
+        ids = set(bucket) if bucket else set()
+        if cls is not None:
+            ids &= self._by_class.get(cls, set())
+        self.index_hits += 1
+        return ids
+
     # -- queries ------------------------------------------------------------ #
     def find(
         self,
@@ -471,9 +595,27 @@ class KnowledgeBase:
         where: Callable[[Instance], bool] | None = None,
         **slot_equals: Any,
     ) -> list[Instance]:
-        """Simple query: filter instances by class, slot equality, predicate."""
-        pool: Iterable[Instance]
-        pool = self.instances_of(cls) if cls is not None else list(self.instances())
+        """Simple query: filter instances by class, slot equality, predicate.
+
+        Slot-equality filters are answered through the hash indexes when
+        possible (class given, hashable non-None values); results are in
+        the same sorted-id order as :meth:`instances_of` either way.
+        """
+        pool: Iterable[Instance] | None = None
+        if cls is not None and slot_equals:
+            self.get_class(cls)  # raise on unknown class, like instances_of
+            ids: set[str] | None = None
+            for k, v in slot_equals.items():
+                candidates = self.equality_candidates(cls, k, v)
+                if candidates is None:
+                    continue
+                ids = candidates if ids is None else ids & candidates
+                if not ids:
+                    return []
+            if ids is not None:
+                pool = [self._instances[i] for i in sorted(ids)]
+        if pool is None:
+            pool = self.instances_of(cls) if cls is not None else list(self.instances())
         out = []
         for inst in pool:
             if any(inst.get(k) != v for k, v in slot_equals.items()):

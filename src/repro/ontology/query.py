@@ -65,9 +65,16 @@ class SlotConstraint:
     op: Op
     value: Any
 
+    def __post_init__(self) -> None:
+        if isinstance(self.op, str):
+            object.__setattr__(self, "op", Op(self.op))
+        # Path accessors are compiled once per constraint, not per match:
+        # matchmaking runs the same constraint over every candidate.
+        object.__setattr__(self, "parts", tuple(self.path.split("/")))
+
     def matches(self, kb: KnowledgeBase, instance: Instance) -> bool:
         current: Any = instance
-        for part in self.path.split("/"):
+        for part in self.parts:
             if not isinstance(current, Instance):
                 return False
             try:
@@ -91,9 +98,31 @@ class Query:
         return Query(self.cls, self.constraints + (SlotConstraint(path, op, value),))
 
     def run(self, kb: KnowledgeBase) -> list[Instance]:
+        """Matching instances, in the sorted-id order of ``instances_of``.
+
+        Single-slot equality constraints narrow the scan through the KB's
+        hash indexes; every constraint is still re-verified via
+        :meth:`SlotConstraint.matches`, so the index is a pure
+        accelerator and the results are scan-identical.
+        """
+        pool: set[str] | None = None
+        for constraint in self.constraints:
+            if constraint.op is not Op.EQ or len(constraint.parts) != 1:
+                continue
+            candidates = kb.equality_candidates(
+                self.cls, constraint.parts[0], constraint.value
+            )
+            if candidates is None:
+                continue
+            pool = candidates if pool is None else pool & candidates
+        if pool is None:
+            instances = kb.instances_of(self.cls)
+        else:
+            kb.get_class(self.cls)  # preserve unknown-class errors
+            instances = [kb.get_instance(i) for i in sorted(pool)]
         return [
             inst
-            for inst in kb.instances_of(self.cls)
+            for inst in instances
             if all(c.matches(kb, inst) for c in self.constraints)
         ]
 
@@ -111,9 +140,9 @@ def equivalence_classes(
     keys stay hashable.
     """
 
-    def value_at(inst: Instance, path: str) -> Hashable:
+    def value_at(inst: Instance, parts: tuple[str, ...]) -> Hashable:
         current: Any = inst
-        for part in path.split("/"):
+        for part in parts:
             if not isinstance(current, Instance):
                 return None
             try:
@@ -128,8 +157,10 @@ def equivalence_classes(
             return current.id
         return current
 
+    # Split each key path once, not once per instance.
+    split_paths = [tuple(path.split("/")) for path in key_paths]
     groups: dict[tuple[Hashable, ...], list[Instance]] = {}
     for inst in instances:
-        key = tuple(value_at(inst, path) for path in key_paths)
+        key = tuple(value_at(inst, parts) for parts in split_paths)
         groups.setdefault(key, []).append(inst)
     return groups

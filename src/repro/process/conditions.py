@@ -268,7 +268,8 @@ def compile_condition(condition: Condition) -> Callable[[Any], bool]:
     def check(state: Any) -> bool:
         peek = state.peek
         for data, prop, value in eq_checks:
-            if peek(data, prop) != value:
+            actual = peek(data, prop)
+            if actual is MISSING or actual is None or actual != value:
                 return False
         for data, prop, rel, value in other:
             actual = peek(data, prop)

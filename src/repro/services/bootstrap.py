@@ -117,15 +117,18 @@ def standard_environment(
     failure_seed: int = 7,
     planner_config: GPConfig | None = None,
     planner_seed: int = 0,
+    tracing: bool = True,
 ) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
     """One-call Figure-1 grid: core services + *containers* application
     containers (each on its own node, cycling through *sites*/*speeds*,
     all hosting every end-user service), fully advertised.
 
     With ``failure_probability > 0`` every container invocation can fail,
-    which is what the re-planning experiments dial up.
+    which is what the re-planning experiments dial up.  ``tracing=False``
+    selects the router fast path (no per-delivery TraceEvents) for
+    throughput runs; id streams are unaffected.
     """
-    env = GridEnvironment()
+    env = GridEnvironment(tracing=tracing)
     credentials = ("coordination", "grid-secret") if secure else None
     services = build_core_services(
         env,

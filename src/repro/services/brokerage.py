@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.grid.environment import GridEnvironment
-from repro.grid.messages import Message
+from repro.grid.messages import Message, Performative
 from repro.grid.node import GridNode
 from repro.ontology import RESOURCE, KnowledgeBase, builtin_shell, equivalence_classes
 from repro.services.base import CoreService
@@ -64,6 +64,16 @@ class BrokerageService(CoreService):
         self._by_service: dict[str, set[str]] = {}
         self._performance: dict[tuple[str, str], _Performance] = {}
         self.resource_kb: KnowledgeBase = builtin_shell("broker-resources")
+        #: Bumped on every container (de)registration; caches key on it.
+        self.registry_version = 0
+        #: Agents that asked to be INFORMed of registry changes (e.g. the
+        #: matchmaker's candidate cache).  Opt-in only: with no subscribers
+        #: the broker's message traffic is exactly as before.
+        self._subscribers: set[str] = set()
+        #: service -> sorted container list, rebuilt lazily per version.
+        self._service_lists: dict[str, list[str]] = {}
+        #: key_paths -> (kb version, reply classes) for equivalence queries.
+        self._eqc_cache: dict[tuple[str, ...], tuple[int, list[dict]]] = {}
 
     # -- direct (bootstrap) API --------------------------------------------------- #
     def advertise(self, ad: ContainerAd) -> None:
@@ -74,13 +84,50 @@ class BrokerageService(CoreService):
         self._ads[ad.container] = ad
         for svc in ad.services:
             self._by_service.setdefault(svc, set()).add(ad.container)
+        self._registry_changed()
+
+    def withdraw(self, container: str) -> bool:
+        """Deregister a container's advertisement (returns False when it
+        was not advertised)."""
+        ad = self._ads.pop(container, None)
+        if ad is None:
+            return False
+        for svc in ad.services:
+            self._by_service.get(svc, set()).discard(container)
+        self._registry_changed()
+        return True
+
+    def subscribe_registry(self, agent: str) -> None:
+        """INFORM *agent* (action ``registry-changed``) after every
+        container (de)registration — cache-invalidation push."""
+        self._subscribers.add(agent)
+
+    def _registry_changed(self) -> None:
+        self.registry_version += 1
+        self._service_lists.clear()
+        for subscriber in sorted(self._subscribers):
+            self.send(
+                Message(
+                    sender=self.name,
+                    receiver=subscriber,
+                    performative=Performative.INFORM,
+                    action="registry-changed",
+                    content={"version": self.registry_version},
+                    size=100.0,
+                )
+            )
 
     def advertise_node(self, node: GridNode) -> None:
         """Record a node's Resource/Hardware frames in the broker KB."""
         node.register_in(self.resource_kb)
 
     def containers_for(self, service: str) -> list[str]:
-        return sorted(self._by_service.get(service, ()))
+        cached = self._service_lists.get(service)
+        if cached is None:
+            cached = self._service_lists[service] = sorted(
+                self._by_service.get(service, ())
+            )
+        return list(cached)
 
     def record(self, service: str, container: str, duration: float, success: bool) -> None:
         perf = self._performance.setdefault((service, container), _Performance())
@@ -137,21 +184,47 @@ class BrokerageService(CoreService):
 
     def handle_equivalence_classes(self, message: Message):
         """Group advertised resources by the values at the given slot paths
-        (e.g. ``["Hardware/Speed", "Administration Domain"]``)."""
+        (e.g. ``["Hardware/Speed", "Administration Domain"]``).
+
+        Results are cached per key-path tuple and invalidated by the
+        resource KB's version counter (any instance add/retract/mutation
+        recomputes on the next request)."""
         key_paths = list(message.content.get("key_paths", ()))
-        groups = equivalence_classes(
-            self.resource_kb,
-            self.resource_kb.instances_of(RESOURCE),
-            key_paths,
-        )
-        return {
-            "classes": [
+        cache_key = tuple(key_paths)
+        version = self.resource_kb.version
+        entry = self._eqc_cache.get(cache_key)
+        if entry is not None and entry[0] == version:
+            self.metrics.inc("eqc_cache_hit", agent=self.name)
+            classes = entry[1]
+        else:
+            self.metrics.inc("eqc_cache_miss", agent=self.name)
+            groups = equivalence_classes(
+                self.resource_kb,
+                self.resource_kb.instances_of(RESOURCE),
+                key_paths,
+            )
+            classes = [
                 {"key": list(key), "resources": sorted(i.get("Name") for i in members)}
                 for key, members in sorted(
                     groups.items(), key=lambda kv: repr(kv[0])
                 )
             ]
+            self._eqc_cache[cache_key] = (version, classes)
+        # Fresh outer/inner containers so callers can mutate their reply.
+        return {
+            "classes": [
+                {"key": list(c["key"]), "resources": list(c["resources"])}
+                for c in classes
+            ]
         }
+
+    def handle_withdraw_container(self, message: Message):
+        return {"withdrawn": self.withdraw(message.content["container"])}
+
+    def handle_subscribe_registry(self, message: Message):
+        subscriber = message.content.get("subscriber", message.sender)
+        self.subscribe_registry(subscriber)
+        return {"subscribed": subscriber, "version": self.registry_version}
 
     def handle_container_info(self, message: Message):
         ad = self._ads.get(message.content["container"])

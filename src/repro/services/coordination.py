@@ -23,6 +23,7 @@ converted on receipt — which doubles as a well-structuredness check):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
@@ -39,9 +40,9 @@ from repro.process.ast_nodes import (
     Node,
     SequenceNode,
 )
-from repro.process.conditions import MISSING, Condition
+from repro.process.conditions import MISSING
 from repro.process.model import ProcessDescription
-from repro.process.structure import process_to_ast
+from repro.process.program import ActivityStep, EnactmentProgram, process_fingerprint
 from repro.services.base import CoreService, WELL_KNOWN
 
 __all__ = ["CoordinationService", "EnactmentRecord"]
@@ -123,6 +124,9 @@ class CoordinationService(CoreService):
     max_loop_iterations = 25
     #: Re-planning rounds before giving up on a case.
     max_replans = 3
+    #: Compiled enactment programs kept per coordinator (LRU by process
+    #: fingerprint); 0 disables the cache and compiles per enactment.
+    program_cache_size = 64
 
     #: Name of the authentication service used when credentials are set.
     auth_name = WELL_KNOWN["authentication"]
@@ -140,6 +144,26 @@ class CoordinationService(CoreService):
         self.credentials = credentials
         self._ticket: str | None = None
         self._ticket_expires = 0.0
+        self._programs: OrderedDict[Any, EnactmentProgram] = OrderedDict()
+
+    def _program_for(self, process: ProcessDescription) -> EnactmentProgram:
+        """Compile *process* (or fetch the shared compilation): N cases of
+        one workflow share a single program.  Raises ConversionError for
+        non-well-structured graphs, exactly like ``process_to_ast``."""
+        if self.program_cache_size <= 0:
+            return EnactmentProgram(process)
+        key = process_fingerprint(process)
+        program = self._programs.get(key)
+        if program is not None:
+            self._programs.move_to_end(key)
+            self.metrics.inc("program_cache_hit", agent=self.name)
+            return program
+        program = EnactmentProgram(process)
+        self.metrics.inc("program_cache_miss", agent=self.name)
+        self._programs[key] = program
+        while len(self._programs) > self.program_cache_size:
+            self._programs.popitem(last=False)
+        return program
 
     def _ensure_ticket(self):
         """Obtain (and cache) an authentication ticket for dispatching to
@@ -200,14 +224,14 @@ class CoordinationService(CoreService):
         current = process
         while True:
             try:
-                ast = process_to_ast(current)
+                program = self._program_for(current)
             except ConversionError as exc:
                 raise ServiceError(
                     f"process {current.name!r} is not well-structured: {exc}"
                 ) from exc
             record.log(self.engine.now, "enact", f"process {current.name}")
             try:
-                yield from self._enact(ast, current, case, record, work)
+                yield from self._enact(program.ast, program, case, record, work)
                 record.completed = True
                 self.metrics.inc(
                     "enactments_completed", agent=self.name, action=record.task
@@ -285,31 +309,34 @@ class CoordinationService(CoreService):
     def _enact(
         self,
         node: Node,
-        process: ProcessDescription,
+        program: EnactmentProgram,
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
     ) -> Generator[Any, Any, None]:
         if isinstance(node, ActivityNode):
-            yield from self._run_activity(node.name, process, case, record, work)
+            yield from self._run_activity(
+                program.step(node.name), case, record, work
+            )
             return
         if isinstance(node, SequenceNode):
             for child in node.children:
-                yield from self._enact(child, process, case, record, work)
+                yield from self._enact(child, program, case, record, work)
             return
         if isinstance(node, ForkNode):
-            yield from self._run_fork(node, process, case, record, work)
+            yield from self._run_fork(node, program, case, record, work)
             return
         if isinstance(node, ChoiceNode):
-            branch = self._choose(node, case, record)
-            yield from self._enact(branch, process, case, record, work)
+            branch = self._choose(node, program, case, record)
+            yield from self._enact(branch, program, case, record, work)
             return
         if isinstance(node, IterativeNode):
+            holds = program.check(node)
             iterations = 0
             while True:
-                yield from self._enact(node.body, process, case, record, work)
+                yield from self._enact(node.body, program, case, record, work)
                 iterations += 1
-                if not self._holds(node.condition, case):
+                if not holds(case):
                     break
                 if iterations >= self.max_loop_iterations:
                     record.log(
@@ -321,10 +348,16 @@ class CoordinationService(CoreService):
             return
         raise EnactmentError(f"unknown AST node {type(node).__name__}")
 
-    def _choose(self, node: ChoiceNode, case: _CaseData, record: EnactmentRecord) -> Node:
+    def _choose(
+        self,
+        node: ChoiceNode,
+        program: EnactmentProgram,
+        case: _CaseData,
+        record: EnactmentRecord,
+    ) -> Node:
         """First branch whose condition holds (Section 3.1's Choice)."""
-        for condition, branch in node.branches:
-            if self._holds(condition, case):
+        for holds, condition, branch in program.branches(node):
+            if holds(case):
                 record.log(self.engine.now, "choice", str(condition))
                 return branch
         # No condition holds: the paper leaves this undefined; taking the
@@ -333,21 +366,17 @@ class CoordinationService(CoreService):
         record.log(self.engine.now, "choice-default", "no condition held")
         return node.branches[-1][1]
 
-    @staticmethod
-    def _holds(condition: Condition, case: _CaseData) -> bool:
-        return condition.evaluate(case)
-
     def _run_fork(
         self,
         node: ForkNode,
-        process: ProcessDescription,
+        program: EnactmentProgram,
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
     ) -> Generator[Any, Any, None]:
         def wrap(branch: Node):
             try:
-                yield from self._enact(branch, process, case, record, work)
+                yield from self._enact(branch, program, case, record, work)
                 return ("ok", None)
             except _ActivityFailed as exc:
                 return ("failed", exc)
@@ -370,20 +399,19 @@ class CoordinationService(CoreService):
 
     def _run_activity(
         self,
-        name: str,
-        process: ProcessDescription,
+        step: ActivityStep,
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
     ) -> Generator[Any, Any, None]:
-        activity = process.activity(name)
-        service = activity.service_name
+        name = step.name
+        service = step.service
         inputs = {
-            d: dict(case.props[d]) for d in activity.inputs if d in case.props
+            d: dict(case.props[d]) for d in step.inputs if d in case.props
         }
         payload_keys = {
             d: case.payload_keys[d]
-            for d in activity.inputs
+            for d in step.inputs
             if d in case.payload_keys
         }
         ticket = yield from self._ensure_ticket()
@@ -416,8 +444,8 @@ class CoordinationService(CoreService):
                         "service": service,
                         "inputs": inputs,
                         "payload_keys": payload_keys,
-                        "input_order": list(activity.inputs),
-                        "output_order": list(activity.outputs),
+                        "input_order": step.input_order,
+                        "output_order": step.output_order,
                         # Checkpointable services resume from here on retry
                         # (Section 1: long-lasting tasks need checkpointing).
                         "checkpoint_key": f"ckpt/{record.task}/{name}",

@@ -1,5 +1,11 @@
 """Workload generators: synthetic planning problems and failure scenarios."""
 
+from repro.workloads.many_cases import (
+    many_cases_initial_data,
+    many_cases_process,
+    many_cases_services,
+    run_many_cases,
+)
 from repro.workloads.synthetic import (
     chain_problem,
     choice_problem,
@@ -9,6 +15,10 @@ from repro.workloads.synthetic import (
 )
 
 __all__ = [
+    "many_cases_initial_data",
+    "many_cases_process",
+    "many_cases_services",
+    "run_many_cases",
     "chain_problem",
     "diamond_problem",
     "choice_problem",

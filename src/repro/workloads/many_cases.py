@@ -1,0 +1,186 @@
+"""The ``many_cases`` enactment workload: K concurrent cases, one workflow.
+
+A production coordination service is "a proxy for the end-user" — it does
+not enact one case at a time but many concurrently, usually instances of
+the *same* process description (the paper's case study is one workflow
+that every virology user runs against their own data).  This workload
+reproduces that shape on the simulated grid:
+
+* one shared process description — ingest, a three-way fork, an iterative
+  refinement loop steered by a live case-data condition, and a final
+  Choice between a fast and a full publishing route;
+* K cases, each with its own initial data (half take the fast route, half
+  the full route), all enacted concurrently by one coordination service;
+* a container fleet that hosts every end-user service, so matchmaking and
+  scheduling run the full candidate-ranking path on every dispatch.
+
+It is the benchmark workload for the enactment throughput layer (see
+``benchmarks/record_bench.py --suite enact``): the same workflow enacted
+K times is exactly the case the coordinator's compiled-program cache, the
+matchmaker's candidate cache and the router fast path are built for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.grid.container import EndUserService
+from repro.process.builder import WorkflowBuilder
+from repro.process.conditions import Atom, Relation
+from repro.process.model import Activity, ProcessDescription
+from repro.services.bootstrap import standard_environment
+
+__all__ = [
+    "many_cases_process",
+    "many_cases_services",
+    "many_cases_initial_data",
+    "run_many_cases",
+]
+
+
+def _refine(props: dict[str, dict], payloads: dict[str, Any]):
+    """One refinement pass: bump the model's Round counter (real data flow
+    through the containers — the loop condition reads what this returns)."""
+    current = int(props.get("model", {}).get("Round", 0))
+    return {"model": {"Status": "ready", "Round": current + 1}}, {}
+
+
+def many_cases_process(rounds: int = 3) -> ProcessDescription:
+    """The shared workflow: ingest -> fork(3 parts) -> refine loop -> choice."""
+    library = {
+        "ingest": Activity("ingest", inputs=("src",), outputs=("base",)),
+        "partA": Activity("partA", inputs=("base",), outputs=("pA",)),
+        "partB": Activity("partB", inputs=("base",), outputs=("pB",)),
+        "partC": Activity("partC", inputs=("base",), outputs=("pC",)),
+        "refine": Activity(
+            "refine", inputs=("pA", "pB", "pC", "model"), outputs=("model",)
+        ),
+        "publish_fast": Activity(
+            "publish_fast", inputs=("model",), outputs=("out",)
+        ),
+        "publish_full": Activity(
+            "publish_full", inputs=("model", "base"), outputs=("out",)
+        ),
+    }
+    return (
+        WorkflowBuilder(f"many-cases-{rounds}r")
+        .activity("ingest")
+        .fork(
+            lambda b: b.activity("partA"),
+            lambda b: b.activity("partB"),
+            lambda b: b.activity("partC"),
+        )
+        .loop(Atom("model", "Round", Relation.LT, rounds), lambda b: b.activity("refine"))
+        .choice(
+            (
+                Atom("src", "Mode", Relation.EQ, "fast"),
+                lambda b: b.activity("publish_fast"),
+            ),
+            (None, lambda b: b.activity("publish_full")),
+        )
+        .build(library)
+    )
+
+
+def many_cases_services() -> list[EndUserService]:
+    """End-user service definitions behind the workflow's activities."""
+    ready = {"Status": "ready"}
+    return [
+        EndUserService("ingest", work=4.0, effects={"base": dict(ready)}),
+        EndUserService("partA", work=6.0, effects={"pA": dict(ready)}),
+        EndUserService("partB", work=6.0, effects={"pB": dict(ready)}),
+        EndUserService("partC", work=6.0, effects={"pC": dict(ready)}),
+        EndUserService("refine", work=5.0, compute=_refine),
+        EndUserService("publish_fast", work=2.0, effects={"out": dict(ready)}),
+        EndUserService(
+            "publish_full", work=8.0, effects={"out": {"Status": "ready", "Archived": True}}
+        ),
+    ]
+
+
+def many_cases_initial_data(index: int) -> dict[str, dict]:
+    """Case *index*'s initial data; alternates the publishing route."""
+    return {"src": {"Status": "ready", "Mode": "fast" if index % 2 == 0 else "full"}}
+
+
+def run_many_cases(
+    cases: int = 32,
+    containers: int = 4,
+    rounds: int = 3,
+    tracing: bool = True,
+    match_cache_ttl: float = 0.0,
+    program_cache_size: int | None = None,
+    max_events: int = 20_000_000,
+) -> dict[str, Any]:
+    """Enact *cases* concurrent instances of the shared workflow.
+
+    The three throughput knobs map onto the enactment fast paths:
+    ``tracing=False`` selects the router fast path (no TraceEvents),
+    ``match_cache_ttl`` enables the matchmaker candidate cache (with the
+    broker's registry-changed push wired up for invalidation), and
+    ``program_cache_size`` overrides the coordinator's compiled-program
+    cache (0 recompiles per enactment — the pre-compilation baseline).
+
+    Returns ``env``, ``services``, ``outcomes`` (per-case replies) and
+    summary counts.  Raises :class:`WorkloadError` when any case fails —
+    the workload is deterministic and must always complete.
+    """
+    if cases < 1:
+        raise WorkloadError("many_cases needs at least one case")
+    env, services, fleet = standard_environment(
+        many_cases_services(), containers=containers, tracing=tracing
+    )
+    if program_cache_size is not None:
+        services.coordination.program_cache_size = program_cache_size
+    if match_cache_ttl > 0.0:
+        services.matchmaking.enable_candidate_cache(
+            match_cache_ttl, broker=services.brokerage
+        )
+    process = many_cases_process(rounds)
+    outcomes: list[dict[str, Any] | None] = [None] * cases
+
+    def enact_case(index: int):
+        reply = yield from services.coordination.call(
+            "coordination",
+            "execute-task",
+            {
+                "process": process,
+                "initial_data": many_cases_initial_data(index),
+                "task": f"case-{index}",
+            },
+        )
+        outcomes[index] = reply
+
+    for index in range(cases):
+        env.engine.spawn(enact_case(index), name=f"user-{index}")
+    env.run(max_events=max_events)
+
+    completed = sum(
+        1 for o in outcomes if o is not None and o.get("status") == "completed"
+    )
+    if completed != cases:
+        raise WorkloadError(
+            f"many_cases: only {completed}/{cases} cases completed"
+        )
+    metrics = env.metrics
+    return {
+        "env": env,
+        "services": services,
+        "fleet": fleet,
+        "outcomes": outcomes,
+        "cases": cases,
+        "completed": completed,
+        "activities_run": sum(o["activities_run"] for o in outcomes),
+        "messages": env.trace.total_recorded,
+        "makespan": env.engine.now,
+        "engine_events": env.engine.events_processed,
+        "counters": {
+            "program_cache_hit": metrics.total("program_cache_hit"),
+            "program_cache_miss": metrics.total("program_cache_miss"),
+            "match_cache_hit": metrics.total("match_cache_hit"),
+            "match_cache_miss": metrics.total("match_cache_miss"),
+            "messages_sent": metrics.total("messages_sent"),
+            "messages_delivered": metrics.total("messages_delivered"),
+        },
+    }

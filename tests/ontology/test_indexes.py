@@ -1,0 +1,182 @@
+"""KB hash indexes: equality candidates, invalidation, scan-equivalence.
+
+The indexes are pure accelerators: every test here checks them against
+the semantics of a full scan, across instance add / retract / slot
+mutation — the invalidation paths the matchmaking hot loop depends on.
+"""
+
+import pytest
+
+from repro.ontology import (
+    HARDWARE,
+    RESOURCE,
+    Op,
+    Query,
+    builtin_shell,
+    equivalence_classes,
+)
+
+
+def _scan(kb, query):
+    """Reference result: the pre-index linear scan."""
+    return [
+        inst
+        for inst in kb.instances_of(query.cls)
+        if all(c.matches(kb, inst) for c in query.constraints)
+    ]
+
+
+@pytest.fixture
+def kb():
+    out = builtin_shell()
+    for name, speed, domain in (
+        ("fast1", 4.0, "ucf"),
+        ("fast2", 4.0, "ucf"),
+        ("slow1", 1.0, "purdue"),
+    ):
+        hw = out.new_instance(HARDWARE, {"Type": "CPU", "Speed": speed}, id=f"hw-{name}")
+        out.new_instance(
+            RESOURCE,
+            {"Name": name, "Hardware": hw.id, "Administration Domain": domain},
+            id=f"res-{name}",
+        )
+    return out
+
+
+DOMAIN_QUERY = Query(RESOURCE).where("Administration Domain", Op.EQ, "ucf")
+
+
+class TestEqualityCandidates:
+    def test_candidates_match_scan(self, kb):
+        ids = kb.equality_candidates(RESOURCE, "Administration Domain", "ucf")
+        assert ids == {"res-fast1", "res-fast2"}
+
+    def test_class_restriction(self, kb):
+        ids = kb.equality_candidates(HARDWARE, "Administration Domain", "ucf")
+        assert ids == set()
+
+    def test_none_value_falls_back(self, kb):
+        assert kb.equality_candidates(RESOURCE, "Name", None) is None
+
+    def test_unhashable_value_falls_back(self, kb):
+        assert kb.equality_candidates(RESOURCE, "Name", ["a"]) is None
+
+    def test_unhashable_slot_demoted(self):
+        from repro.ontology import KnowledgeBase, Slot, SlotType
+
+        out = KnowledgeBase()
+        out.define_class("Thing", [Slot("Tags", SlotType.ANY)])
+        out.new_instance("Thing", {"Tags": ["gpu"]}, id="t1")
+        assert out.equality_candidates("Thing", "Tags", "gpu") is None
+        # Demotion is remembered: later lookups still fall back.
+        assert out.equality_candidates("Thing", "Tags", "x") is None
+
+    def test_index_usage_counted(self, kb):
+        before = kb.index_hits
+        kb.equality_candidates(RESOURCE, "Name", "fast1")
+        assert kb.index_hits == before + 1
+
+
+class TestInvalidation:
+    def test_add_instance_updates_index(self, kb):
+        assert len(DOMAIN_QUERY.run(kb)) == 2  # builds the index
+        kb.new_instance(
+            RESOURCE, {"Name": "new", "Administration Domain": "ucf"}, id="res-new"
+        )
+        result = DOMAIN_QUERY.run(kb)
+        assert result == _scan(kb, DOMAIN_QUERY)
+        assert len(result) == 3
+
+    def test_retract_instance_updates_index(self, kb):
+        assert len(DOMAIN_QUERY.run(kb)) == 2
+        kb.remove_instance("res-fast1")
+        result = DOMAIN_QUERY.run(kb)
+        assert result == _scan(kb, DOMAIN_QUERY)
+        assert [i.id for i in result] == ["res-fast2"]
+
+    def test_instance_set_updates_index(self, kb):
+        assert len(DOMAIN_QUERY.run(kb)) == 2
+        kb.get_instance("res-slow1").set("Administration Domain", "ucf")
+        result = DOMAIN_QUERY.run(kb)
+        assert result == _scan(kb, DOMAIN_QUERY)
+        assert len(result) == 3
+
+    def test_version_bumps_on_changes(self, kb):
+        v0 = kb.version
+        inst = kb.new_instance(RESOURCE, {"Name": "v"}, id="res-v")
+        assert kb.version > v0
+        v1 = kb.version
+        inst.set("Name", "v2")
+        assert kb.version > v1
+        v2 = kb.version
+        kb.remove_instance("res-v")
+        assert kb.version > v2
+
+    def test_invalidate_indexes_after_raw_mutation(self, kb):
+        assert len(DOMAIN_QUERY.run(kb)) == 2
+        # Raw dict mutation bypasses Instance.set — the documented escape
+        # hatch is an explicit invalidation.
+        kb.get_instance("res-slow1").values["Administration Domain"] = "ucf"
+        kb.invalidate_indexes()
+        assert len(DOMAIN_QUERY.run(kb)) == 3
+
+    def test_removed_instance_stops_notifying(self, kb):
+        inst = kb.remove_instance("res-fast1")
+        version = kb.version
+        inst.set("Name", "detached")
+        assert kb.version == version
+
+
+class TestScanEquivalence:
+    def test_find_uses_index_same_results(self, kb):
+        expected = [i for i in kb.instances_of(RESOURCE) if i.get("Name") == "fast2"]
+        assert kb.find(RESOURCE, Name="fast2") == expected
+
+    def test_find_multi_equality(self, kb):
+        result = kb.find(
+            RESOURCE, **{"Administration Domain": "ucf", "Name": "fast1"}
+        )
+        assert [i.id for i in result] == ["res-fast1"]
+
+    def test_find_no_match_via_index(self, kb):
+        assert kb.find(RESOURCE, Name="nope") == []
+
+    def test_query_reference_path_unaffected(self, kb):
+        q = Query(RESOURCE).where("Hardware/Speed", Op.GE, 2.0)
+        assert q.run(kb) == _scan(kb, q)
+
+    def test_query_mixed_eq_and_range(self, kb):
+        q = (
+            Query(RESOURCE)
+            .where("Administration Domain", "=", "ucf")
+            .where("Hardware/Speed", ">=", 2.0)
+        )
+        assert q.run(kb) == _scan(kb, q)
+        assert len(q.run(kb)) == 2
+
+
+class TestEquivalenceClassesConsistency:
+    def test_groups_follow_add_and_retract(self, kb):
+        groups = equivalence_classes(
+            kb, kb.instances_of(RESOURCE), ["Administration Domain"]
+        )
+        assert {k[0] for k in groups} == {"ucf", "purdue"}
+        kb.new_instance(
+            RESOURCE, {"Name": "n", "Administration Domain": "mit"}, id="res-n"
+        )
+        kb.remove_instance("res-slow1")
+        groups = equivalence_classes(
+            kb, kb.instances_of(RESOURCE), ["Administration Domain"]
+        )
+        assert {k[0] for k in groups} == {"ucf", "mit"}
+
+    def test_reference_path_groups(self, kb):
+        groups = equivalence_classes(
+            kb, kb.instances_of(RESOURCE), ["Hardware/Speed", "Administration Domain"]
+        )
+        assert len(groups) == 2
+        kb.get_instance("hw-fast2").set("Speed", 9.0)
+        groups = equivalence_classes(
+            kb, kb.instances_of(RESOURCE), ["Hardware/Speed", "Administration Domain"]
+        )
+        assert len(groups) == 3

@@ -120,6 +120,65 @@ class TestCompile:
         assert not check(SRC)
 
 
+class TestRelationApply:
+    """Direct unit coverage of Relation.apply, mixed types included."""
+
+    def test_ne(self):
+        assert Relation.NE.apply(1, 2)
+        assert not Relation.NE.apply("a", "a")
+        # Mixed types are simply unequal, never an error.
+        assert Relation.NE.apply("a", 1)
+
+    def test_le(self):
+        assert Relation.LE.apply(2, 2)
+        assert Relation.LE.apply(1, 2)
+        assert not Relation.LE.apply(3, 2)
+
+    def test_ge(self):
+        assert Relation.GE.apply(2, 2)
+        assert Relation.GE.apply(3, 2)
+        assert not Relation.GE.apply(1, 2)
+
+    @pytest.mark.parametrize(
+        "relation", [Relation.LT, Relation.GT, Relation.LE, Relation.GE]
+    )
+    def test_uncomparable_mixed_types_are_false(self, relation):
+        assert not relation.apply("text", 5)
+        assert not relation.apply(5, "text")
+        assert not relation.apply(None, 5)
+        assert not relation.apply((1, 2), 5)
+
+    def test_eq_mixed_types_are_unequal_not_error(self):
+        assert not Relation.EQ.apply("5", 5)
+        assert Relation.EQ.apply(5, 5.0)
+
+
+class TestCompiledInterpretedConsistency:
+    """The compiled closure must agree with Atom.evaluate everywhere —
+    including None-valued properties, where the EQ fast path used to
+    diverge (None is 'absent' per the paper's semantics)."""
+
+    @pytest.mark.parametrize("value", [None, "x", 0, 1])
+    @pytest.mark.parametrize("relation", list(Relation))
+    def test_none_property_value(self, relation, value):
+        src = MappingSource({"D": {"v": None}})
+        atom = Atom("D", "v", relation, value)
+        assert compile_condition(atom)(src) == atom.evaluate(src)
+        assert not compile_condition(atom)(src)
+
+    @pytest.mark.parametrize("relation", list(Relation))
+    def test_mixed_type_operands(self, relation):
+        src = MappingSource({"D": {"v": "text"}})
+        atom = Atom("D", "v", relation, 5)
+        assert compile_condition(atom)(src) == atom.evaluate(src)
+
+    def test_conjunction_with_none_valued_member(self):
+        src = MappingSource({"D": {"v": None, "w": 3}})
+        cond = Atom("D", "w", Relation.EQ, 3) & Atom("D", "v", Relation.EQ, None)
+        assert compile_condition(cond)(src) == cond.evaluate(src)
+        assert not compile_condition(cond)(src)
+
+
 @given(
     value=st.integers(-100, 100),
     threshold=st.integers(-100, 100),

@@ -1,0 +1,100 @@
+"""The many_cases enactment workload and the throughput fast paths."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import many_cases_process, run_many_cases
+
+
+CASES = 4
+
+
+@pytest.fixture(scope="module")
+def default_run():
+    return run_many_cases(cases=CASES, containers=2)
+
+
+class TestWorkload:
+    def test_all_cases_complete(self, default_run):
+        assert default_run["completed"] == CASES
+        assert all(o["status"] == "completed" for o in default_run["outcomes"])
+
+    def test_activity_count(self, default_run):
+        # ingest + 3 fork parts + 3 refine rounds + 1 publish = 8 per case.
+        assert default_run["activities_run"] == 8 * CASES
+
+    def test_publish_route_alternates(self, default_run):
+        outs = [o["data"]["out"] for o in default_run["outcomes"]]
+        assert [("Archived" in props) for props in outs] == [
+            i % 2 != 0 for i in range(CASES)
+        ]
+
+    def test_loop_runs_requested_rounds(self, default_run):
+        for outcome in default_run["outcomes"]:
+            assert (
+                sum(1 for e in outcome["events"] if e[1] == "loop-done") == 1
+            )
+            (loop_done,) = [e for e in outcome["events"] if e[1] == "loop-done"]
+            assert loop_done[2] == "3 iterations"
+
+    def test_rejects_zero_cases(self):
+        with pytest.raises(WorkloadError):
+            run_many_cases(cases=0)
+
+    def test_process_is_well_structured(self):
+        from repro.process import process_to_ast
+
+        assert process_to_ast(many_cases_process()) is not None
+
+
+class TestProgramCache:
+    def test_shared_compilation_across_cases(self, default_run):
+        counters = default_run["counters"]
+        assert counters["program_cache_miss"] == 1
+        assert counters["program_cache_hit"] == CASES - 1
+
+    def test_cache_disabled_still_completes_identically(self, default_run):
+        uncached = run_many_cases(cases=CASES, containers=2, program_cache_size=0)
+        assert uncached["counters"]["program_cache_hit"] == 0
+        assert uncached["counters"]["program_cache_miss"] == 0
+        # Byte-identical enactment: same events at the same times.
+        assert [o["events"] for o in uncached["outcomes"]] == [
+            o["events"] for o in default_run["outcomes"]
+        ]
+
+
+class TestRouterFastPath:
+    def test_tracing_off_same_enactment(self, default_run):
+        fast = run_many_cases(cases=CASES, containers=2, tracing=False)
+        assert fast["messages"] == 0  # nothing recorded...
+        assert (
+            fast["counters"]["messages_delivered"]
+            == default_run["counters"]["messages_delivered"]
+        )  # ...but everything delivered
+        assert [o["events"] for o in fast["outcomes"]] == [
+            o["events"] for o in default_run["outcomes"]
+        ]
+
+
+class TestCandidateCache:
+    def test_cache_hits_and_saved_messages(self, default_run):
+        cached = run_many_cases(cases=CASES, containers=2, match_cache_ttl=300.0)
+        counters = cached["counters"]
+        assert counters["match_cache_hit"] > 0
+        assert (
+            counters["messages_sent"] < default_run["counters"]["messages_sent"]
+        )
+        assert cached["completed"] == CASES
+
+    def test_registry_change_invalidates(self):
+        result = run_many_cases(cases=2, containers=2, match_cache_ttl=1e9)
+        services = result["services"]
+        matchmaker = services.matchmaking
+        assert matchmaker._candidate_cache  # warm after the run
+        from repro.services.brokerage import ContainerAd
+
+        services.brokerage.advertise(
+            ContainerAd("ac-new", "siteA", ["ingest"], 1.0, 0.0)
+        )
+        result["env"].run()  # deliver the registry-changed push
+        assert not matchmaker._candidate_cache
