@@ -2,7 +2,7 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus|enact]
+    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus|enact|obs]
 
 The **planner** suite (BENCH_planner.json) measures, on the Section-5
 case-study problem:
@@ -33,6 +33,18 @@ workflow through the full matchmaking -> scheduling -> container path):
   isolating the compiled-program cache's contribution;
 * the throughput configuration (router fast path + candidate cache),
   plus the metrics-registry cache-hit counters of one instrumented run.
+
+The **obs** suite (BENCH_obs.json) measures the span-telemetry layer's
+cost on the same workload:
+
+* the default spans-off configuration against the committed pre-obs
+  baseline — the ``--max-disabled-overhead`` gate fails the run when the
+  regression exceeds the given percentage (host-fingerprint-matched
+  only, since cross-host medians are not comparable);
+* spans-on and spans-on-plus-gauges configurations (the honest price of
+  full recording);
+* one instrumented run's span accounting, case-0 profile coverage, and
+  gauge summaries.
 
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
@@ -253,6 +265,85 @@ def bench_enact(rounds, cases=32, containers=4):
     return out
 
 
+#: Pre-PR reference point for the obs suite, measured on the grading host
+#: immediately before the span-telemetry layer landed (commit 882c84e,
+#: 32 cases / 4 containers, median of 7): the disabled-overhead gate
+#: compares against this — but only when the host fingerprint matches,
+#: since cross-host medians say nothing about regression.
+PRE_OBS_BASELINE = {
+    "median_s": 0.306,
+    "min_s": 0.282,
+    "rounds": 7,
+    "commit": "882c84e",
+    "host": {
+        "cpu_count": 1,
+        "platform": "Linux-6.18.5-fc-v19-x86_64-with-glibc2.36",
+    },
+    "note": "many_cases default config, pre span-instrumentation tree",
+}
+
+
+def bench_obs(rounds, cases=32, containers=4):
+    """Span-telemetry overhead: disabled (the default) must stay free."""
+    from repro.obs.profile import case_profile
+    from repro.workloads import run_many_cases
+
+    out = {"cases": cases, "containers": containers}
+
+    configs = {
+        # Default path: recording off; must track PRE_OBS_BASELINE.
+        "spans_off": {},
+        # Full recording: every layer opens/closes spans.
+        "spans_on": {"spans": True},
+        # Recording plus periodic gauge sampling.
+        "spans_on_gauges": {"spans": True, "gauge_period": 5.0},
+    }
+    for label, knobs in configs.items():
+        timing = _time(lambda knobs=knobs: run_many_cases(
+            cases=cases, containers=containers, **knobs
+        ), rounds)
+        timing["cases_per_s"] = cases / timing["median_s"]
+        out[label] = timing
+
+    baseline = PRE_OBS_BASELINE["median_s"]
+    out["pre_obs_baseline"] = dict(PRE_OBS_BASELINE)
+    out["disabled_overhead_pct"] = (
+        (out["spans_off"]["median_s"] - baseline) / baseline * 100.0
+    )
+    out["enabled_overhead_pct"] = (
+        (out["spans_on"]["median_s"] - out["spans_off"]["median_s"])
+        / out["spans_off"]["median_s"] * 100.0
+    )
+
+    # One instrumented run proves the recording is complete and balanced:
+    # every span pairs, and the profile attributes the case window.
+    result = run_many_cases(
+        cases=cases, containers=containers, spans=True, gauge_period=5.0
+    )
+    out["span_accounting"] = result["spans"]
+    profile = case_profile(result["env"].spans, case="case-0")
+    out["profile_case0"] = {
+        "coverage": profile["coverage"],
+        "duration": profile["duration"],
+        "spans": profile["spans"],
+    }
+    gauges = result["env"].gauges.summary()
+    out["gauges"] = {
+        name: series
+        for name, series in gauges.items()
+        if name in ("spans.open", "transfers.inflight")
+        or name.endswith("slots_in_use")
+    }
+    return out
+
+
+def _same_host(host, reference) -> bool:
+    return (
+        host["cpu_count"] == reference["cpu_count"]
+        and host["platform"] == reference["platform"]
+    )
+
+
 def _host():
     return {
         "cpu_count": os.cpu_count(),
@@ -272,11 +363,21 @@ def _write(path, record):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("all", "planner", "bus", "enact"), default="all"
+        "--suite", choices=("all", "planner", "bus", "enact", "obs"), default="all"
     )
     parser.add_argument("--out", default="BENCH_planner.json")
     parser.add_argument("--bus-out", default="BENCH_bus.json")
     parser.add_argument("--enact-out", default="BENCH_enact.json")
+    parser.add_argument("--obs-out", default="BENCH_obs.json")
+    parser.add_argument(
+        "--max-disabled-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if the obs suite's spans-off median exceeds "
+        "the committed pre-obs baseline by more than PCT percent; only "
+        "enforced when the host fingerprint matches the baseline host",
+    )
     parser.add_argument("--cases", type=int, default=32)
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument(
@@ -316,6 +417,34 @@ def main(argv=None) -> int:
             "enact": bench_enact(args.rounds, cases=args.cases),
         }
         _write(args.enact_out, record)
+
+    if args.suite in ("all", "obs"):
+        host = _host()
+        record = {
+            "benchmark": "span telemetry overhead (many_cases workload)",
+            "host": host,
+            "obs": bench_obs(args.rounds, cases=args.cases),
+        }
+        _write(args.obs_out, record)
+        if args.max_disabled_overhead is not None:
+            overhead = record["obs"]["disabled_overhead_pct"]
+            if not _same_host(host, PRE_OBS_BASELINE["host"]):
+                print(
+                    "disabled-overhead gate skipped: host differs from the "
+                    "baseline host "
+                    f"({host['cpu_count']} cpus, {host['platform']})"
+                )
+            elif overhead > args.max_disabled_overhead:
+                print(
+                    f"FAIL: spans-off overhead {overhead:+.1f}% exceeds "
+                    f"--max-disabled-overhead {args.max_disabled_overhead}%"
+                )
+                return 1
+            else:
+                print(
+                    f"disabled-overhead gate passed: {overhead:+.1f}% "
+                    f"<= {args.max_disabled_overhead}%"
+                )
     return 0
 
 

@@ -69,7 +69,10 @@ class LatencyHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bucket bound holding the q-quantile (0 < q <= 1)."""
+        """Upper bucket bound holding the q-quantile (0 < q <= 1), clamped
+        to the observed ``[min, max]`` — a bucket's nominal upper bound can
+        exceed every observation (e.g. a single 5.0 lands in the <=10.0
+        bucket), and a quantile above the true maximum misleads."""
         if self.count == 0:
             return 0.0
         target = q * self.count
@@ -78,7 +81,7 @@ class LatencyHistogram:
             running += bucket
             if running >= target:
                 if index < len(self.bounds):
-                    return self.bounds[index]
+                    return min(max(self.bounds[index], self.min), self.max)
                 return self.max
         return self.max
 

@@ -145,13 +145,25 @@ class MessageTrace:
         return list(seen)
 
     def events(
-        self, trace_id: str | None = None, conversation: str | None = None
+        self,
+        trace_id: str | None = None,
+        conversation: str | None = None,
+        start: float | None = None,
+        end: float | None = None,
     ) -> list[TraceEvent]:
+        """Resident events, filterable by trace, conversation and delivery
+        time.  ``start``/``end`` select the closed window ``[start, end]``
+        — pass a span's bounds to join it to its messages (spans and
+        messages share ``trace_id``; see :mod:`repro.obs.spans`)."""
         out = []
         for event in self.records:
             if trace_id is not None and event.trace_id != trace_id:
                 continue
             if conversation is not None and event.message.conversation != conversation:
+                continue
+            if start is not None and event.time < start:
+                continue
+            if end is not None and event.time > end:
                 continue
             out.append(event)
         return out

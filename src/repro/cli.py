@@ -8,6 +8,9 @@ Installed as ``repro-grid`` (see pyproject).  Subcommands:
 * ``casestudy``              — enact the real reconstruction on the grid
 * ``validate FILE``          — parse + validate a process-description file
 * ``render [--out DIR]``     — Graphviz DOT for Figures 10-11
+* ``trace export``           — run a spans-on workload, export Chrome
+  trace-event JSON + flat span JSONL
+* ``profile [CASE]``         — per-case sim-time attribution table
 """
 
 from __future__ import annotations
@@ -169,6 +172,67 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the many-cases workload with spans on and export the telemetry."""
+    import pathlib
+
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.workloads.many_cases import run_many_cases
+
+    if args.trace_command != "export":  # pragma: no cover - argparse enforces
+        print(f"unknown trace subcommand {args.trace_command!r}", file=sys.stderr)
+        return 2
+    result = run_many_cases(
+        cases=args.cases,
+        containers=args.containers,
+        spans=True,
+        gauge_period=args.gauge_period,
+    )
+    recorder = result["env"].spans
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    chrome_path = out / "trace.chrome.json"
+    jsonl_path = out / "spans.jsonl"
+    events = write_chrome_trace(chrome_path, recorder)
+    lines = write_jsonl(jsonl_path, recorder)
+    print(
+        f"{result['completed']}/{result['cases']} cases, "
+        f"{recorder.total_closed} spans "
+        f"(makespan {result['makespan']:.1f}s sim)"
+    )
+    print(f"wrote {chrome_path} ({events} events; open in chrome://tracing or ui.perfetto.dev)")
+    print(f"wrote {jsonl_path} ({lines} lines)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Enact the workload with spans on, then print one case's profile.
+
+    The profile is fetched from the monitoring service over in-band RPC
+    (the ``case-profile`` action) — the same path an external operator
+    tool would use — not by poking the recorder directly.
+    """
+    from repro.obs.profile import render_profile
+    from repro.workloads.many_cases import run_many_cases
+
+    result = run_many_cases(
+        cases=args.cases, containers=args.containers, spans=True
+    )
+    env, services = result["env"], result["services"]
+    profile: dict = {}
+
+    def fetch():
+        reply = yield from services.coordination.call(
+            "monitoring", "case-profile", {"case": args.case}
+        )
+        profile.update(reply)
+
+    env.engine.spawn(fetch(), "profile-query")
+    env.run()
+    print(render_profile(profile))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-grid",
@@ -209,6 +273,24 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("render", help="write DOT files for Figures 10-11")
     pr.add_argument("--out", default="figures")
 
+    pt = sub.add_parser("trace", help="span-telemetry export")
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+    te = tsub.add_parser(
+        "export", help="run a spans-on workload and export Chrome/JSONL traces"
+    )
+    te.add_argument("--cases", type=int, default=16)
+    te.add_argument("--containers", type=int, default=4)
+    te.add_argument("--gauge-period", type=float, default=5.0)
+    te.add_argument("--out", default="traces")
+
+    pp = sub.add_parser(
+        "profile", help="per-case sim-time attribution (spans-on workload)"
+    )
+    pp.add_argument("case", nargs="?", default="case-0",
+                    help="case name to profile (default: case-0)")
+    pp.add_argument("--cases", type=int, default=16)
+    pp.add_argument("--containers", type=int, default=4)
+
     return parser
 
 
@@ -220,6 +302,8 @@ _HANDLERS = {
     "casestudy": _cmd_casestudy,
     "validate": _cmd_validate,
     "render": _cmd_render,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "SchedulingError",
     "VirolabError",
     "WorkloadError",
+    "ObservabilityError",
 ]
 
 
@@ -171,3 +172,10 @@ class VirolabError(ReproError):
 # --------------------------------------------------------------------------- #
 class WorkloadError(ReproError):
     """Error in a synthetic workload driver."""
+
+
+# --------------------------------------------------------------------------- #
+# Observability
+# --------------------------------------------------------------------------- #
+class ObservabilityError(ReproError):
+    """Span recorder / telemetry pipeline misuse (double close, bad rule...)."""

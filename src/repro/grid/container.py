@@ -215,6 +215,29 @@ class ApplicationContainer(Agent):
         -> persistent-storage key for real input payloads).
         """
         content = message.content
+        recorder = self.env.spans
+        span = (
+            recorder.start(
+                content.get("activity", content.get("service", "")),
+                "execute",
+                agent=self.name,
+                trace_id=message.trace_id,
+                service=content.get("service", ""),
+                node=self.node.name,
+            )
+            if recorder.enabled
+            else None
+        )
+        try:
+            reply = yield from self._execute_activity(content, span)
+        except ServiceError:
+            recorder.end(span, status="error")
+            raise
+        recorder.end(span)
+        return reply
+
+    def _execute_activity(self, content: dict, span):
+        recorder = self.env.spans
         service_name = content.get("service", "")
         activity = content.get("activity", service_name)
         service = self.services.get(service_name)
@@ -270,9 +293,18 @@ class ApplicationContainer(Agent):
         # Section 1); the resulting CPU time is spent here, on this node.
         payloads: dict[str, Any] = {}
         for data_name, key in content.get("payload_keys", {}).items():
+            fetch_span = (
+                recorder.start(
+                    data_name, "payload", agent=self.name, parent=span,
+                    key=key, direction="fetch",
+                )
+                if recorder.enabled
+                else None
+            )
             result = yield from self.call(
                 self.env.storage_name, "retrieve", {"key": key}
             )
+            recorder.end(fetch_span)
             fmt = (result.get("meta") or {}).get("format")
             if fmt:
                 spec = TransferSpec(
@@ -291,7 +323,18 @@ class ApplicationContainer(Agent):
                     component=self.name,
                 )
                 if dest_seconds > 0:
+                    migrate_span = (
+                        recorder.start(
+                            data_name, "transfer", agent=self.name,
+                            parent=span, key=key,
+                            steps=[s.kind for s in plan.steps],
+                            wire_size=plan.wire_size,
+                        )
+                        if recorder.enabled
+                        else None
+                    )
                     yield dest_seconds
+                    recorder.end(migrate_span)
                     self.transfers.append(
                         (self.engine.now, key, tuple(s.kind for s in plan.steps))
                     )
@@ -300,7 +343,24 @@ class ApplicationContainer(Agent):
         checkpoint_key = content.get("checkpoint_key")
         use_checkpoints = bool(service.checkpointable and checkpoint_key)
 
+        wait_span = (
+            recorder.start(
+                self.node.name, "slot-wait", agent=self.name, parent=span,
+                in_use=self.node.slots.in_use, queued=self.node.slots.queued,
+            )
+            if recorder.enabled
+            else None
+        )
         grant = yield self.node.slots.acquire()
+        recorder.end(wait_span)
+        compute_span = (
+            recorder.start(
+                service_name, "compute", agent=self.name, parent=span,
+                work=service.work, checkpointed=use_checkpoints,
+            )
+            if recorder.enabled
+            else None
+        )
         try:
             if use_checkpoints:
                 yield from self._run_checkpointed(
@@ -321,8 +381,12 @@ class ApplicationContainer(Agent):
                         f"service {service_name!r} on {self.name} failed"
                     )
             out_props, out_payloads = service.run(props, payloads)
+        except ServiceError:
+            recorder.end(compute_span, status="error")
+            raise
         finally:
             self.node.slots.release(grant)
+        recorder.end(compute_span)
 
         if use_checkpoints:
             # The activity completed: retire its checkpoint record.
@@ -341,11 +405,20 @@ class ApplicationContainer(Agent):
         payload_keys: dict[str, str] = {}
         for data_name, payload in out_payloads.items():
             key = f"{self.name}/{activity}/{data_name}/{self.engine.now:.6f}"
+            store_span = (
+                recorder.start(
+                    data_name, "payload", agent=self.name, parent=span,
+                    key=key, direction="store",
+                )
+                if recorder.enabled
+                else None
+            )
             yield from self.call(
                 self.env.storage_name,
                 "store",
                 {"key": key, "payload": payload},
             )
+            recorder.end(store_span)
             payload_keys[data_name] = key
 
         self.executions.append((self.engine.now, activity, service_name, True))

@@ -24,6 +24,8 @@ from repro.grid.agent import Agent
 from repro.grid.messages import Message
 from repro.grid.network import LinkProfile, Network
 from repro.grid.node import GridNode, HardwareProfile
+from repro.obs.gauges import GaugeSampler
+from repro.obs.spans import SpanRecorder
 from repro.sim.engine import Engine
 
 __all__ = ["GridEnvironment"]
@@ -43,11 +45,24 @@ class GridEnvironment:
         router: Router | None = None,
         trace_capacity: int | None = None,
         tracing: bool = True,
+        spans: bool = False,
+        span_capacity: int | None = None,
     ) -> None:
         self.engine = engine or Engine()
         self.network = network or Network()
         self._agents: dict[str, Agent] = {}
         self._nodes: dict[str, GridNode] = {}
+        # Span recording is default-off: every instrumented layer guards
+        # on ``spans.enabled``, so the default configuration's event
+        # stream and protocol traces are byte-identical to an
+        # uninstrumented build (recording itself never schedules events).
+        self.spans = (
+            SpanRecorder(self.engine, enabled=spans, capacity=span_capacity)
+            if span_capacity is not None
+            else SpanRecorder(self.engine, enabled=spans)
+        )
+        #: The attached gauge sampler (None until :meth:`attach_gauges`).
+        self.gauges: GaugeSampler | None = None
         if router is not None:
             self.router = router
             router._agents = self._agents
@@ -137,6 +152,16 @@ class GridEnvironment:
     def route(self, message: Message, cause: Message | None = None) -> None:
         """Hand *message* to the router (see :meth:`Router.route`)."""
         self.router.route(message, cause=cause)
+
+    # -- observability ------------------------------------------------------------ #
+    def attach_gauges(self, period: float = 1.0) -> GaugeSampler:
+        """Start periodic sim-time gauge sampling (opt-in; see
+        :class:`~repro.obs.gauges.GaugeSampler`).  Idempotent: a second
+        call resumes the existing sampler."""
+        if self.gauges is None:
+            self.gauges = GaugeSampler(self, period=period)
+        self.gauges.start()
+        return self.gauges
 
     # -- running ------------------------------------------------------------------ #
     def run(self, until: float | None = None, max_events: int | None = None) -> float:

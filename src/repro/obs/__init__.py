@@ -1,0 +1,49 @@
+"""Workflow telemetry: spans, sim-time gauges, watch rules, exporters.
+
+The observability subsystem on top of the message bus's metrics/trace
+plane (see DESIGN.md §5f):
+
+* :mod:`repro.obs.spans` — the :class:`SpanRecorder` attached to every
+  :class:`~repro.grid.environment.GridEnvironment` (disabled by default),
+  hierarchical sim-time spans, and threshold :class:`WatchRule` alerts;
+* :mod:`repro.obs.gauges` — the opt-in :class:`GaugeSampler` feeding
+  per-node/per-agent gauges into :class:`~repro.sim.stats.TimeSeries`;
+* :mod:`repro.obs.profile` — per-case time attribution
+  (:func:`case_profile`, served as monitoring's ``case-profile`` RPC);
+* :mod:`repro.obs.export` — Chrome trace-event JSON and flat JSONL
+  exporters (``repro-grid trace export``).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.gauges import GaugeSampler
+from repro.obs.profile import case_profile, interval_union, render_profile
+from repro.obs.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    Alert,
+    Span,
+    SpanRecorder,
+    WatchRule,
+)
+
+__all__ = [
+    "Alert",
+    "DEFAULT_SPAN_CAPACITY",
+    "GaugeSampler",
+    "Span",
+    "SpanRecorder",
+    "WatchRule",
+    "case_profile",
+    "chrome_trace",
+    "interval_union",
+    "render_profile",
+    "spans_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,153 @@
+"""Telemetry exporters: Chrome trace-event JSON and flat JSONL.
+
+Two formats, chosen for zero-dependency interop:
+
+* :func:`chrome_trace` emits the `trace-event format`__ that
+  ``chrome://tracing`` / Perfetto open directly — each closed span becomes
+  one complete event (``"ph": "X"``) with microsecond ``ts``/``dur``, the
+  recording agent mapped to a named ``tid`` so the timeline groups per
+  agent, and the span's identity (``span_id``/``parent_id``/``trace_id``)
+  carried in ``args`` for joining back to the message trace.
+
+* :func:`spans_jsonl` emits one JSON object per line (the
+  :meth:`~repro.obs.spans.Span.as_dict` shape) — the grep/jq-friendly
+  archival format.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Both are pure functions over closed spans; :func:`validate_chrome_trace`
+is the schema check the tests (and any downstream pipeline) assert with.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "chrome_trace",
+    "spans_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "validate_chrome_trace",
+]
+
+#: Every span timeline shares one synthetic process.
+_PID = 1
+
+
+def _span_list(source: "SpanRecorder | Iterable[Span]") -> list["Span"]:
+    closed = getattr(source, "closed", source)
+    return list(closed)
+
+
+def chrome_trace(source: "SpanRecorder | Iterable[Span]") -> dict[str, Any]:
+    """Render closed spans as a ``chrome://tracing`` trace-event document.
+
+    Sim-time seconds map to trace microseconds.  Agents become named
+    threads (metadata events), so per-agent swimlanes come for free.
+    """
+    spans = _span_list(source)
+    agents: dict[str, int] = {}
+    for span in spans:
+        agents.setdefault(span.agent or "-", len(agents) + 1)
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": agent},
+        }
+        for agent, tid in agents.items()
+    ]
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": _PID,
+                "tid": agents[span.agent or "-"],
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "trace_id": span.trace_id,
+                    "status": span.status,
+                    **span.attrs,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_jsonl(source: "SpanRecorder | Iterable[Span]") -> Iterator[str]:
+    """One compact JSON object per closed span, in close order."""
+    for span in _span_list(source):
+        yield json.dumps(span.as_dict(), sort_keys=True, default=str)
+
+
+def write_chrome_trace(path: str, source: "SpanRecorder | Iterable[Span]") -> int:
+    """Write the Chrome trace document to *path*; returns the event count."""
+    document = chrome_trace(source)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])
+
+
+def write_jsonl(path: str, source: "SpanRecorder | Iterable[Span]") -> int:
+    """Write one span per line to *path*; returns the line count."""
+    count = 0
+    with open(path, "w") as fh:
+        for line in spans_jsonl(source):
+            fh.write(line + "\n")
+            count += 1
+    return count
+
+
+_COMPLETE_FIELDS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def validate_chrome_trace(document: Any) -> int:
+    """Check *document* against the trace-event schema we emit.
+
+    Returns the number of complete (``"X"``) events; raises
+    :class:`~repro.errors.ObservabilityError` on the first violation.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ObservabilityError("trace document must be a dict with traceEvents")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("traceEvents must be a list")
+    complete = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            raise ObservabilityError(
+                f"traceEvents[{index}]: unexpected phase {phase!r}"
+            )
+        for field in _COMPLETE_FIELDS:
+            if field not in event:
+                raise ObservabilityError(
+                    f"traceEvents[{index}]: missing field {field!r}"
+                )
+        for field in ("ts", "dur"):
+            value = event[field]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ObservabilityError(
+                    f"traceEvents[{index}]: {field} must be a non-negative number"
+                )
+        complete += 1
+    return complete

@@ -1,0 +1,105 @@
+"""Sim-time gauges: periodic samples of live queue/utilization state.
+
+Spans answer *where one case's time went*; gauges answer *what the grid
+looked like while it ran* — per-node slot occupancy and queue depth,
+per-agent mailbox backlog, open spans and in-flight transfers.  The
+:class:`GaugeSampler` schedules a lightweight engine callback every
+*period* simulated seconds that reads those quantities into the existing
+:class:`~repro.sim.stats.TimeSeries` machinery (piecewise-constant
+``time_average`` then summarizes a whole run).
+
+Sampling is read-only: the callback sends no messages and touches no
+agent state, so message ordering is unaffected — the only observable
+difference is the sampler's own engine events, which is why gauges are
+**opt-in** (``GridEnvironment.attach_gauges``).  The sampler stops itself
+when it finds the event queue otherwise empty, so ``env.run()`` still
+terminates; :meth:`GaugeSampler.start` after new work is queued resumes
+sampling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ObservabilityError
+from repro.sim.stats import MetricSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.environment import GridEnvironment
+
+__all__ = ["GaugeSampler"]
+
+
+class GaugeSampler:
+    """Periodic sim-time sampler of environment gauges."""
+
+    def __init__(
+        self,
+        env: "GridEnvironment",
+        period: float = 1.0,
+        metrics: MetricSet | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ObservabilityError(f"gauge period must be positive, got {period}")
+        self.env = env
+        self.period = period
+        self.metrics = metrics if metrics is not None else MetricSet()
+        self.samples_taken = 0
+        self.running = False
+
+    # -- scheduling ----------------------------------------------------------- #
+    def start(self) -> None:
+        """Begin (or resume) sampling every *period* simulated seconds."""
+        if not self.running:
+            self.running = True
+            self.env.engine.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.sample()
+        # The tick that fired is already off the queue: when nothing else
+        # is pending the simulation is over — stop rescheduling so
+        # env.run() terminates instead of sampling an idle grid forever.
+        if self.env.engine.pending == 0:
+            self.running = False
+            return
+        self.env.engine.schedule(self.period, self._tick)
+
+    # -- sampling ------------------------------------------------------------- #
+    def sample(self) -> None:
+        """Take one sample of every gauge at the current simulated time."""
+        now = self.env.engine.now
+        observe = self.metrics.observe_at
+        for name in self.env.node_names:
+            node = self.env.node(name)
+            observe(f"node.{name}.slots_in_use", now, float(node.slots.in_use))
+            observe(f"node.{name}.slots_queued", now, float(node.slots.queued))
+        for agent in self.env.agents():
+            observe(f"mailbox.{agent.name}", now, float(len(agent.mailbox)))
+        recorder = self.env.spans
+        observe("spans.open", now, float(recorder.open_count))
+        observe(
+            "transfers.inflight",
+            now,
+            float(len(recorder.open_spans(kind="transfer"))),
+        )
+        self.samples_taken += 1
+
+    # -- reading -------------------------------------------------------------- #
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """Per-series time-average / extremes over the sampled horizon."""
+        out: dict[str, dict[str, Any]] = {}
+        for name in sorted(self.metrics.series):
+            series = self.metrics.series[name]
+            values = series.values
+            out[name] = {
+                "samples": len(values),
+                "time_average": series.time_average(),
+                "max": max(values) if values else 0.0,
+                "last": values[-1] if values else 0.0,
+            }
+        return out

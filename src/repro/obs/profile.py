@@ -1,0 +1,182 @@
+"""Per-case time attribution: the ``repro-grid profile`` table.
+
+Given a recorded case span tree, :func:`case_profile` answers the
+profiling question directly: for one case, how much simulated time went
+to each kind of work (planning, matchmaking, scheduling, container
+execution, transfers, slot waits, ...), with percentiles per kind from
+the bus's :class:`~repro.bus.metrics.LatencyHistogram` — and how much of
+the case's wall (sim) time the spans actually account for.
+
+Coverage is computed honestly: the union of the root's direct-child
+intervals, clipped to the root's own window — nested children and
+overlapping Fork branches are not double-counted, and instrumentation
+gaps (time under the root no child claims) lower the number instead of
+hiding.  Per-kind totals, by contrast, sum *inclusive* durations (an
+``activity`` span contains its ``match``/``schedule``/``execute``
+children), which is what a flame-graph style table wants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.bus.metrics import LatencyHistogram
+from repro.errors import ObservabilityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import Span, SpanRecorder
+
+__all__ = ["case_profile", "interval_union", "render_profile"]
+
+
+def interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by the (possibly overlapping) intervals."""
+    covered = 0.0
+    end_of_covered = float("-inf")
+    for start, end in sorted(intervals):
+        if end <= end_of_covered:
+            continue
+        covered += end - max(start, end_of_covered)
+        end_of_covered = end
+    return covered
+
+
+def _find_case(
+    recorder: "SpanRecorder", case: str | None, trace_id: str | None
+) -> "Span | None":
+    """The most recent closed case span matching *case* / *trace_id*."""
+    for span in reversed(recorder.closed):
+        if span.kind != "case":
+            continue
+        if case is not None and span.name != case:
+            continue
+        if trace_id is not None and span.trace_id != trace_id:
+            continue
+        return span
+    return None
+
+
+def case_profile(
+    recorder: "SpanRecorder",
+    case: str | None = None,
+    trace_id: str | None = None,
+) -> dict[str, Any]:
+    """Time-attribution profile of one enacted case.
+
+    Identify the case by its task name (*case*) and/or its *trace_id*;
+    with neither, the most recently closed case span is profiled.  Raises
+    :class:`~repro.errors.ObservabilityError` when no matching case span
+    exists (spans disabled, or the case has not completed).
+    """
+    root = _find_case(recorder, case, trace_id)
+    if root is None:
+        wanted = case or trace_id or "<latest>"
+        raise ObservabilityError(
+            f"no closed case span for {wanted!r} — was the environment "
+            f"built with spans enabled?"
+        )
+
+    tree = list(recorder.tree(root))
+    # Spans from *other* agents join the case through the shared trace_id
+    # (a container's execute/slot-wait/compute tree has no cross-agent
+    # parent link — see the spans module docstring).  They contribute to
+    # the per-kind table; coverage stays strictly tree-based.
+    in_tree = {span.span_id for _, span in tree}
+    remote = (
+        [
+            span
+            for span in recorder.spans(trace_id=root.trace_id)
+            if span.span_id not in in_tree and span.kind != "case"
+        ]
+        if root.trace_id is not None
+        else []
+    )
+    histograms: dict[str, LatencyHistogram] = {}
+    activities: dict[str, dict[str, float]] = {}
+    errors = 0
+    for depth, span in tree + [(1, span) for span in remote]:
+        if depth == 0:
+            continue
+        histogram = histograms.get(span.kind)
+        if histogram is None:
+            histogram = histograms[span.kind] = LatencyHistogram()
+        histogram.observe(span.duration)
+        if span.status != "ok":
+            errors += 1
+        if span.kind == "activity":
+            entry = activities.setdefault(
+                span.name, {"count": 0, "total": 0.0, "retries": 0}
+            )
+            entry["count"] += 1
+            entry["total"] += span.duration
+            entry["retries"] += int(span.attrs.get("retries", 0))
+
+    duration = root.duration
+    direct = [
+        (span.start, min(span.end, root.end))
+        for depth, span in tree
+        if depth == 1 and span.end is not None and span.end > span.start
+    ]
+    covered = interval_union(direct)
+    coverage = covered / duration if duration > 0 else 1.0
+
+    rows = []
+    for kind in sorted(histograms):
+        histogram = histograms[kind]
+        rows.append(
+            {
+                "kind": kind,
+                "count": histogram.count,
+                "total": histogram.total,
+                "mean": histogram.mean,
+                "p50": histogram.quantile(0.5),
+                "p99": histogram.quantile(0.99),
+                "max": histogram.max,
+                "share": histogram.total / duration if duration > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda row: -row["total"])
+
+    return {
+        "case": root.name,
+        "trace_id": root.trace_id,
+        "start": root.start,
+        "end": root.end,
+        "duration": duration,
+        "status": root.status,
+        "spans": len(tree) + len(remote),
+        "errors": errors,
+        "coverage": coverage,
+        "rows": rows,
+        "activities": {
+            name: dict(entry) for name, entry in sorted(activities.items())
+        },
+    }
+
+
+def render_profile(profile: dict[str, Any]) -> str:
+    """Plain-text table for the CLI (`repro-grid profile`)."""
+    lines = [
+        f"case {profile['case']}  trace={profile['trace_id']}  "
+        f"status={profile['status']}",
+        f"sim time {profile['duration']:.3f}s  spans={profile['spans']}  "
+        f"coverage={profile['coverage'] * 100.0:.1f}%",
+        "",
+        f"{'kind':<14} {'count':>5} {'total_s':>10} {'share':>7} "
+        f"{'mean_s':>9} {'p50_s':>9} {'p99_s':>9} {'max_s':>9}",
+    ]
+    for row in profile["rows"]:
+        lines.append(
+            f"{row['kind']:<14} {row['count']:>5} {row['total']:>10.3f} "
+            f"{row['share'] * 100.0:>6.1f}% {row['mean']:>9.3f} "
+            f"{row['p50']:>9.3f} {row['p99']:>9.3f} {row['max']:>9.3f}"
+        )
+    if profile["activities"]:
+        lines.append("")
+        lines.append(f"{'activity':<20} {'runs':>5} {'total_s':>10} {'retries':>8}")
+        for name, entry in profile["activities"].items():
+            lines.append(
+                f"{name:<20} {entry['count']:>5} {entry['total']:>10.3f} "
+                f"{entry['retries']:>8}"
+            )
+    return "\n".join(lines)

@@ -88,6 +88,15 @@ class EnactmentProgram:
                     for condition, branch in node.branches
                 )
 
+    def stats(self) -> dict[str, int]:
+        """Structural counts (span/telemetry attributes for the compile
+        step): end-user activities, Choice nodes, Iterative nodes."""
+        return {
+            "activities": len(self.steps),
+            "choices": len(self._choices),
+            "loops": len(self._checks),
+        }
+
     def step(self, name: str) -> ActivityStep:
         """The dispatch entry for activity *name* (same KeyError contract as
         ``ProcessDescription.activity`` for unknown names)."""

@@ -118,6 +118,7 @@ def standard_environment(
     planner_config: GPConfig | None = None,
     planner_seed: int = 0,
     tracing: bool = True,
+    spans: bool = False,
 ) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
     """One-call Figure-1 grid: core services + *containers* application
     containers (each on its own node, cycling through *sites*/*speeds*,
@@ -126,9 +127,10 @@ def standard_environment(
     With ``failure_probability > 0`` every container invocation can fail,
     which is what the re-planning experiments dial up.  ``tracing=False``
     selects the router fast path (no per-delivery TraceEvents) for
-    throughput runs; id streams are unaffected.
+    throughput runs; id streams are unaffected.  ``spans=True`` turns on
+    the workflow span recorder (see :mod:`repro.obs.spans`).
     """
-    env = GridEnvironment(tracing=tracing)
+    env = GridEnvironment(tracing=tracing, spans=spans)
     credentials = ("coordination", "grid-secret") if secure else None
     services = build_core_services(
         env,

@@ -31,6 +31,7 @@ from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
 from repro.grid.messages import Message
+from repro.obs.spans import Span
 from repro.planner.problem import PlanningProblem
 from repro.process.ast_nodes import (
     ActivityNode,
@@ -165,6 +166,33 @@ class CoordinationService(CoreService):
             self._programs.popitem(last=False)
         return program
 
+    def _timed_call(
+        self,
+        kind: str,
+        parent: Span | None,
+        to: str,
+        action: str,
+        content: dict[str, Any],
+        policy: CallPolicy | None = None,
+        **attrs: Any,
+    ) -> Generator[Any, Any, dict[str, Any]]:
+        """RPC wrapped in a child span of *parent* (plain ``call`` when
+        recording is off — the wrapper itself adds no engine events, so
+        the message stream is identical either way)."""
+        recorder = self.env.spans
+        span = (
+            recorder.start(action, kind, agent=self.name, parent=parent, **attrs)
+            if recorder.enabled
+            else None
+        )
+        try:
+            reply = yield from self.call(to, action, content, policy=policy)
+        except ServiceError:
+            recorder.end(span, status="error")
+            raise
+        recorder.end(span)
+        return reply
+
     def _ensure_ticket(self):
         """Obtain (and cache) an authentication ticket for dispatching to
         secured containers.  Generator; returns the token or None when the
@@ -203,41 +231,81 @@ class CoordinationService(CoreService):
         enactment record (events, counts, replans).
         """
         content = message.content
+        recorder = self.env.spans
+        case_span = (
+            recorder.start(
+                content.get("task", ""), "case",
+                agent=self.name, trace_id=message.trace_id,
+            )
+            if recorder.enabled
+            else None
+        )
+        try:
+            result = yield from self._execute_task(content, case_span)
+        except ServiceError:
+            recorder.end(case_span, status="error")
+            raise
+        recorder.end(case_span)
+        return result
+
+    def _execute_task(
+        self, content: dict[str, Any], case_span: Span | None
+    ) -> Generator[Any, Any, dict[str, Any]]:
+        recorder = self.env.spans
         process: ProcessDescription | None = content.get("process")
         if process is None:
             # No process description supplied (the Task's "Need Planning"
             # flag): obtain one from the planning service first — the
             # Figure-2 exchange.
             problem_for_plan: PlanningProblem = content["problem"]
-            reply = yield from self.call(
-                self.planner_name, "plan", {"problem": problem_for_plan}
+            reply = yield from self._timed_call(
+                "plan", case_span,
+                self.planner_name, "plan", {"problem": problem_for_plan},
             )
             process = reply["process"]
         case = _CaseData(content.get("initial_data"))
         case.payload_keys.update(content.get("payload_keys", {}))
         problem: PlanningProblem | None = content.get("problem")
         record = EnactmentRecord(task=content.get("task", process.name))
+        if case_span is not None:
+            case_span.name = record.task
         self.records.append(record)
         work: dict[str, float] = dict(content.get("work", {}))
 
         failed_activities: list[str] = []
         current = process
         while True:
+            compile_span = (
+                recorder.start(current.name, "compile", agent=self.name, parent=case_span)
+                if recorder.enabled
+                else None
+            )
             try:
                 program = self._program_for(current)
             except ConversionError as exc:
+                recorder.end(compile_span, status="error")
                 raise ServiceError(
                     f"process {current.name!r} is not well-structured: {exc}"
                 ) from exc
+            recorder.end(compile_span, **program.stats())
             record.log(self.engine.now, "enact", f"process {current.name}")
+            enact_span = (
+                recorder.start(current.name, "enact", agent=self.name, parent=case_span)
+                if recorder.enabled
+                else None
+            )
             try:
-                yield from self._enact(program.ast, program, case, record, work)
+                yield from self._enact(
+                    program.ast, program, case, record, work, enact_span
+                )
+                recorder.end(enact_span)
                 record.completed = True
                 self.metrics.inc(
                     "enactments_completed", agent=self.name, action=record.task
                 )
                 break
             except _ActivityFailed as failure:
+                recorder.end(enact_span, status="error", failed=failure.activity)
                 record.activities_failed += 1
                 record.log(
                     self.engine.now, "activity-failed",
@@ -261,7 +329,8 @@ class CoordinationService(CoreService):
                     self.engine.now, "replan",
                     f"excluding {sorted(set(failed_activities))}",
                 )
-                reply = yield from self.call(
+                reply = yield from self._timed_call(
+                    "replan", case_span,
                     self.planner_name,
                     "replan",
                     {
@@ -269,11 +338,16 @@ class CoordinationService(CoreService):
                         "data": case.snapshot(),
                         "failed_activities": sorted(set(failed_activities)),
                     },
+                    round=record.replans,
                 )
                 current = reply["process"]
 
         record.log(self.engine.now, "completed", record.task)
         record.result = case.snapshot()
+        if case_span is not None:
+            case_span.attrs.update(
+                activities_run=record.activities_run, replans=record.replans
+            )
         return {
             "status": "completed",
             "data": case.snapshot(),
@@ -313,38 +387,52 @@ class CoordinationService(CoreService):
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
+        span: Span | None = None,
     ) -> Generator[Any, Any, None]:
+        recorder = self.env.spans
         if isinstance(node, ActivityNode):
             yield from self._run_activity(
-                program.step(node.name), case, record, work
+                program.step(node.name), case, record, work, span
             )
             return
         if isinstance(node, SequenceNode):
             for child in node.children:
-                yield from self._enact(child, program, case, record, work)
+                yield from self._enact(child, program, case, record, work, span)
             return
         if isinstance(node, ForkNode):
-            yield from self._run_fork(node, program, case, record, work)
+            yield from self._run_fork(node, program, case, record, work, span)
             return
         if isinstance(node, ChoiceNode):
-            branch = self._choose(node, program, case, record)
-            yield from self._enact(branch, program, case, record, work)
+            branch = self._choose(node, program, case, record, span)
+            yield from self._enact(branch, program, case, record, work, span)
             return
         if isinstance(node, IterativeNode):
+            loop_span = (
+                recorder.start("iterative", "loop", agent=self.name, parent=span)
+                if recorder.enabled
+                else None
+            )
             holds = program.check(node)
             iterations = 0
-            while True:
-                yield from self._enact(node.body, program, case, record, work)
-                iterations += 1
-                if not holds(case):
-                    break
-                if iterations >= self.max_loop_iterations:
-                    record.log(
-                        self.engine.now, "loop-bound",
-                        f"iterative stopped after {iterations} iterations",
+            try:
+                while True:
+                    yield from self._enact(
+                        node.body, program, case, record, work, loop_span
                     )
-                    break
+                    iterations += 1
+                    if not holds(case):
+                        break
+                    if iterations >= self.max_loop_iterations:
+                        record.log(
+                            self.engine.now, "loop-bound",
+                            f"iterative stopped after {iterations} iterations",
+                        )
+                        break
+            except _ActivityFailed:
+                recorder.end(loop_span, status="error", iterations=iterations)
+                raise
             record.log(self.engine.now, "loop-done", f"{iterations} iterations")
+            recorder.end(loop_span, iterations=iterations)
             return
         raise EnactmentError(f"unknown AST node {type(node).__name__}")
 
@@ -354,16 +442,33 @@ class CoordinationService(CoreService):
         program: EnactmentProgram,
         case: _CaseData,
         record: EnactmentRecord,
+        span: Span | None = None,
     ) -> Node:
         """First branch whose condition holds (Section 3.1's Choice)."""
-        for holds, condition, branch in program.branches(node):
+        recorder = self.env.spans
+        for index, (holds, condition, branch) in enumerate(program.branches(node)):
             if holds(case):
                 record.log(self.engine.now, "choice", str(condition))
+                if recorder.enabled:
+                    # Instant span: condition evaluation is zero sim-time.
+                    recorder.end(
+                        recorder.start(
+                            "choice", "choice", agent=self.name, parent=span,
+                            branch=index, condition=str(condition),
+                        )
+                    )
                 return branch
         # No condition holds: the paper leaves this undefined; taking the
         # last branch (conventionally the default/else arm) keeps the
         # machine live and is logged for the experimenter.
         record.log(self.engine.now, "choice-default", "no condition held")
+        if recorder.enabled:
+            recorder.end(
+                recorder.start(
+                    "choice", "choice", agent=self.name, parent=span,
+                    branch=len(node.branches) - 1, condition="default",
+                )
+            )
         return node.branches[-1][1]
 
     def _run_fork(
@@ -373,10 +478,21 @@ class CoordinationService(CoreService):
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
+        span: Span | None = None,
     ) -> Generator[Any, Any, None]:
+        recorder = self.env.spans
+        fork_span = (
+            recorder.start(
+                "fork", "fork", agent=self.name, parent=span,
+                branches=len(node.branches),
+            )
+            if recorder.enabled
+            else None
+        )
+
         def wrap(branch: Node):
             try:
-                yield from self._enact(branch, program, case, record, work)
+                yield from self._enact(branch, program, case, record, work, fork_span)
                 return ("ok", None)
             except _ActivityFailed as exc:
                 return ("failed", exc)
@@ -395,7 +511,9 @@ class CoordinationService(CoreService):
                 failures.append(exc)
         record.log(self.engine.now, "join", f"{len(handles)} branches")
         if failures:
+            recorder.end(fork_span, status="error")
             raise failures[0]
+        recorder.end(fork_span)
 
     def _run_activity(
         self,
@@ -403,9 +521,18 @@ class CoordinationService(CoreService):
         case: _CaseData,
         record: EnactmentRecord,
         work: dict[str, float],
+        parent: Span | None = None,
     ) -> Generator[Any, Any, None]:
         name = step.name
         service = step.service
+        recorder = self.env.spans
+        activity_span = (
+            recorder.start(
+                name, "activity", agent=self.name, parent=parent, service=service
+            )
+            if recorder.enabled
+            else None
+        )
         inputs = {
             d: dict(case.props[d]) for d in step.inputs if d in case.props
         }
@@ -419,13 +546,15 @@ class CoordinationService(CoreService):
         for attempt in range(self.retry_limit + 1):
             container: str | None = None
             try:
-                match = yield from self.call(
-                    self.matchmaker_name, "match", {"service": service}
+                match = yield from self._timed_call(
+                    "match", activity_span,
+                    self.matchmaker_name, "match", {"service": service},
                 )
                 candidates = [c["container"] for c in match["candidates"]]
                 if not candidates:
                     raise ServiceError(f"no container offers service {service!r}")
-                schedule = yield from self.call(
+                schedule = yield from self._timed_call(
+                    "schedule", activity_span,
                     self.scheduler_name,
                     "schedule",
                     {
@@ -436,7 +565,8 @@ class CoordinationService(CoreService):
                 )
                 container = schedule["container"]
                 started = self.engine.now
-                result = yield from self.call(
+                result = yield from self._timed_call(
+                    "dispatch", activity_span,
                     container,
                     "execute-activity",
                     {
@@ -452,6 +582,7 @@ class CoordinationService(CoreService):
                         **({"ticket": ticket} if ticket else {}),
                     },
                     policy=CallPolicy(timeout=self.activity_timeout),
+                    container=container,
                 )
                 yield from self.call(
                     self.broker_name,
@@ -468,6 +599,9 @@ class CoordinationService(CoreService):
                 record.log(
                     self.engine.now, "activity",
                     f"{name} ({service}) on {container}",
+                )
+                recorder.end(
+                    activity_span, container=container, retries=attempt
                 )
                 return
             except ServiceError as exc:
@@ -487,6 +621,7 @@ class CoordinationService(CoreService):
                             "success": False,
                         },
                     )
+        recorder.end(activity_span, status="error", retries=self.retry_limit)
         raise _ActivityFailed(name, last_error)
 
     @staticmethod

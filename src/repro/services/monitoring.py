@@ -19,8 +19,11 @@ observability plane over plain RPC:
 from __future__ import annotations
 
 from repro.bus.tracing import TraceEvent, format_tree
+from repro.errors import ObservabilityError, ServiceError
 from repro.grid.container import ApplicationContainer
 from repro.grid.messages import Message
+from repro.obs.profile import case_profile
+from repro.obs.spans import WatchRule
 from repro.services.base import CoreService
 
 __all__ = ["MonitoringService"]
@@ -67,6 +70,17 @@ class MonitoringService(CoreService):
                 speed=node.hardware.speed,
                 cost_rate=node.cost_rate,
             )
+        # Health as seen by the metrics registry: message and error
+        # counts summed across actions for this agent.
+        metrics = self.env.metrics
+        status["metrics"] = {
+            "messages_sent": metrics.total("messages_sent", agent=name),
+            "messages_delivered": metrics.total("messages_delivered", agent=name),
+            "messages_dropped": metrics.total("messages_dropped", agent=name),
+            "requests_handled": metrics.total("requests_handled", agent=name),
+            "rpc_errors": metrics.total("rpc_error", agent=name)
+            + metrics.total("rpc_timeout", agent=name),
+        }
         return status
 
     def handle_node_status(self, message: Message):
@@ -159,3 +173,119 @@ class MonitoringService(CoreService):
             "rendered": format_tree(roots),
             "nodes": nodes,
         }
+
+    # -- span telemetry (the workflow observability plane) ------------------ #
+    def handle_spans(self, message: Message):
+        """Query the environment's span recorder.
+
+        Content (all optional): ``trace_id``, ``kind``, ``name`` filter
+        the closed spans; ``limit`` keeps the newest N.  Reply:
+        serialized spans plus exact accounting (``total_started``,
+        ``total_closed``, ``evicted``, ``open``) and the recorder's
+        enablement — callers can tell "no spans" from "recording off".
+        """
+        content = message.content
+        recorder = self.env.spans
+        spans = recorder.spans(
+            trace_id=content.get("trace_id"),
+            kind=content.get("kind"),
+            name=content.get("name"),
+        )
+        limit = content.get("limit")
+        if limit is not None:
+            spans = spans[-int(limit):]
+        return {
+            "enabled": recorder.enabled,
+            "total_started": recorder.total_started,
+            "total_closed": recorder.total_closed,
+            "evicted": recorder.evicted,
+            "open": len(recorder.open_spans()),
+            "kinds": recorder.kinds(),
+            "spans": [span.as_dict() for span in spans],
+        }
+
+    def handle_case_profile(self, message: Message):
+        """Per-case time attribution (the ``repro profile`` table).
+
+        Content: ``case`` (root span name) or ``trace_id``.  Reply: the
+        :func:`repro.obs.profile.case_profile` dict — per-kind rows with
+        count/total/mean/p50/p99/max/share, per-activity totals, and the
+        coverage fraction of the case window.
+        """
+        content = message.content
+        try:
+            return case_profile(
+                self.env.spans,
+                case=content.get("case"),
+                trace_id=content.get("trace_id"),
+            )
+        except ObservabilityError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def handle_add_watch(self, message: Message):
+        """Install a threshold watch rule, evaluated on every span close.
+
+        Content: ``name``, ``field`` (``"duration"`` or an attribute),
+        ``bound``, optional ``op`` (default ``">"``) and ``kind`` filter.
+        """
+        content = message.content
+        try:
+            rule = WatchRule(
+                name=content["name"],
+                field=content.get("field", "duration"),
+                bound=float(content["bound"]),
+                op=content.get("op", ">"),
+                kind=content.get("kind"),
+            )
+            self.env.spans.add_rule(rule)
+        except ObservabilityError as exc:
+            raise ServiceError(str(exc)) from exc
+        return {"installed": rule.name, "rules": len(self.env.spans.rules)}
+
+    def handle_watches(self, message: Message):
+        return {
+            "rules": [
+                {
+                    "name": rule.name,
+                    "field": rule.field,
+                    "op": rule.op,
+                    "bound": rule.bound,
+                    "kind": rule.kind,
+                }
+                for rule in self.env.spans.rules
+            ]
+        }
+
+    def handle_alerts(self, message: Message):
+        """Alerts fired by watch rules (newest last; bounded ring)."""
+        content = message.content
+        alerts = list(self.env.spans.alerts)
+        rule = content.get("rule")
+        if rule is not None:
+            alerts = [a for a in alerts if a.rule == rule]
+        limit = content.get("limit")
+        if limit is not None:
+            alerts = alerts[-int(limit):]
+        return {
+            "total_alerts": self.env.spans.total_alerts,
+            "alerts": [
+                {
+                    "time": a.time,
+                    "rule": a.rule,
+                    "span_id": a.span_id,
+                    "span_name": a.span_name,
+                    "kind": a.kind,
+                    "agent": a.agent,
+                    "trace_id": a.trace_id,
+                    "value": a.value,
+                }
+                for a in alerts
+            ],
+        }
+
+    def handle_gauges(self, message: Message):
+        """Summaries of the attached sim-time gauge sampler's series."""
+        sampler = self.env.gauges
+        if sampler is None:
+            return {"attached": False, "series": {}}
+        return {"attached": True, "series": sampler.summary()}

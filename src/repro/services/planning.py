@@ -25,6 +25,7 @@ successful execution").
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 import numpy as np
@@ -105,8 +106,23 @@ class PlanningService(CoreService):
         return provider
 
     def _run_planner(
-        self, problem: PlanningProblem, config: GPConfig
+        self,
+        problem: PlanningProblem,
+        config: GPConfig,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
+        # The GP run is synchronous (zero simulated time); the span records
+        # it as an instant with *wall-clock* cost in its attributes — the
+        # one place real time is the interesting number.
+        recorder = self.env.spans
+        span = (
+            recorder.start(
+                problem.name, "gp", agent=self.name, trace_id=trace_id
+            )
+            if recorder.enabled
+            else None
+        )
+        wall_started = time.perf_counter() if span is not None else 0.0
         result = GPPlanner(config, rng=self.rng).plan(problem)
         plan = result.best_plan
         fitness = result.best_fitness
@@ -121,6 +137,14 @@ class PlanningService(CoreService):
             library=self._activity_library(problem),
             condition_provider=self._condition_provider(problem),
         )
+        if span is not None:
+            recorder.end(
+                span,
+                wall_s=time.perf_counter() - wall_started,
+                generations=result.generations_run,
+                fitness=fitness.overall,
+                solved=fitness.validity == 1.0 and fitness.goal == 1.0,
+            )
         return {
             "plan": plan,
             "process": process,
@@ -142,7 +166,7 @@ class PlanningService(CoreService):
         """
         problem: PlanningProblem = message.content["problem"]
         config: GPConfig = message.content.get("config") or self.config
-        reply = self._run_planner(problem, config)
+        reply = self._run_planner(problem, config, trace_id=message.trace_id)
         self.plans_created += 1
         return reply
 
@@ -165,7 +189,16 @@ class PlanningService(CoreService):
         probe: bool = bool(content.get("probe", True))
 
         unexecutable = set(failed)
+        recorder = self.env.spans
         if probe:
+            probe_span = (
+                recorder.start(
+                    problem.name, "probe", agent=self.name,
+                    trace_id=message.trace_id,
+                )
+                if recorder.enabled
+                else None
+            )
             # Steps 2-3: locate a brokerage service through information.
             # Several replicas may be registered; we keep them all and fail
             # over if the primary is down (core services are replicated).
@@ -174,6 +207,7 @@ class PlanningService(CoreService):
             )
             brokers = [p["provider"] for p in lookup["providers"]]
             if not brokers:
+                recorder.end(probe_span, status="error")
                 raise ServiceError("no brokerage service available for re-planning")
 
             # Steps 4-7: per activity, find candidate containers and probe them.
@@ -208,6 +242,11 @@ class PlanningService(CoreService):
                         break
                 if not executable:
                     unexecutable.add(name)
+            recorder.end(
+                probe_span,
+                probed=len(probe_cache),
+                unexecutable=len(unexecutable),
+            )
 
         surviving = {
             name: spec
@@ -224,7 +263,7 @@ class PlanningService(CoreService):
             activities=surviving,
             name=f"{problem.name}-replan",
         )
-        reply = self._run_planner(new_problem, config)
+        reply = self._run_planner(new_problem, config, trace_id=message.trace_id)
         reply["excluded_activities"] = sorted(unexecutable)
         self.replans_created += 1
         return reply

@@ -62,6 +62,27 @@ class SchedulingService(CoreService):
         ``cost``, ``alternatives`` (ranked remainder).
         """
         content = message.content
+        recorder = self.env.spans
+        span = (
+            recorder.start(
+                content.get("service", ""), "schedule-eval",
+                agent=self.name, trace_id=message.trace_id,
+                candidates=len(content.get("candidates", ())),
+            )
+            if recorder.enabled
+            else None
+        )
+        try:
+            reply = yield from self._schedule(content)
+        except ServiceError:
+            recorder.end(span, status="error")
+            raise
+        recorder.end(
+            span, container=reply["container"], estimate=reply["estimate"]
+        )
+        return reply
+
+    def _schedule(self, content: dict):
         service = content["service"]
         candidates = list(content.get("candidates", ()))
         work = float(content.get("work", 10.0))
@@ -162,8 +183,22 @@ class SchedulingService(CoreService):
         """Book one slot: ``container``, ``start`` (absolute simulated
         time), ``duration``; reply carries the token and the cost."""
         content = message.content
-        node = yield from self._reservable_node(content["container"])
+        recorder = self.env.spans
+        span = (
+            recorder.start(
+                content.get("container", ""), "reserve",
+                agent=self.name, trace_id=message.trace_id,
+            )
+            if recorder.enabled
+            else None
+        )
+        try:
+            node = yield from self._reservable_node(content["container"])
+        except ServiceError:
+            recorder.end(span, status="error")
+            raise
         if node is None:
+            recorder.end(span, status="error")
             raise ServiceError(
                 f"container {content['container']!r} does not support "
                 f"advance reservations"
@@ -175,7 +210,9 @@ class SchedulingService(CoreService):
                 duration=float(content["duration"]),
             )
         except SchedulingError as exc:
+            recorder.end(span, status="error")
             raise ServiceError(str(exc)) from exc
+        recorder.end(span, cost=reservation.cost, start=reservation.start)
         return {
             "token": reservation.token,
             "start": reservation.start,

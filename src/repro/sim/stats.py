@@ -70,7 +70,13 @@ class TimeSeries:
         values = np.asarray(self.values)
         end = horizon if horizon is not None else times[-1]
         if end <= times[0]:
-            return float(values[0])
+            # Zero-length (or pre-first-observation) horizon: no time has
+            # accumulated, so the average degenerates to the value in
+            # effect at *end* — the last observation at or before it, not
+            # unconditionally the first (observations may share one
+            # timestamp, e.g. gauges sampled at t=0).
+            at_or_before = int(np.searchsorted(times, end, side="right"))
+            return float(values[at_or_before - 1]) if at_or_before else float(values[0])
         spans = np.diff(np.append(times, end))
         spans = np.clip(spans, 0.0, None)
         total = float(spans.sum())

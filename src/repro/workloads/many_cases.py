@@ -112,6 +112,8 @@ def run_many_cases(
     match_cache_ttl: float = 0.0,
     program_cache_size: int | None = None,
     max_events: int = 20_000_000,
+    spans: bool = False,
+    gauge_period: float = 0.0,
 ) -> dict[str, Any]:
     """Enact *cases* concurrent instances of the shared workflow.
 
@@ -121,6 +123,9 @@ def run_many_cases(
     broker's registry-changed push wired up for invalidation), and
     ``program_cache_size`` overrides the coordinator's compiled-program
     cache (0 recompiles per enactment — the pre-compilation baseline).
+    The two observability knobs: ``spans=True`` records workflow spans
+    (``repro trace export`` / ``repro profile`` run on this), and
+    ``gauge_period > 0`` samples sim-time gauges at that period.
 
     Returns ``env``, ``services``, ``outcomes`` (per-case replies) and
     summary counts.  Raises :class:`WorkloadError` when any case fails —
@@ -129,8 +134,11 @@ def run_many_cases(
     if cases < 1:
         raise WorkloadError("many_cases needs at least one case")
     env, services, fleet = standard_environment(
-        many_cases_services(), containers=containers, tracing=tracing
+        many_cases_services(), containers=containers, tracing=tracing,
+        spans=spans,
     )
+    if gauge_period > 0.0:
+        env.attach_gauges(period=gauge_period)
     if program_cache_size is not None:
         services.coordination.program_cache_size = program_cache_size
     if match_cache_ttl > 0.0:
@@ -175,6 +183,13 @@ def run_many_cases(
         "messages": env.trace.total_recorded,
         "makespan": env.engine.now,
         "engine_events": env.engine.events_processed,
+        "spans": {
+            "enabled": env.spans.enabled,
+            "started": env.spans.total_started,
+            "closed": env.spans.total_closed,
+            "open": env.spans.open_count,
+            "evicted": env.spans.evicted,
+        },
         "counters": {
             "program_cache_hit": metrics.total("program_cache_hit"),
             "program_cache_miss": metrics.total("program_cache_miss"),

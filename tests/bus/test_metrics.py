@@ -33,6 +33,21 @@ class TestLatencyHistogram:
         h.observe(1e9)  # beyond every bound
         assert h.buckets[-1] == 1
 
+    def test_quantile_clamped_to_observed_range(self):
+        h = LatencyHistogram()
+        h.observe(5.0)  # lands in the <=10.0 bucket
+        # The nominal bucket bound (10.0) exceeds the only observation;
+        # every quantile must stay inside [min, max] = [5, 5].
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(0.99) == 5.0
+        h.observe(7.0)  # same bucket, max now 7
+        assert h.quantile(0.5) == 7.0
+        # ...and the clamp never reports below the observed minimum
+        low = LatencyHistogram()
+        low.observe(0.5)
+        low.observe(8.0)
+        assert low.quantile(0.01) >= 0.5
+
 
 class TestMetricsRegistry:
     def test_counters_keyed_by_agent_and_action(self):

@@ -1,0 +1,114 @@
+"""Chrome trace-event and JSONL exporters: round-trip + schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    chrome_trace,
+    spans_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.spans import SpanRecorder
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def recorder():
+    engine = Engine()
+    recorder = SpanRecorder(engine, enabled=True)
+    root = recorder.start("case-0", "case", agent="coordination", trace_id="t1")
+    child = recorder.start(
+        "ingest", "activity", agent="coordination", parent=root, service="ingest"
+    )
+    engine.now = 2.5
+    recorder.end(child, retries=0)
+    remote = recorder.start("ingest", "execute", agent="ac1", trace_id="t1")
+    engine.now = 3.0
+    recorder.end(remote)
+    recorder.end(root)
+    return recorder
+
+
+class TestChromeTrace:
+    def test_schema_and_event_count(self, recorder):
+        document = chrome_trace(recorder)
+        assert validate_chrome_trace(document) == 3
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_metadata_names_agents(self, recorder):
+        events = chrome_trace(recorder)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"coordination", "ac1"}
+        assert all(e["name"] == "thread_name" for e in meta)
+
+    def test_microsecond_timestamps_and_identity_args(self, recorder):
+        events = chrome_trace(recorder)["traceEvents"]
+        child = next(e for e in events if e.get("cat") == "activity")
+        assert child["ts"] == 0.0
+        assert child["dur"] == pytest.approx(2.5e6)
+        assert child["args"]["trace_id"] == "t1"
+        assert child["args"]["parent_id"] is not None
+        assert child["args"]["service"] == "ingest"
+
+    def test_agents_map_to_distinct_tids_same_pid(self, recorder):
+        events = [
+            e for e in chrome_trace(recorder)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert len({e["pid"] for e in events}) == 1
+        by_agent = {}
+        for e in events:
+            by_agent.setdefault(e["tid"], set()).add(e["args"]["span_id"])
+        assert len(by_agent) == 2  # coordination + ac1 swimlanes
+
+    def test_file_round_trip(self, recorder, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, recorder)
+        document = json.loads(path.read_text())
+        assert count == len(document["traceEvents"])
+        assert validate_chrome_trace(document) == 3
+
+
+class TestValidation:
+    def test_rejects_non_document(self):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_trace([])
+        with pytest.raises(ObservabilityError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ObservabilityError, match="phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "B"}]})
+
+    def test_rejects_missing_fields(self):
+        event = {"name": "x", "cat": "k", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1}
+        with pytest.raises(ObservabilityError, match="tid"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_rejects_negative_duration(self):
+        event = {
+            "name": "x", "cat": "k", "ph": "X",
+            "ts": 0.0, "dur": -1.0, "pid": 1, "tid": 1,
+        }
+        with pytest.raises(ObservabilityError, match="dur"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+
+class TestJsonl:
+    def test_round_trip_preserves_span_dicts(self, recorder):
+        lines = list(spans_jsonl(recorder))
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["ingest", "ingest", "case-0"]
+        assert parsed[0]["kind"] == "activity"
+        assert parsed[0]["duration"] == pytest.approx(2.5)
+        assert parsed[2]["trace_id"] == "t1"
+
+    def test_write_jsonl(self, recorder, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        count = write_jsonl(path, recorder)
+        assert count == 3
+        assert len(path.read_text().splitlines()) == 3

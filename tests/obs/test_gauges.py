@@ -1,0 +1,78 @@
+"""Sim-time gauge sampling."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.grid.environment import GridEnvironment
+from repro.obs.gauges import GaugeSampler
+
+
+class TestGaugeSampler:
+    def test_rejects_non_positive_period(self):
+        env = GridEnvironment()
+        with pytest.raises(ObservabilityError):
+            GaugeSampler(env, period=0.0)
+
+    def test_samples_nodes_and_mailboxes(self):
+        env = GridEnvironment()
+        env.add_node("n1", "siteA", slots=4)
+        sampler = env.attach_gauges(period=1.0)
+
+        def busywork():
+            grant = yield env.node("n1").slots.acquire()
+            yield 3.5
+            env.node("n1").slots.release(grant)
+
+        env.engine.spawn(busywork(), "worker")
+        env.run()
+        assert sampler.samples_taken >= 3
+        summary = sampler.summary()
+        series = summary["node.n1.slots_in_use"]
+        assert series["max"] == 1.0
+        assert 0.0 < series["time_average"] <= 1.0
+        assert "spans.open" in summary
+        assert "transfers.inflight" in summary
+
+    def test_auto_stops_when_queue_drains(self):
+        """env.run() must terminate: the sampler stops itself on idle."""
+        env = GridEnvironment()
+        env.attach_gauges(period=1.0)
+        env.run()  # would never return if the sampler rescheduled forever
+        assert env.gauges.running is False
+        # new work + start() resumes sampling
+        def noop():
+            yield 0.5
+
+        env.engine.spawn(noop(), "noop")
+        before = env.gauges.samples_taken
+        env.attach_gauges(period=1.0)
+        env.run()
+        assert env.gauges.samples_taken >= before
+
+    def test_attach_is_idempotent(self):
+        env = GridEnvironment()
+        first = env.attach_gauges()
+        assert env.attach_gauges() is first
+
+    def test_stop_halts_sampling(self):
+        env = GridEnvironment()
+        sampler = env.attach_gauges(period=1.0)
+
+        def sleeper():
+            yield 10.0
+
+        env.engine.spawn(sleeper(), "sleeper")
+        sampler.stop()
+        env.run()
+        assert sampler.samples_taken == 0
+
+    def test_open_transfer_spans_counted_inflight(self):
+        env = GridEnvironment(spans=True)
+        span = env.spans.start("d1", "transfer", agent="ac1")
+        env.gauges = None
+        sampler = GaugeSampler(env)
+        sampler.sample()
+        assert sampler.metrics.series["transfers.inflight"].values[-1] == 1.0
+        env.spans.end(span)
+        sampler.sample()
+        assert sampler.metrics.series["transfers.inflight"].values[-1] == 0.0

@@ -1,0 +1,97 @@
+"""Per-case time-attribution profiles."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.profile import case_profile, interval_union, render_profile
+from repro.obs.spans import SpanRecorder
+from repro.sim.engine import Engine
+
+
+class TestIntervalUnion:
+    def test_empty(self):
+        assert interval_union([]) == 0.0
+
+    def test_disjoint(self):
+        assert interval_union([(0.0, 1.0), (2.0, 3.0)]) == 2.0
+
+    def test_overlapping_not_double_counted(self):
+        assert interval_union([(0.0, 2.0), (1.0, 3.0)]) == 3.0
+
+    def test_nested(self):
+        assert interval_union([(0.0, 10.0), (2.0, 5.0)]) == 10.0
+
+
+def _build_case(engine, recorder):
+    """A synthetic case: [0, 10] root with two overlapping fork children
+    and a remote container span joined only by trace_id."""
+    root = recorder.start("case-0", "case", agent="coord", trace_id="t1")
+    a = recorder.start("partA", "activity", agent="coord", parent=root)
+    b = recorder.start("partB", "activity", agent="coord", parent=root)
+    remote = recorder.start("partA", "execute", agent="ac1", trace_id="t1")
+    engine.now = 4.0
+    recorder.end(remote)
+    recorder.end(a, retries=1)
+    engine.now = 8.0
+    recorder.end(b)
+    engine.now = 10.0
+    recorder.end(root)
+    return root
+
+
+class TestCaseProfile:
+    def test_raises_without_case_span(self):
+        recorder = SpanRecorder(Engine(), enabled=True)
+        with pytest.raises(ObservabilityError, match="spans enabled"):
+            case_profile(recorder)
+
+    def test_coverage_clips_and_unions(self):
+        engine = Engine()
+        recorder = SpanRecorder(engine, enabled=True)
+        _build_case(engine, recorder)
+        profile = case_profile(recorder, case="case-0")
+        # direct children cover [0,4] u [0,8] = 8 of the 10s window
+        assert profile["coverage"] == pytest.approx(0.8)
+        assert profile["duration"] == pytest.approx(10.0)
+
+    def test_rows_and_activities(self):
+        engine = Engine()
+        recorder = SpanRecorder(engine, enabled=True)
+        _build_case(engine, recorder)
+        profile = case_profile(recorder, case="case-0")
+        by_kind = {row["kind"]: row for row in profile["rows"]}
+        assert by_kind["activity"]["count"] == 2
+        assert by_kind["activity"]["total"] == pytest.approx(12.0)
+        # the container-side span joins through the shared trace_id
+        assert by_kind["execute"]["count"] == 1
+        assert by_kind["execute"]["total"] == pytest.approx(4.0)
+        assert profile["activities"]["partA"]["retries"] == 1
+        assert profile["spans"] == 4  # root + 2 children + 1 remote
+
+    def test_selects_latest_matching_case(self):
+        engine = Engine()
+        recorder = SpanRecorder(engine, enabled=True)
+        first = recorder.start("case-0", "case", trace_id="t1")
+        recorder.end(first)
+        engine.now = 5.0
+        second = recorder.start("case-0", "case", trace_id="t2")
+        engine.now = 6.0
+        recorder.end(second)
+        assert case_profile(recorder, case="case-0")["trace_id"] == "t2"
+        assert case_profile(recorder, trace_id="t1")["trace_id"] == "t1"
+
+    def test_zero_duration_root(self):
+        recorder = SpanRecorder(Engine(), enabled=True)
+        recorder.end(recorder.start("case-0", "case"))
+        profile = case_profile(recorder)
+        assert profile["coverage"] == 1.0
+        assert profile["duration"] == 0.0
+
+    def test_render_is_plain_text_table(self):
+        engine = Engine()
+        recorder = SpanRecorder(engine, enabled=True)
+        _build_case(engine, recorder)
+        text = render_profile(case_profile(recorder, case="case-0"))
+        assert "case case-0" in text
+        assert "coverage=80.0%" in text
+        assert "activity" in text and "partA" in text

@@ -1,0 +1,207 @@
+"""Monitoring service: the span-telemetry plane (spans / case-profile /
+watches / alerts / gauges) and the per-agent metrics health block."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.planner import GPConfig
+from repro.services import standard_environment
+from tests.services.conftest import drive, synthetic_services
+from tests.services.test_coordination import INITIAL
+from repro.virolab import process_description
+
+
+@pytest.fixture
+def spans_grid():
+    """Like the shared ``grid`` fixture, but with span recording on."""
+    return standard_environment(
+        synthetic_services(),
+        containers=3,
+        planner_config=GPConfig(population_size=30, generations=5),
+        spans=True,
+    )
+
+
+def enact(grid):
+    env, services, fleet = grid
+    user = services.coordination
+    return drive(
+        env,
+        user,
+        lambda: user.call(
+            "coordination",
+            "execute-task",
+            {
+                "process": process_description(),
+                "initial_data": dict(INITIAL),
+                "task": "3DSD",
+            },
+        ),
+    )
+
+
+class TestStatusMetricsBlock:
+    def test_known_agent_reports_registry_health(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        # generate some traffic first so the counters are non-zero
+        drive(env, user, lambda: user.call("monitoring", "census", {}))
+        status = drive(
+            env, user, lambda: user.call("monitoring", "status", {"agent": "monitoring"})
+        )
+        metrics = status["metrics"]
+        assert set(metrics) == {
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "requests_handled",
+            "rpc_errors",
+        }
+        assert metrics["messages_delivered"] >= 1
+        assert metrics["requests_handled"] >= 1
+        assert metrics["rpc_errors"] == 0
+
+    def test_unknown_agent_has_no_metrics_block(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        status = drive(
+            env, user, lambda: user.call("monitoring", "status", {"agent": "zz"})
+        )
+        assert "metrics" not in status
+
+
+class TestSpansAction:
+    def test_disabled_recorder_reports_enabled_false(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        reply = drive(env, user, lambda: user.call("monitoring", "spans", {}))
+        assert reply["enabled"] is False
+        assert reply["total_started"] == 0
+        assert reply["spans"] == []
+
+    def test_query_after_enactment(self, spans_grid):
+        enact(spans_grid)
+        env, services, fleet = spans_grid
+        user = services.coordination
+        reply = drive(env, user, lambda: user.call("monitoring", "spans", {}))
+        assert reply["enabled"] is True
+        assert reply["open"] == 0
+        assert reply["total_closed"] == reply["total_started"]
+        assert "case" in reply["kinds"]
+
+    def test_filters_and_limit(self, spans_grid):
+        enact(spans_grid)
+        env, services, fleet = spans_grid
+        user = services.coordination
+        cases = drive(
+            env, user,
+            lambda: user.call("monitoring", "spans", {"kind": "case"}),
+        )
+        assert [s["kind"] for s in cases["spans"]] == ["case"]
+        assert cases["spans"][0]["name"] == "3DSD"
+        limited = drive(
+            env, user,
+            lambda: user.call("monitoring", "spans", {"limit": 3}),
+        )
+        assert len(limited["spans"]) == 3
+
+
+class TestCaseProfileAction:
+    def test_profile_over_rpc(self, spans_grid):
+        enact(spans_grid)
+        env, services, fleet = spans_grid
+        user = services.coordination
+        profile = drive(
+            env, user,
+            lambda: user.call("monitoring", "case-profile", {"case": "3DSD"}),
+        )
+        assert profile["case"] == "3DSD"
+        assert profile["coverage"] >= 0.95
+        by_kind = {row["kind"]: row for row in profile["rows"]}
+        assert by_kind["activity"]["count"] == 17
+
+    def test_disabled_recorder_is_service_error(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(
+                env, user,
+                lambda: user.call("monitoring", "case-profile", {"case": "3DSD"}),
+            )
+
+
+class TestWatchActions:
+    def test_install_list_and_fire(self, spans_grid):
+        env, services, fleet = spans_grid
+        user = services.coordination
+        installed = drive(
+            env, user,
+            lambda: user.call(
+                "monitoring",
+                "add-watch",
+                {"name": "slow-activity", "bound": 0.0, "kind": "activity"},
+            ),
+        )
+        assert installed == {"installed": "slow-activity", "rules": 1}
+        watches = drive(env, user, lambda: user.call("monitoring", "watches", {}))
+        assert watches["rules"] == [
+            {
+                "name": "slow-activity",
+                "field": "duration",
+                "op": ">",
+                "bound": 0.0,
+                "kind": "activity",
+            }
+        ]
+        enact(spans_grid)  # every activity takes >0 sim seconds -> alerts
+        alerts = drive(env, user, lambda: user.call("monitoring", "alerts", {}))
+        assert alerts["total_alerts"] >= 17
+        assert all(a["rule"] == "slow-activity" for a in alerts["alerts"])
+        assert all(a["kind"] == "activity" for a in alerts["alerts"])
+        limited = drive(
+            env, user,
+            lambda: user.call("monitoring", "alerts", {"limit": 2}),
+        )
+        assert len(limited["alerts"]) == 2
+
+    def test_duplicate_watch_is_service_error(self, spans_grid):
+        env, services, fleet = spans_grid
+        user = services.coordination
+        install = lambda: user.call(
+            "monitoring", "add-watch", {"name": "r", "bound": 1.0}
+        )
+        drive(env, user, install)
+        with pytest.raises(ServiceError):
+            drive(env, user, install)
+
+    def test_bad_operator_is_service_error(self, spans_grid):
+        env, services, fleet = spans_grid
+        user = services.coordination
+        with pytest.raises(ServiceError):
+            drive(
+                env, user,
+                lambda: user.call(
+                    "monitoring",
+                    "add-watch",
+                    {"name": "bad", "bound": 1.0, "op": "!="},
+                ),
+            )
+
+
+class TestGaugesAction:
+    def test_unattached(self, grid):
+        env, services, fleet = grid
+        user = services.coordination
+        reply = drive(env, user, lambda: user.call("monitoring", "gauges", {}))
+        assert reply == {"attached": False, "series": {}}
+
+    def test_attached_summary(self, spans_grid):
+        env, services, fleet = spans_grid
+        env.attach_gauges(period=5.0)
+        enact(spans_grid)
+        env.attach_gauges(period=5.0)  # restart after the drained run
+        user = services.coordination
+        reply = drive(env, user, lambda: user.call("monitoring", "gauges", {}))
+        assert reply["attached"] is True
+        assert any(k.startswith("node.") for k in reply["series"])
+        assert "spans.open" in reply["series"]

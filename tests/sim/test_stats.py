@@ -54,6 +54,24 @@ class TestTimeSeries:
         ts.observe(5.0, 7.0)
         assert ts.time_average() == 7.0
 
+    def test_zero_length_horizon(self):
+        # Horizon at (or before) the first observation: no time has
+        # accumulated, so the average is the value in effect then —
+        # previously this divided by a zero span.
+        ts = TimeSeries()
+        ts.observe(5.0, 7.0)
+        ts.observe(10.0, 9.0)
+        assert ts.time_average(horizon=5.0) == 7.0
+        assert ts.time_average(horizon=1.0) == 7.0
+
+    def test_coincident_observations_at_horizon(self):
+        # Gauges sampled at t=0 share a timestamp: the value in effect at
+        # the horizon is the *last* observation at or before it.
+        ts = TimeSeries()
+        ts.observe(0.0, 1.0)
+        ts.observe(0.0, 4.0)
+        assert ts.time_average(horizon=0.0) == 4.0
+
 
 class TestMetricSet:
     def test_named_access(self):

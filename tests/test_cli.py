@@ -61,3 +61,29 @@ def test_render_writes_dot_files(tmp_path, capsys):
     fig11 = (out / "fig11_plan_tree.dot").read_text()
     assert fig10.startswith('digraph "PD-3DSD"')
     assert fig11.count("->") == 9
+
+
+def test_trace_export_writes_valid_telemetry(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    out = tmp_path / "traces"
+    assert main([
+        "trace", "export", "--cases", "2", "--containers", "2",
+        "--out", str(out),
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "2/2 cases" in stdout
+    document = json.loads((out / "trace.chrome.json").read_text())
+    assert validate_chrome_trace(document) > 0
+    lines = (out / "spans.jsonl").read_text().splitlines()
+    assert all(json.loads(line)["span_id"] for line in lines)
+
+
+def test_profile_prints_attribution_table(capsys):
+    assert main(["profile", "case-1", "--cases", "2", "--containers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "case case-1" in out
+    assert "coverage=" in out
+    assert "activity" in out
