@@ -1,8 +1,9 @@
-"""Record performance numbers (planner, message bus, enactment).
+"""Record performance numbers (planner, bus, enactment, obs, analysis).
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--suite all|planner|bus|enact|obs]
+    PYTHONPATH=src python benchmarks/record_bench.py \\
+        [--suite all|planner|bus|enact|obs|analysis]
 
 The **planner** suite (BENCH_planner.json) measures, on the Section-5
 case-study problem:
@@ -45,6 +46,17 @@ cost on the same workload:
   full recording);
 * one instrumented run's span accounting, case-0 profile coverage, and
   gauge summaries.
+
+The **analysis** suite (BENCH_analysis.json) measures the semantic
+workflow verifier:
+
+* full-pass analyzer throughput (structure + conditions + dataflow +
+  resolvability) on the Figure-10 case-study process against the
+  case-study knowledge base — and asserts it stays finding-free;
+* a seeded GP run with the static pre-filter off vs. on (the ``exact``
+  default): best fitness, plan and per-generation history must be
+  identical, while ``analysis_rejected`` records how many candidate
+  simulations the filter made unnecessary.
 
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
@@ -337,6 +349,67 @@ def bench_obs(rounds, cases=32, containers=4):
     return out
 
 
+def bench_analysis(rounds, iterations=200):
+    """Semantic-analyzer throughput and the GP pre-filter's effect."""
+    from repro.analysis import analyze_process
+    from repro.virolab import (
+        DATA_CLASSIFICATIONS,
+        INITIAL_DATA,
+        case_study_kb,
+        process_description,
+    )
+
+    out = {}
+    pd = process_description()
+    kb = case_study_kb()
+    initial = set(INITIAL_DATA)
+
+    def analyze_all():
+        for _ in range(iterations):
+            analyze_process(
+                pd,
+                kb=kb,
+                initial_data=initial,
+                classifications=DATA_CLASSIFICATIONS,
+            )
+
+    timing = _time(analyze_all, rounds)
+    timing["analyses_per_s"] = iterations / timing["median_s"]
+    out[f"full_pass_figure10_x{iterations}"] = timing
+    findings = analyze_process(
+        pd, kb=kb, initial_data=initial, classifications=DATA_CLASSIFICATIONS
+    )
+    # Zero-false-positive gate: the shipped case study must stay clean.
+    assert not findings, [str(f) for f in findings]
+    out["figure10_findings"] = len(findings)
+
+    # GP pre-filter: exact mode must leave the run byte-identical while
+    # measurably reducing simulator work.
+    problem = planning_problem()
+    runs = {}
+    for mode in ("off", "exact"):
+        cfg = GPConfig(population_size=60, generations=8, static_filter=mode)
+        timing = _time(lambda cfg=cfg: GPPlanner(cfg, rng=7).plan(problem), rounds)
+        result = GPPlanner(cfg, rng=7).plan(problem)
+        runs[mode] = result
+        timing["evaluations"] = result.evaluations
+        timing["analysis_rejected"] = result.analysis_rejected
+        timing["best_overall"] = result.best_fitness.overall
+        out[f"gp_pop60_gen8_filter_{mode}"] = timing
+    off, exact = runs["off"], runs["exact"]
+    assert exact.best_fitness == off.best_fitness
+    assert exact.best_plan.struct_key() == off.best_plan.struct_key()
+    assert exact.history == off.history
+    assert exact.evaluations == off.evaluations
+    assert exact.analysis_rejected > 0 and off.analysis_rejected == 0
+    out["traces_identical"] = True
+    out["simulations_avoided"] = exact.analysis_rejected
+    out["simulations_avoided_pct"] = (
+        exact.analysis_rejected / exact.evaluations * 100.0
+    )
+    return out
+
+
 def _same_host(host, reference) -> bool:
     return (
         host["cpu_count"] == reference["cpu_count"]
@@ -363,12 +436,15 @@ def _write(path, record):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--suite", choices=("all", "planner", "bus", "enact", "obs"), default="all"
+        "--suite",
+        choices=("all", "planner", "bus", "enact", "obs", "analysis"),
+        default="all",
     )
     parser.add_argument("--out", default="BENCH_planner.json")
     parser.add_argument("--bus-out", default="BENCH_bus.json")
     parser.add_argument("--enact-out", default="BENCH_enact.json")
     parser.add_argument("--obs-out", default="BENCH_obs.json")
+    parser.add_argument("--analysis-out", default="BENCH_analysis.json")
     parser.add_argument(
         "--max-disabled-overhead",
         type=float,
@@ -417,6 +493,14 @@ def main(argv=None) -> int:
             "enact": bench_enact(args.rounds, cases=args.cases),
         }
         _write(args.enact_out, record)
+
+    if args.suite in ("all", "analysis"):
+        record = {
+            "benchmark": "semantic workflow verifier (analysis package)",
+            "host": _host(),
+            "analysis": bench_analysis(args.rounds),
+        }
+        _write(args.analysis_out, record)
 
     if args.suite in ("all", "obs"):
         host = _host()

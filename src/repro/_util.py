@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Iterable, Iterator, Sequence, TypeVar
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
 
 import numpy as np
 

@@ -1,0 +1,54 @@
+"""Semantic workflow verification (static analysis over process descriptions).
+
+One vocabulary of :class:`~repro.analysis.findings.Finding` codes spans
+structural validation (E1xx/W101, produced by
+:mod:`repro.process.validate`), guard satisfiability (E2xx), loop analysis
+(E301), dataflow (E401/W402) and ontology resolvability (E5xx/W502).
+:func:`analyze_process` runs every applicable pass;
+:class:`~repro.analysis.plan_filter.PlanStaticFilter` applies the same
+machinery per GP candidate inside the planner.
+"""
+
+from repro.analysis.analyzer import analyze_process, has_errors
+from repro.analysis.bindings import (
+    ProcessBindings,
+    analyze_source,
+    load_bindings,
+    process_from_graph,
+)
+from repro.analysis.conditions_pass import condition_findings
+from repro.analysis.dataflow import bindings_known, dataflow_findings
+from repro.analysis.findings import (
+    FINDING_CODES,
+    Finding,
+    Severity,
+    render_findings,
+)
+from repro.analysis.plan_filter import PlanStaticFilter
+from repro.analysis.resolvability import resolvability_findings
+from repro.analysis.sat import (
+    conditions_overlap,
+    definitely_unsatisfiable,
+    possibly_true,
+)
+
+__all__ = [
+    "FINDING_CODES",
+    "Finding",
+    "PlanStaticFilter",
+    "ProcessBindings",
+    "Severity",
+    "analyze_process",
+    "analyze_source",
+    "bindings_known",
+    "condition_findings",
+    "conditions_overlap",
+    "dataflow_findings",
+    "definitely_unsatisfiable",
+    "has_errors",
+    "load_bindings",
+    "possibly_true",
+    "process_from_graph",
+    "render_findings",
+    "resolvability_findings",
+]

@@ -1,0 +1,66 @@
+"""The multi-pass driver: one call, every finding.
+
+:func:`analyze_process` chains the structural checks of
+:mod:`repro.process.validate` with the semantic passes of this package:
+
+1. **structure** — E101-E105/W101 (degree rules, reachability, pairing);
+2. **conditions** — E201/E202 guard satisfiability (needs only the
+   transition table, so it runs even on structurally broken graphs);
+3. **dataflow** — E401/W402/E301 (runs only on structurally clean graphs:
+   the must-reach fixpoint assumes a unique Begin and full reachability);
+4. **resolvability** — E501/W502, only when a knowledge base is supplied.
+
+The pass set degrades gracefully with the information available: a bare
+parsed ``.process`` file gets structure + condition analysis; add
+input/output bindings and the dataflow pass wakes up; add a
+``KnowledgeBase`` and services are resolved too.  Analysis never enacts,
+simulates or messages anything — it is pure graph work, which is what
+makes it cheap enough for the planner's per-candidate pre-filter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.conditions_pass import condition_findings
+from repro.analysis.dataflow import dataflow_findings
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.resolvability import resolvability_findings
+from repro.process.model import ProcessDescription
+from repro.process.validate import check_process_findings
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ontology.frames import KnowledgeBase
+
+__all__ = ["analyze_process", "has_errors"]
+
+
+def analyze_process(
+    pd: ProcessDescription,
+    *,
+    kb: "KnowledgeBase | None" = None,
+    initial_data: set[str] | None = None,
+    classifications: dict[str, str] | None = None,
+    structured: bool = True,
+) -> list[Finding]:
+    """All findings for *pd*, structural first.
+
+    *initial_data* — data names present in the case's initial data set;
+    None presumes any never-produced data arrives with the case.
+    *classifications* — data name -> classification, supplementing the
+    KB's Data instances for the W502 capability check.
+    """
+    findings = check_process_findings(pd, structured=structured)
+    structurally_clean = not findings
+    findings.extend(condition_findings(pd))
+    if structurally_clean:
+        findings.extend(dataflow_findings(pd, initial_data=initial_data))
+    if kb is not None:
+        findings.extend(
+            resolvability_findings(pd, kb, classifications=classifications)
+        )
+    return findings
+
+
+def has_errors(findings: list[Finding]) -> bool:
+    return any(f.severity is Severity.ERROR for f in findings)

@@ -1,0 +1,167 @@
+"""Binding sidecars: the case context a bare ``.process`` file lacks.
+
+The Section-2 process language carries control flow and guard conditions,
+but not the per-activity data bindings (inputs/outputs/service) or the
+case's initial data set — in the paper those live in the knowledge base's
+Activity/Data frames, not the textual workflow.  A *bindings sidecar* is
+a small JSON document supplying exactly that context so the full analyzer
+pass set can run on a parsed file:
+
+.. code-block:: json
+
+    {
+      "initial_data": ["D1", "D2"],
+      "activities": {
+        "POD1": {"service": "POD", "inputs": ["D1"], "outputs": ["D8"]}
+      },
+      "classifications": {"D1": "Image"},
+      "services": [
+        {"name": "POD", "inputs": ["D1"], "outputs": ["D8"]}
+      ],
+      "expect": [{"code": "W402", "locus": "POD1"}]
+    }
+
+Every key is optional.  ``services`` builds a minimal
+:class:`~repro.ontology.frames.KnowledgeBase` (builtin Figure-12 shell +
+one Service instance each + Data instances for ``classifications``) for
+the resolvability pass; ``expect`` is ignored by the analyzer and read by
+the defect-corpus tests as the fixture's expected findings.
+
+Fixtures needing *structurally broken* graphs (E101-E105 — inexpressible
+in the language, which parses only well-structured processes) use a
+``graph`` document instead: explicit activities and transitions, loaded by
+:func:`process_from_graph`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.analyzer import analyze_process
+from repro.analysis.findings import Finding
+from repro.ontology.builtin import DATA, SERVICE, builtin_shell
+from repro.ontology.frames import KnowledgeBase
+from repro.process.model import Activity, ActivityKind, ProcessDescription
+from repro.process.parser import parse_condition, parse_process
+from repro.process.structure import ast_to_process
+
+__all__ = [
+    "ProcessBindings",
+    "load_bindings",
+    "process_from_graph",
+    "analyze_source",
+]
+
+
+@dataclass
+class ProcessBindings:
+    """Parsed sidecar content, ready to feed the analyzer."""
+
+    initial_data: set[str] | None = None
+    library: dict[str, Activity] = field(default_factory=dict)
+    classifications: dict[str, str] = field(default_factory=dict)
+    kb: KnowledgeBase | None = None
+    expect: tuple[dict, ...] = ()
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ProcessBindings":
+        initial = doc.get("initial_data")
+        library: dict[str, Activity] = {}
+        for name, spec in (doc.get("activities") or {}).items():
+            library[name] = Activity(
+                name,
+                ActivityKind.END_USER,
+                spec.get("service"),
+                tuple(spec.get("inputs") or ()),
+                tuple(spec.get("outputs") or ()),
+            )
+        kb = None
+        services = doc.get("services")
+        if services:
+            kb = builtin_shell("bindings")
+            for svc in services:
+                kb.new_instance(
+                    SERVICE,
+                    {
+                        "Name": svc["name"],
+                        "Type": "End-user",
+                        "Input Data Set": list(svc.get("inputs") or ()),
+                        "Output Data Set": list(svc.get("outputs") or ()),
+                    },
+                    id=f"SVC-{svc['name']}",
+                )
+            for data, classification in (doc.get("classifications") or {}).items():
+                kb.new_instance(
+                    DATA,
+                    {"Name": data, "Classification": classification},
+                    id=f"DATA-{data}",
+                )
+        return cls(
+            initial_data=set(initial) if initial is not None else None,
+            library=library,
+            classifications=dict(doc.get("classifications") or {}),
+            kb=kb,
+            expect=tuple(doc.get("expect") or ()),
+        )
+
+
+def load_bindings(path: str | Path) -> ProcessBindings:
+    return ProcessBindings.from_dict(json.loads(Path(path).read_text()))
+
+
+def process_from_graph(doc: dict) -> ProcessDescription:
+    """Build a (possibly invalid) graph from an explicit description.
+
+    ``{"name": ..., "activities": [{"name", "kind", "service", "inputs",
+    "outputs"}], "transitions": [{"source", "destination", "id",
+    "condition"}]}`` — *kind* is an :class:`ActivityKind` value string
+    (``"End-user activity"`` etc. — or the enum name, e.g. ``"FORK"``),
+    *condition* a Section-2 condition expression.
+    """
+    pd = ProcessDescription(doc.get("name", "process"))
+    for spec in doc["activities"]:
+        raw_kind = spec.get("kind", "END_USER")
+        try:
+            kind = ActivityKind[raw_kind]
+        except KeyError:
+            kind = ActivityKind(raw_kind)
+        pd.add(
+            spec["name"],
+            kind,
+            spec.get("service"),
+            tuple(spec.get("inputs") or ()),
+            tuple(spec.get("outputs") or ()),
+        )
+    for tr in doc.get("transitions", ()):
+        condition = tr.get("condition")
+        pd.connect(
+            tr["source"],
+            tr["destination"],
+            parse_condition(condition) if condition else None,
+            id=tr.get("id"),
+        )
+    return pd
+
+
+def analyze_source(
+    text: str,
+    bindings: ProcessBindings | None = None,
+    name: str = "process",
+) -> list[Finding]:
+    """Parse Section-2 process *text*, elaborate it with the bindings'
+    activity library, and run the full analyzer.
+
+    Raises :class:`~repro.errors.ParseError` on malformed text — callers
+    (the CLI's ``lint`` command) distinguish "cannot read" from "read and
+    found problems"."""
+    bindings = bindings or ProcessBindings()
+    ast = parse_process(text)
+    pd = ast_to_process(ast, name=name, library=bindings.library or None)
+    return analyze_process(
+        pd,
+        kb=bindings.kb,
+        initial_data=bindings.initial_data,
+        classifications=bindings.classifications or None,
+    )

@@ -1,0 +1,64 @@
+"""Condition analysis: satisfiability of Choice guards.
+
+* ``E201 unsatisfiable-choice`` — a guard that provably holds in no state
+  (``D.P > 8 and D.P < 3``): its branch is dead and the Choice silently
+  falls through to the default arm at enactment.
+* ``E202 overlapping-choice-guards`` — two guards of the same Choice that
+  can hold simultaneously.  Section 3.1's Choice semantics pick "the
+  unique successor that gains control"; overlapping guards break that
+  uniqueness (the coordinator resolves it by taking the first match, so
+  the second branch is unreachable whenever they overlap).
+
+Unconditioned transitions and literal ``true`` guards are explicit
+default/else arms by convention and exempt from the overlap check — the
+planner emits ``true`` on every selective branch on purpose.  Guards
+containing ``Not`` are skipped (see :mod:`repro.analysis.sat` for the
+conservativeness contract); both checks are definite when they fire.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.sat import conditions_overlap, definitely_unsatisfiable
+from repro.process.conditions import TRUE
+from repro.process.model import ActivityKind, ProcessDescription
+
+__all__ = ["condition_findings"]
+
+
+def condition_findings(pd: ProcessDescription) -> list[Finding]:
+    findings: list[Finding] = []
+    choices = [a.name for a in pd if a.kind is ActivityKind.CHOICE]
+    by_source: dict[str, list] = {name: [] for name in choices}
+    for tr in pd.transitions:
+        if tr.source in by_source:
+            by_source[tr.source].append(tr)
+
+    for choice in choices:
+        guarded = []
+        for tr in by_source[choice]:
+            cond = tr.condition
+            if cond is None or cond is TRUE or isinstance(cond, type(TRUE)):
+                continue  # default/else arm
+            if definitely_unsatisfiable(cond):
+                findings.append(
+                    Finding(
+                        "E201", tr.id,
+                        f"guard on {tr.id} ({choice!r} -> "
+                        f"{tr.destination!r}) can never hold: {cond}",
+                    )
+                )
+                continue
+            guarded.append(tr)
+        for i, first in enumerate(guarded):
+            for second in guarded[i + 1:]:
+                if conditions_overlap(first.condition, second.condition):
+                    findings.append(
+                        Finding(
+                            "E202", second.id,
+                            f"guards on {first.id} and {second.id} of "
+                            f"Choice {choice!r} can hold simultaneously: "
+                            f"({first.condition}) vs ({second.condition})",
+                        )
+                    )
+    return findings

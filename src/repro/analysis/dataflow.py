@@ -1,0 +1,232 @@
+"""Forward def/use dataflow over the process graph.
+
+A *definition* of data item ``D`` is an activity listing ``D`` among its
+outputs; a *use* is an activity listing ``D`` among its inputs, or a
+Choice whose outgoing-transition conditions read ``D``.  The pass runs a
+classic forward must-reach fixpoint directly on the ATN graph with a
+kind-aware meet:
+
+* **Join** — all Fork branches execute, so definitions union;
+* **Merge** — only one incoming path ran (Choice arms, or a loop's entry
+  vs. back edge on the first iteration), so definitions intersect;
+* everything else has a single predecessor.
+
+Back edges participate like any other edge, so the fixpoint naturally
+models the do-while semantics of iterative regions (the loop head's
+must-set is the intersection of the entry path with the latch's — i.e.
+first-iteration facts only, which is exactly what *must* means there).
+
+Emitted findings:
+
+* ``E401 undefined-data-use`` — a read of data that is written somewhere
+  in the process but not on every path from Begin to the reader.  Data
+  never written by any activity is presumed part of the case's initial
+  data set — unless the caller supplies *initial_data*, which makes the
+  presumption explicit and checkable.  Reads of data the activity itself
+  also writes are exempt (the read-modify-write accumulator idiom).
+* ``W402 dead-data-definition`` — a definition that on every outgoing
+  path is overwritten before any read.  Definitions that can survive to
+  End unread are final products, not dead stores, and are never flagged.
+* ``E301 loop-invariant-iterative-condition`` — a back-edge (iterative)
+  condition reading only data that no activity in its natural loop body
+  writes: the condition's verdict can never change between iterations.
+
+All three run at data-name granularity (activity input/output slots carry
+names, not properties) and only when the process declares bindings at all
+(:func:`bindings_known`); a bare parsed ``.process`` file has no
+input/output annotations and stays silent rather than flagging everything.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.process.model import ActivityKind, ProcessDescription
+from repro.process.structure import find_back_edges
+
+__all__ = ["bindings_known", "dataflow_findings", "natural_loop_body"]
+
+
+def bindings_known(pd: ProcessDescription) -> bool:
+    """Does any end-user activity declare inputs or outputs?"""
+    return any(a.inputs or a.outputs for a in pd.end_user_activities())
+
+
+def _reads(pd: ProcessDescription) -> dict[str, set[str]]:
+    """activity name -> data names it reads (inputs + guard conditions)."""
+    reads: dict[str, set[str]] = {a.name: set(a.inputs) for a in pd}
+    for tr in pd.transitions:
+        if tr.condition is not None:
+            reads[tr.source].update(tr.condition.data_names())
+    return reads
+
+
+def _writes(pd: ProcessDescription) -> dict[str, set[str]]:
+    return {a.name: set(a.outputs) for a in pd}
+
+
+def natural_loop_body(pd: ProcessDescription, latch: str, head: str) -> set[str]:
+    """Activities of the natural loop of back edge ``latch -> head``
+    (standard reverse-reachability from the latch, stopping at the head)."""
+    body = {head, latch}
+    stack = [latch]
+    while stack:
+        node = stack.pop()
+        if node == head:
+            continue
+        for pred in pd.predecessors(node):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def _must_defined(
+    pd: ProcessDescription,
+    writes: dict[str, set[str]],
+    start_defs: set[str],
+    universe: set[str],
+) -> dict[str, set[str]]:
+    """Fixpoint ``IN[n]``: data defined on every path from Begin to *n*
+    (exclusive of *n*'s own writes)."""
+    begin = pd.begin().name
+    names = [a.name for a in pd]
+    in_: dict[str, set[str]] = {n: set(universe) for n in names}
+    out: dict[str, set[str]] = {n: set(universe) for n in names}
+    in_[begin] = set(start_defs)
+    out[begin] = start_defs | writes[begin]
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name == begin:
+                continue
+            preds = pd.predecessors(name)
+            if not preds:
+                new_in: set[str] = set()  # unreachable: nothing guaranteed
+            else:
+                meet = (
+                    set.union  # Join: all Fork branches executed
+                    if pd.activity(name).kind is ActivityKind.JOIN
+                    else set.intersection  # Merge / single pred
+                )
+                new_in = meet(*(out[p] for p in preds))
+            if new_in != in_[name]:
+                in_[name] = new_in
+                changed = True
+            new_out = new_in | writes[name]
+            if new_out != out[name]:
+                out[name] = new_out
+                changed = True
+    return in_
+
+
+def _definition_is_dead(
+    pd: ProcessDescription,
+    definer: str,
+    data: str,
+    reads: dict[str, set[str]],
+    writes: dict[str, set[str]],
+) -> bool:
+    """True iff every path out of *definer* overwrites *data* before any
+    read, and none lets the value survive to End."""
+    end = pd.end().name
+    seen: set[str] = set()
+    stack = list(pd.successors(definer))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if data in reads[node]:
+            return False  # someone consumes this definition
+        if node == end:
+            return False  # the value survives as a final product
+        if data in writes[node]:
+            continue  # clobbered on this path before any read
+        stack.extend(pd.successors(node))
+    return True
+
+
+def dataflow_findings(
+    pd: ProcessDescription,
+    initial_data: set[str] | None = None,
+) -> list[Finding]:
+    """E401 / W402 / E301 over a structurally valid process description."""
+    if not bindings_known(pd):
+        return []
+    findings: list[Finding] = []
+    reads = _reads(pd)
+    writes = _writes(pd)
+    written_somewhere = set().union(*writes.values()) if writes else set()
+    read_somewhere = set().union(*reads.values()) if reads else set()
+    universe = written_somewhere | read_somewhere | set(initial_data or ())
+
+    # Without an explicit case data set, presume everything the process
+    # never produces itself arrives with the case.
+    start = (
+        set(initial_data)
+        if initial_data is not None
+        else universe - written_somewhere
+    )
+
+    must_in = _must_defined(pd, writes, start, universe)
+
+    # E401: reads not covered on every path.
+    for activity in pd:
+        name = activity.name
+        # An activity may legitimately read its own prior output across
+        # loop iterations only if some path actually defines it first;
+        # its own writes do not feed its reads within one execution.
+        # A read of data the activity itself also writes is the
+        # read-modify-write accumulator idiom (Figure 10's POR refining
+        # D8 in place; a loop body refining its own model): the activity
+        # initializes the item on first execution, so the "not defined
+        # upstream" complaint would be a false positive.
+        available = must_in[name] | writes[name]
+        for data in sorted(reads[name] - available):
+            what = (
+                f"guard of Choice {name!r}"
+                if activity.kind is ActivityKind.CHOICE
+                else f"activity {name!r}"
+            )
+            findings.append(
+                Finding(
+                    "E401", name,
+                    f"{what} reads {data!r}, which is not defined on every "
+                    f"path from Begin",
+                )
+            )
+
+    # W402: definitions clobbered before any read on all paths.
+    for activity in pd.end_user_activities():
+        for data in sorted(activity.outputs):
+            if _definition_is_dead(pd, activity.name, data, reads, writes):
+                findings.append(
+                    Finding(
+                        "W402", activity.name,
+                        f"activity {activity.name!r} defines {data!r}, but "
+                        f"every downstream path overwrites it before any "
+                        f"read",
+                    )
+                )
+
+    # E301: loop conditions no body activity can influence.
+    transitions = {(t.source, t.destination): t for t in pd.transitions}
+    for latch, head in find_back_edges(pd):
+        tr = transitions.get((latch, head))
+        if tr is None or tr.condition is None:
+            continue
+        body = natural_loop_body(pd, latch, head)
+        body_writes = set().union(*(writes[n] for n in body))
+        condition_data = tr.condition.data_names()
+        if condition_data and not (condition_data & body_writes):
+            findings.append(
+                Finding(
+                    "E301", tr.id,
+                    f"iterative condition on {tr.id} ({latch!r} -> "
+                    f"{head!r}) reads {sorted(condition_data)}, but no "
+                    f"loop-body activity writes any of them — the loop "
+                    f"can never change its own verdict",
+                )
+            )
+    return findings

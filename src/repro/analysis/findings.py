@@ -1,0 +1,129 @@
+"""The finding vocabulary shared by every analysis pass.
+
+A :class:`Finding` is one diagnostic about a process description: a stable
+machine-readable code, a severity, the activity or transition it anchors to
+(its *locus*), and a human explanation.  Structural validation
+(:mod:`repro.process.validate`), the semantic passes under
+:mod:`repro.analysis`, the coordination service's case-intake gate and the
+``repro-grid lint`` CLI all speak this vocabulary, so a workflow author
+sees the same ``E201 unsatisfiable-choice`` whether the diagnosis comes
+from the linter or from a refused case.
+
+Codes are grouped by pass:
+
+===== ================================ ========
+code  name                             severity
+===== ================================ ========
+E101  begin-end-count                  error
+E102  degree-violation                 error
+E103  condition-outside-choice         error
+E104  not-well-structured              error
+W101  unreachable-activity             warning
+E105  cannot-reach-end                 error
+E201  unsatisfiable-choice             error
+E202  overlapping-choice-guards        error
+E301  loop-invariant-iterative-condition error
+E401  undefined-data-use               error
+W402  dead-data-definition             warning
+E501  unresolvable-service             error
+W502  capability-mismatch              warning
+===== ================================ ========
+
+Severity is fixed per code (the leading letter): ``E`` codes are errors —
+the workflow cannot enact meaningfully — and ``W`` codes are warnings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Finding", "FINDING_CODES", "render_findings"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: code -> (short name, one-line description).  The single source of truth
+#: for the reference table in the README.
+FINDING_CODES: dict[str, tuple[str, str]] = {
+    "E101": ("begin-end-count", "not exactly one Begin/End activity"),
+    "E102": ("degree-violation", "activity in/out-degree breaks its kind's rule"),
+    "E103": ("condition-outside-choice",
+             "condition on a transition that does not leave a Choice"),
+    "E104": ("not-well-structured",
+             "Fork/Join or Choice/Merge pairing cannot be recovered"),
+    "W101": ("unreachable-activity", "activity unreachable from Begin"),
+    "E105": ("cannot-reach-end", "activity cannot reach End"),
+    "E201": ("unsatisfiable-choice", "Choice guard can never hold"),
+    "E202": ("overlapping-choice-guards",
+             "two guards of one Choice can hold simultaneously"),
+    "E301": ("loop-invariant-iterative-condition",
+             "iterative condition reads data no loop-body activity writes"),
+    "E401": ("undefined-data-use",
+             "data read before any path defines it"),
+    "W402": ("dead-data-definition",
+             "data definition overwritten on every path before any read"),
+    "E501": ("unresolvable-service",
+             "no Service instance in the knowledge base offers the service"),
+    "W502": ("capability-mismatch",
+             "service cannot consume/produce the activity's data classes"),
+}
+
+
+def _severity_for(code: str) -> Severity:
+    return Severity.ERROR if code.startswith("E") else Severity.WARNING
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: code, locus and explanation.
+
+    *locus* names the activity or transition the finding anchors to (empty
+    for whole-process findings such as E101).  *message* is the human
+    explanation; ``str(finding)`` renders the conventional one-line form.
+    """
+
+    code: str
+    locus: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in FINDING_CODES:
+            raise ValueError(f"unknown finding code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return _severity_for(self.code)
+
+    @property
+    def name(self) -> str:
+        """The code's short kebab-case name (e.g. ``unsatisfiable-choice``)."""
+        return FINDING_CODES[self.code][0]
+
+    def __str__(self) -> str:
+        where = f" at {self.locus}" if self.locus else ""
+        return f"{self.code} {self.severity.value}{where}: {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-friendly form (``repro-grid lint --format json``)."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity.value,
+            "locus": self.locus,
+            "message": self.message,
+        }
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Human-readable multi-line rendering, errors first."""
+    ordered = sorted(
+        findings, key=lambda f: (f.severity is not Severity.ERROR, f.code)
+    )
+    return "\n".join(str(f) for f in ordered)

@@ -1,0 +1,171 @@
+"""Static pre-filter for GP candidate plans.
+
+A candidate tree is *doomed* when no terminal it contains can ever
+execute validly: a relaxed possible-values closure (Sinit values plus the
+effects of every activity whose precondition is :func:`~repro.analysis.sat.
+possibly_true` under the accumulated values, iterated to fixpoint) proves
+that every precondition is definitely false in every reachable state.
+The closure over-approximates reachability — it ignores ordering,
+controller structure and value interactions — so a "doomed" verdict is
+sound: the real simulator would mark every single execution invalid.
+
+For a doomed tree, full simulation is pure waste *and* its outcome is
+exactly predictable: both of the simulator's skip branches (activity
+unknown to T, or known but inapplicable) append the identical partial
+tuple, so simulating against a stub problem whose execution table is
+empty yields bit-for-bit the same flows, weights and truncation flag as
+the real problem would — just without evaluating a single precondition
+or deriving a single state.  :meth:`PlanStaticFilter.fitness_for` in
+``"exact"`` mode exploits this: it scores doomed trees through the stub
+and the real goal scorer, producing a :class:`~repro.planner.fitness.
+Fitness` bit-identical to full evaluation.  Evolution, traces and final
+plans are therefore unchanged; only the work avoided shows up (in the
+engine's ``analysis_rejected`` counter).
+
+``"penalty"`` mode goes further — doomed trees get a floor fitness
+without any simulation at all.  That *does* perturb goal-fitness credit
+from Sinit, so it is opt-in via ``GPConfig.static_filter``.
+
+The closure depends only on the *set* of terminal names, which GP
+populations repeat endlessly, so verdicts are cached per name-set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sat import possibly_true
+from repro.plan.metrics import representation_efficiency
+from repro.plan.tree import PlanNode, Terminal
+from repro.planner.fitness import Fitness, FitnessWeights
+from repro.planner.problem import PlanningProblem
+from repro.planner.simulate import SimulationOptions, simulate_plan
+from repro.planner.state import WorldState
+
+__all__ = ["PlanStaticFilter", "terminal_names"]
+
+_EMPTY_TABLE: dict = {}
+
+
+class _InertProblem:
+    """Duck-typed stand-in for :class:`PlanningProblem` during stub
+    simulation of doomed trees: the real initial state, an empty
+    execution table (every terminal takes the activity-unknown branch,
+    which appends the same partial tuple the real inapplicable branch
+    would)."""
+
+    __slots__ = ("initial_state",)
+
+    def __init__(self, initial_state: WorldState) -> None:
+        self.initial_state = initial_state
+
+    def execution_table(self) -> dict:
+        return _EMPTY_TABLE
+
+
+def terminal_names(tree: PlanNode) -> frozenset[str]:
+    """The set of activity names the tree's terminals reference."""
+    names = set()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Terminal):
+            names.add(node.activity)
+        else:
+            stack.extend(node.children)
+    return frozenset(names)
+
+
+class PlanStaticFilter:
+    """Per-problem static rejector shared by all evaluations of one run."""
+
+    MODES = ("off", "exact", "penalty")
+
+    def __init__(
+        self,
+        problem: PlanningProblem,
+        weights: FitnessWeights,
+        smax: int,
+        options: SimulationOptions,
+        mode: str = "exact",
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(
+                f"static filter mode must be one of {self.MODES}, got {mode!r}"
+            )
+        self.problem = problem
+        self.weights = weights
+        self.smax = smax
+        self.options = options
+        self.mode = mode
+        self._stub = _InertProblem(problem.initial_state)
+        self._doomed_cache: dict[frozenset[str], bool] = {}
+        #: Values every (data, property) pair holds in Sinit — the
+        #: closure's seed, shared across all cached name sets.
+        seed: dict[tuple[str, str], set] = {}
+        for data in problem.initial_state:
+            for prop, value in problem.initial_state.properties(data).items():
+                seed.setdefault((data, prop), set()).add(value)
+        self._seed = seed
+
+    def doomed(self, tree: PlanNode) -> bool:
+        """Can no terminal of *tree* ever execute validly?  Sound: True
+        implies the real simulation marks every execution invalid."""
+        if self.mode == "off":
+            return False
+        names = terminal_names(tree)
+        verdict = self._doomed_cache.get(names)
+        if verdict is None:
+            try:
+                verdict = self._names_doomed(names)
+            except TypeError:
+                # Unhashable effect values defeat the closure's value
+                # sets; give up (soundly) on this name set.
+                verdict = False
+            self._doomed_cache[names] = verdict
+        return verdict
+
+    def _names_doomed(self, names: frozenset[str]) -> bool:
+        specs = {
+            name: self.problem.activities[name]
+            for name in names
+            if name in self.problem.activities
+        }
+        if not specs:
+            return True  # no terminal is even in T
+        possible = {key: set(values) for key, values in self._seed.items()}
+        valid: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, spec in specs.items():
+                if name in valid:
+                    continue
+                if possibly_true(spec.precondition, possible):
+                    valid.add(name)
+                    changed = True
+                    for data, props in spec.effects.items():
+                        for prop, value in props.items():
+                            possible.setdefault((data, prop), set()).add(value)
+        return not valid
+
+    def fitness_for(self, tree: PlanNode) -> Fitness | None:
+        """The tree's fitness if it is statically doomed, else None
+        (caller simulates normally).
+
+        ``"exact"`` mode returns a value bit-identical to full
+        evaluation; ``"penalty"`` returns a floor score keeping only the
+        representation-efficiency term's size pressure.
+        """
+        if not self.doomed(tree):
+            return None
+        fr = representation_efficiency(tree, self.smax)
+        if self.mode == "penalty":
+            return Fitness(0.0, 0.0, fr, self.weights.efficiency * fr, False)
+        report = simulate_plan(tree, self._stub, self.options)
+        fv = report.validity_fitness()
+        fg = report.goal_fitness(self.problem)
+        overall = (
+            self.weights.validity * fv
+            + self.weights.goal * fg
+            + self.weights.efficiency * fr
+        )
+        return Fitness(fv, fg, fr, overall, report.truncated)

@@ -1,0 +1,110 @@
+"""Ontology resolvability: can the knowledge base serve this workflow?
+
+Enactment resolves every end-user activity to a Service instance (the
+Figure-12/13 frames) through matchmaking; this pass answers the same
+question statically, against a :class:`~repro.ontology.frames.KnowledgeBase`
+through the indexed :class:`~repro.ontology.query.Query` layer, without
+touching the grid:
+
+* ``E501 unresolvable-service`` — no Service instance whose ``Name`` slot
+  matches the activity's service: matchmaking can never succeed.
+* ``W502 capability-mismatch`` — a Service instance exists but its
+  ``Input Data Set`` / ``Output Data Set`` cannot cover the activity's
+  declared data *by classification*.  Data names are case-local (the
+  Figure-10 P3DR2 feeds ``D3`` where the service frame says ``D2``), so
+  the comparison resolves every data name to its ``Classification``
+  through the KB's Data instances (or the caller's *classifications*
+  map) and skips names whose class is unknown — a warning, because a
+  container may still accept the data at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.ontology.builtin import DATA, SERVICE
+from repro.ontology.frames import KnowledgeBase
+from repro.ontology.query import Op, Query
+from repro.process.model import ProcessDescription
+
+__all__ = ["resolvability_findings"]
+
+
+def _classification(
+    kb: KnowledgeBase, classifications: dict[str, str], data: str
+) -> str | None:
+    known = classifications.get(data)
+    if known is not None:
+        return known
+    for instance in Query(DATA).where("Name", Op.EQ, data).run(kb):
+        cls = instance.get("Classification")
+        if cls is not None:
+            return cls
+    return None
+
+
+def _as_names(value: object) -> tuple[str, ...]:
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)  # multi-valued slot
+
+
+def resolvability_findings(
+    pd: ProcessDescription,
+    kb: KnowledgeBase,
+    classifications: dict[str, str] | None = None,
+) -> list[Finding]:
+    classifications = classifications or {}
+    findings: list[Finding] = []
+    for activity in pd.end_user_activities():
+        service = activity.service or activity.name
+        matches = Query(SERVICE).where("Name", Op.EQ, service).run(kb)
+        if not matches:
+            findings.append(
+                Finding(
+                    "E501", activity.name,
+                    f"activity {activity.name!r} requires service "
+                    f"{service!r}, but no Service instance in the "
+                    f"knowledge base offers it",
+                )
+            )
+            continue
+        # Capability check against the declared service frames: every
+        # required data class must be offered by at least one frame slot
+        # entry of the same class.
+        for slot, declared in (
+            ("Input Data Set", activity.inputs),
+            ("Output Data Set", activity.outputs),
+        ):
+            if not declared:
+                continue
+            required: dict[str, str] = {}
+            for data in declared:
+                cls = _classification(kb, classifications, data)
+                if cls is not None:
+                    required[data] = cls
+            if not required:
+                continue
+            offered: set[str] = set()
+            for instance in matches:
+                for data in _as_names(instance.get(slot)):
+                    cls = _classification(kb, classifications, data)
+                    if cls is not None:
+                        offered.add(cls)
+            missing = {
+                data: cls for data, cls in required.items() if cls not in offered
+            }
+            if missing:
+                what = "consume" if slot == "Input Data Set" else "produce"
+                detail = ", ".join(
+                    f"{data} ({cls})" for data, cls in sorted(missing.items())
+                )
+                findings.append(
+                    Finding(
+                        "W502", activity.name,
+                        f"service {service!r} cannot {what} {detail} for "
+                        f"activity {activity.name!r} (not in its {slot})",
+                    )
+                )
+    return findings

@@ -1,0 +1,223 @@
+"""Interval/equality satisfiability for the condition language.
+
+The Section-2 grammar only ever compares ``Data.Property`` against a
+literal, so a conjunction of atoms decomposes per ``(data, property)`` pair
+into one-dimensional constraint sets: equality pins, disequalities and
+order bounds over a totally ordered value domain (numbers, or strings
+under lexicographic order).  That makes satisfiability exact and cheap —
+no solver needed.
+
+Conservativeness contract: every *unsat* verdict here is definite (the
+condition can hold in **no** state); *sat* may over-approximate (``Not``
+parts and exotic value types are treated as unconstrained).  Findings are
+raised only on definite verdicts, so the analyzer never produces a false
+``E201``/``E202`` from this module.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.process.conditions import (
+    TRUE,
+    And,
+    Atom,
+    Condition,
+    Not,
+    Or,
+    Relation,
+)
+
+__all__ = [
+    "atoms_satisfiable",
+    "expand_dnf",
+    "definitely_unsatisfiable",
+    "conditions_overlap",
+    "possibly_true",
+]
+
+#: Give up on DNF expansion past this many disjuncts (conditions in real
+#: process descriptions have a handful of atoms; this bound only guards
+#: pathological inputs).
+_DNF_LIMIT = 64
+
+_ORDER_BOUNDS = {Relation.LT, Relation.LE, Relation.GT, Relation.GE}
+
+
+def _is_num(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _group_satisfiable(constraints: list[tuple[Relation, object]]) -> bool:
+    """Exact feasibility of one property's constraint conjunction.
+
+    The runtime value is a single scalar of one type; we try each candidate
+    domain (numeric, string) and succeed if any admits a value.  Values of
+    the *other* type make ``EQ`` and order atoms definitely false
+    (:meth:`Relation.apply` mixed-type semantics) and ``NE`` atoms
+    definitely true.
+    """
+    if all(rel is Relation.NE for rel, _ in constraints):
+        return True  # a fresh value distinct from every literal exists
+    domains = []
+    if any(_is_num(v) for _, v in constraints):
+        domains.append(_is_num)
+    if any(isinstance(v, str) for _, v in constraints):
+        domains.append(lambda v: isinstance(v, str))
+    if not domains:
+        # Only exotic value types: constrain nothing definite.
+        return True
+    return any(
+        _domain_feasible(constraints, in_domain) for in_domain in domains
+    )
+
+
+def _domain_feasible(constraints, in_domain) -> bool:
+    eqs: list[object] = []
+    nes: list[object] = []
+    lo: tuple[object, bool] | None = None  # (bound, inclusive)
+    hi: tuple[object, bool] | None = None
+    for rel, value in constraints:
+        if not in_domain(value):
+            if rel is Relation.NE:
+                continue  # actual (other-typed) value always differs
+            return False  # EQ/order against an other-typed literal
+        if rel is Relation.EQ:
+            eqs.append(value)
+        elif rel is Relation.NE:
+            nes.append(value)
+        elif rel in (Relation.LT, Relation.LE):
+            inclusive = rel is Relation.LE
+            if hi is None or value < hi[0] or (value == hi[0] and not inclusive):
+                hi = (value, inclusive)
+        else:  # GT / GE
+            inclusive = rel is Relation.GE
+            if lo is None or value > lo[0] or (value == lo[0] and not inclusive):
+                lo = (value, inclusive)
+
+    if eqs:
+        pinned = eqs[0]
+        if any(v != pinned for v in eqs[1:]):
+            return False
+        if any(v == pinned for v in nes):
+            return False
+        if lo is not None and not (
+            pinned >= lo[0] if lo[1] else pinned > lo[0]
+        ):
+            return False
+        if hi is not None and not (
+            pinned <= hi[0] if hi[1] else pinned < hi[0]
+        ):
+            return False
+        return True
+
+    if lo is not None and hi is not None:
+        if lo[0] > hi[0]:
+            return False
+        if lo[0] == hi[0]:
+            if not (lo[1] and hi[1]):
+                return False
+            # Single admissible point; NE may exclude it.
+            return not any(v == lo[0] for v in nes)
+    # A non-degenerate interval (or half-line) over a dense order always
+    # survives finitely many disequalities.
+    return True
+
+
+def atoms_satisfiable(atoms: tuple[Atom, ...]) -> bool:
+    """Exact satisfiability of a conjunction of atoms.
+
+    Atoms over distinct ``(data, property)`` pairs are independent; each
+    group reduces to :func:`_group_satisfiable`.
+    """
+    groups: dict[tuple[str, str], list[tuple[Relation, object]]] = {}
+    for atom in atoms:
+        groups.setdefault((atom.data, atom.property), []).append(
+            (atom.relation, atom.value)
+        )
+    return all(_group_satisfiable(cs) for cs in groups.values())
+
+
+def expand_dnf(cond: Condition) -> list[tuple[Atom, ...]] | None:
+    """Expand *cond* into disjuncts of atom conjunctions.
+
+    Returns None when the condition contains ``Not`` (negation under the
+    missing-property semantics is not a simple relation flip) or the
+    expansion exceeds :data:`_DNF_LIMIT` — callers treat None as "unknown"
+    and stay silent.
+    """
+    if cond is TRUE or isinstance(cond, type(TRUE)):
+        return [()]
+    if isinstance(cond, Atom):
+        return [(cond,)]
+    if isinstance(cond, Not):
+        return None
+    if isinstance(cond, Or):
+        out: list[tuple[Atom, ...]] = []
+        for part in cond.parts:
+            sub = expand_dnf(part)
+            if sub is None:
+                return None
+            out.extend(sub)
+            if len(out) > _DNF_LIMIT:
+                return None
+        return out
+    if isinstance(cond, And):
+        subs = []
+        for part in cond.parts:
+            sub = expand_dnf(part)
+            if sub is None:
+                return None
+            subs.append(sub)
+        total = 1
+        for sub in subs:
+            total *= len(sub)
+            if total > _DNF_LIMIT:
+                return None
+        return [
+            tuple(a for conj in combo for a in conj) for combo in product(*subs)
+        ]
+    return None  # unknown Condition subclass: stay silent
+
+
+def definitely_unsatisfiable(cond: Condition) -> bool:
+    """True only when *cond* provably holds in no state."""
+    dnf = expand_dnf(cond)
+    if dnf is None:
+        return False
+    return all(not atoms_satisfiable(conj) for conj in dnf)
+
+
+def conditions_overlap(a: Condition, b: Condition) -> bool | None:
+    """Can *a* and *b* hold in the same state?  None = cannot tell."""
+    da, db = expand_dnf(a), expand_dnf(b)
+    if da is None or db is None:
+        return None
+    return any(
+        atoms_satisfiable(ca + cb) for ca in da for cb in db
+    )
+
+
+def possibly_true(
+    cond: Condition, possible: dict[tuple[str, str], set]
+) -> bool:
+    """Can *cond* hold in a state drawing each property's value from
+    *possible* (missing key = property never materializes)?
+
+    Over-approximate (atom-wise, ``Not`` assumed satisfiable): a False
+    verdict is definite.  Used by the planner's static pre-filter, whose
+    soundness rests exactly on this one-sidedness.
+    """
+    if cond is TRUE or isinstance(cond, type(TRUE)):
+        return True
+    if isinstance(cond, Atom):
+        values = possible.get((cond.data, cond.property))
+        if not values:
+            return False  # absent property: atom evaluates False
+        apply = cond.relation.apply
+        return any(apply(v, cond.value) for v in values)
+    if isinstance(cond, And):
+        return all(possibly_true(p, possible) for p in cond.parts)
+    if isinstance(cond, Or):
+        return any(possibly_true(p, possible) for p in cond.parts)
+    return True  # Not / unknown: cannot refute

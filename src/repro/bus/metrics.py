@@ -17,7 +17,8 @@ byte-for-byte identical with metrics on or off).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 __all__ = ["LatencyHistogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
 

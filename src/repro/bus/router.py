@@ -31,7 +31,8 @@ message, so migrating onto it preserves event ordering byte-for-byte.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.bus.metrics import MetricsRegistry
 from repro.bus.tracing import MessageTrace

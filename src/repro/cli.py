@@ -172,6 +172,61 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Semantic analysis of a process-description file.
+
+    Exit codes: 0 = clean (or warnings only), 1 = error findings,
+    2 = cannot read/parse the file or its bindings sidecar.
+    """
+    import json
+
+    from repro.analysis import (
+        ProcessBindings,
+        analyze_source,
+        has_errors,
+        load_bindings,
+        render_findings,
+    )
+    from repro.errors import ProcessError
+
+    try:
+        text = open(args.file).read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    bindings = ProcessBindings()
+    if args.bindings:
+        try:
+            bindings = load_bindings(args.bindings)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load bindings {args.bindings}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        findings = analyze_source(text, bindings, name=args.file)
+    except ProcessError as exc:
+        print(f"cannot parse {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "file": args.file,
+                    "findings": [f.to_dict() for f in findings],
+                    "errors": sum(f.severity.value == "error" for f in findings),
+                    "warnings": sum(
+                        f.severity.value == "warning" for f in findings
+                    ),
+                },
+                indent=2,
+            )
+        )
+    elif findings:
+        print(render_findings(findings))
+    else:
+        print(f"OK: {args.file}: no findings")
+    return 1 if has_errors(findings) else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run the many-cases workload with spans on and export the telemetry."""
     import pathlib
@@ -270,6 +325,22 @@ def build_parser() -> argparse.ArgumentParser:
     pv = sub.add_parser("validate", help="validate a process-description file")
     pv.add_argument("file")
 
+    pl = sub.add_parser(
+        "lint", help="semantic analysis of a process-description file"
+    )
+    pl.add_argument("file", help="path to a .process file")
+    pl.add_argument(
+        "--bindings",
+        default=None,
+        help="JSON sidecar with initial data, activity bindings and services",
+    )
+    pl.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+
     pr = sub.add_parser("render", help="write DOT files for Figures 10-11")
     pr.add_argument("--out", default="figures")
 
@@ -301,6 +372,7 @@ _HANDLERS = {
     "ablations": _cmd_ablations,
     "casestudy": _cmd_casestudy,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
     "render": _cmd_render,
     "trace": _cmd_trace,
     "profile": _cmd_profile,

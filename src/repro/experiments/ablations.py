@@ -14,7 +14,7 @@ against simpler search; these drivers supply the missing evidence:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -10,8 +10,10 @@ self-contained and seeded).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -46,13 +48,12 @@ def run_seeds(
     """
     jobs = [(config, problem, int(seed)) for seed in seeds]
     if workers > 1 and len(jobs) > 1:
-        try:
+        # Sandboxed fork etc.: degrade to serial.
+        with contextlib.suppress(Exception):
             from concurrent.futures import ProcessPoolExecutor
 
             with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
                 return list(pool.map(_run_one_seed, jobs))
-        except Exception:  # sandboxed fork etc.: degrade to serial
-            pass
     return [_run_one_seed(job) for job in jobs]
 
 

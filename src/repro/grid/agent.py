@@ -32,7 +32,8 @@ trees.  RPC round-trips are timed into the environment's
 from __future__ import annotations
 
 from types import GeneratorType
-from typing import Any, Generator, Sequence
+from collections.abc import Generator, Sequence
+from typing import Any
 
 from repro.bus.policy import CallPolicy
 from repro.bus.tracing import MessageTrace  # noqa: F401  (re-export, historical home)

@@ -22,7 +22,8 @@ the re-planning experiments need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import GridError, ServiceError
 from repro.grid.agent import Agent

@@ -14,7 +14,7 @@ The environment is substrate only; the Figure-1 core services live in
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.bus.metrics import MetricsRegistry
 from repro.bus.router import Router

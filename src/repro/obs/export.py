@@ -22,7 +22,8 @@ is the schema check the tests (and any downstream pipeline) assert with.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ObservabilityError
 

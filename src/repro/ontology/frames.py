@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import Any
 
 from repro._util import IdGenerator, valid_identifier
 from repro.errors import (
@@ -364,10 +365,9 @@ class KnowledgeBase:
     def instances_of(self, cls: str, direct_only: bool = False) -> list[Instance]:
         """All instances of *cls* (including subclasses unless direct_only)."""
         self.get_class(cls)  # raise on unknown class
+        ids = list(self._by_class.get(cls, ()))
         if direct_only:
-            ids = [i for i in self._by_class.get(cls, ()) if self._instances[i].cls == cls]
-        else:
-            ids = list(self._by_class.get(cls, ()))
+            ids = [i for i in ids if self._instances[i].cls == cls]
         return [self._instances[i] for i in sorted(ids)]
 
     def instances(self) -> Iterator[Instance]:

@@ -12,7 +12,8 @@ from __future__ import annotations
 import enum
 import operator
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from typing import Any
 
 from repro.errors import OntologyError
 from repro.ontology.frames import Instance, KnowledgeBase

@@ -23,7 +23,8 @@ mapping name -> :class:`Condition`.  The case-study registry lives in
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.errors import OntologyError, ProcessStructureError
 from repro.ontology import (

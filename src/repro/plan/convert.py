@@ -24,7 +24,7 @@ round-trip property therefore holds on *normalized* trees
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.errors import ConversionError
 from repro.plan.tree import (
@@ -85,10 +85,11 @@ def ast_to_tree(ast: Node) -> PlanNode:
         # Loop bodies that are sequences become the iterative node's child
         # list, matching Figure 11 where Iterative has children POR,
         # Concurrent, PSF rather than a single Sequential child.
-        if isinstance(body, SequenceNode):
-            children = tuple(ast_to_tree(child) for child in body.children)
-        else:
-            children = (ast_to_tree(body),)
+        children = (
+            tuple(ast_to_tree(child) for child in body.children)
+            if isinstance(body, SequenceNode)
+            else (ast_to_tree(body),)
+        )
         return Controller(ControllerKind.ITERATIVE, children)
     raise ConversionError(f"cannot convert AST node {type(ast).__name__}")
 

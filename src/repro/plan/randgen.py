@@ -13,7 +13,7 @@ bounded by *max_branch* to keep trees plausibly workflow-shaped).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -34,6 +34,12 @@ class GPConfig:
     early_stop: bool = False
     """Stop once some individual reaches fv = fg = 1.0 (not used by the
     Table-2 reproduction, which runs all generations as the paper does)."""
+    static_filter: str = "exact"
+    """Static pre-filter for candidate trees (:mod:`repro.analysis.
+    plan_filter`): ``"exact"`` (default) scores statically-doomed trees
+    without simulating them, bit-identical to full evaluation;
+    ``"penalty"`` short-circuits them to a floor fitness (changes
+    traces); ``"off"`` disables the filter."""
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -52,6 +58,11 @@ class GPConfig:
             raise PlanningError("Smax must be >= 1")
         if self.workers < 0:
             raise PlanningError("workers must be >= 0")
+        if self.static_filter not in ("off", "exact", "penalty"):
+            raise PlanningError(
+                f"static_filter must be 'off', 'exact' or 'penalty', "
+                f"got {self.static_filter!r}"
+            )
 
     def with_(self, **changes) -> "GPConfig":
         """A copy with the given fields replaced (ablation sweeps)."""

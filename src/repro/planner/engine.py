@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import PlanningError
 from repro.plan.tree import PlanNode
@@ -92,6 +92,7 @@ class EvaluationEngine:
         cache_size: int | None = None,
         worker_cache_size: int | None = None,
         evaluator: PlanEvaluator | None = None,
+        static_filter: str = "off",
     ) -> None:
         if evaluator is None:
             if problem is None:
@@ -110,12 +111,31 @@ class EvaluationEngine:
         """LRU bound for each pool worker's local evaluator (None =
         default; 0 disables worker-side caching, used by benchmarks to
         keep repeat rounds honest)."""
+        self._filter = None
+        if static_filter != "off":
+            # Lazy import: keeps repro.analysis (ontology, parser, ...) out
+            # of the planner's import graph unless the filter is used.
+            from repro.analysis.plan_filter import PlanStaticFilter
+
+            self._filter = PlanStaticFilter(
+                evaluator.problem,
+                evaluator.weights,
+                evaluator.smax,
+                evaluator.options,
+                mode=static_filter,
+            )
         self._pool = None
         self.pool_error: str | None = None
         # -- telemetry -- #
         self.batches = 0
         self.eval_time = 0.0  # cumulative wall-time inside evaluate_many
         self.last_batch_time = 0.0
+        self.analysis_rejected = 0
+        """Unique trees scored by the static pre-filter instead of full
+        simulation.  Filtered trees still count as evaluations / cache
+        misses (their structure was scored exactly once, like any other);
+        this counter records how many of those scores skipped the
+        simulator."""
 
     # -- PlanEvaluator-compatible surface ------------------------------------- #
     @property
@@ -154,6 +174,20 @@ class EvaluationEngine:
     def __call__(self, tree: PlanNode) -> Fitness:
         """Single-tree evaluation through the shared cache (serial path —
         sequential callers like the hill climber can't batch)."""
+        if self._filter is not None:
+            evaluator = self.evaluator
+            key = tree.struct_key()
+            cached = evaluator.cache_lookup(key)
+            if cached is not None:
+                evaluator.cache_hits += 1
+                return cached
+            static = self._filter.fitness_for(tree)
+            if static is not None:
+                evaluator.cache_misses += 1
+                evaluator.evaluations += 1
+                self.analysis_rejected += 1
+                evaluator.cache_store(key, static)
+                return static
         return self.evaluator(tree)
 
     # -- batched evaluation ---------------------------------------------------- #
@@ -178,7 +212,24 @@ class EvaluationEngine:
             else:
                 slots.append(i)
 
-        fitnesses = self._dispatch(pending_trees)
+        if self._filter is not None and pending_trees:
+            # Partition: statically-doomed trees get their (exact or
+            # penalty) fitness without simulation; the rest dispatch as
+            # usual.  Order within `pending` is preserved either way.
+            fitnesses: list[Fitness | None] = [None] * len(pending_trees)
+            to_simulate: list[tuple[int, PlanNode]] = []
+            for j, tree in enumerate(pending_trees):
+                static = self._filter.fitness_for(tree)
+                if static is None:
+                    to_simulate.append((j, tree))
+                else:
+                    fitnesses[j] = static
+            self.analysis_rejected += len(pending_trees) - len(to_simulate)
+            simulated = self._dispatch([tree for _, tree in to_simulate])
+            for (j, _), fitness in zip(to_simulate, simulated):
+                fitnesses[j] = fitness
+        else:
+            fitnesses = self._dispatch(pending_trees)
         for (key, slots), fitness in zip(pending.items(), fitnesses):
             evaluator.cache_store(key, fitness)
             for i in slots:

@@ -69,6 +69,13 @@ class PlanningResult:
     generations_run: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    analysis_rejected: int = field(default=0, compare=False)
+    """Unique trees whose fitness came from the static pre-filter
+    (:mod:`repro.analysis.plan_filter`) instead of full simulation.
+    These are counted inside *evaluations* too — the number records
+    avoided simulator work, not extra evaluations.  Excluded from
+    equality (like *eval_time*): it describes how the run was computed,
+    so filter-on and filter-off runs of one seed compare equal."""
     eval_time: float = field(default=0.0, compare=False)
     """Total wall-clock seconds spent in population evaluation."""
 
@@ -138,6 +145,7 @@ class GPPlanner:
                 cfg.simulation,
                 workers=cfg.workers,
                 evaluator=evaluator,
+                static_filter=cfg.static_filter,
             )
         try:
             return self._plan(problem, engine)
@@ -207,6 +215,7 @@ class GPPlanner:
             generations_run=generations_run,
             cache_hits=engine.cache_hits,
             cache_misses=engine.cache_misses,
+            analysis_rejected=getattr(engine, "analysis_rejected", 0),
             eval_time=engine.eval_time,
         )
 

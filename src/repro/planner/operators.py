@@ -14,7 +14,7 @@ Both operators are pure: they never modify their inputs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -13,7 +13,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.errors import PlanningError
 from repro.planner.state import WorldState

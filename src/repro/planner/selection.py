@@ -12,7 +12,7 @@ A generalized tournament size is supported for the ablation studies; size
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -13,7 +13,8 @@ evaluate directly against it.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.process.conditions import MISSING as _MISSING
 from repro.process.conditions import Condition

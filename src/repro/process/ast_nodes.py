@@ -20,7 +20,7 @@ conditions, which plan trees do not carry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ProcessError
 from repro.process.conditions import TRUE, Condition

@@ -24,7 +24,7 @@ Example (the shape of the paper's Figure 10)::
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.errors import ProcessError
 from repro.process.ast_nodes import (

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Protocol
+from collections.abc import Callable, Iterator
+from typing import Any, Protocol
 
 from repro.errors import ConditionError
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import networkx as nx
 

@@ -27,7 +27,7 @@ compilation.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from collections.abc import Callable, Hashable
 
 from repro.process.ast_nodes import ChoiceNode, IterativeNode, Node
 from repro.process.conditions import Condition, compile_condition
@@ -105,7 +105,7 @@ class EnactmentProgram:
         except KeyError:
             # Defer to the process for its richer error message.
             activity = self.process.activity(name)
-            raise KeyError(activity.name)  # pragma: no cover - activity() raises
+            raise KeyError(activity.name) from None  # pragma: no cover
 
     def check(self, node: IterativeNode) -> Callable[..., bool]:
         """The compiled stopping condition of *node* (a node of this

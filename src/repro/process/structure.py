@@ -24,7 +24,7 @@ to the normalized original — a property test in the suite.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.errors import ConversionError
 from repro.process.ast_nodes import (

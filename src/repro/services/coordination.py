@@ -25,8 +25,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from collections.abc import Generator
+from typing import Any
 
+from repro.analysis import Severity, analyze_process
 from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
@@ -128,6 +130,14 @@ class CoordinationService(CoreService):
     #: Compiled enactment programs kept per coordinator (LRU by process
     #: fingerprint); 0 disables the cache and compiles per enactment.
     program_cache_size = 64
+    #: Knowledge base for intake-time service resolvability (E501/W502);
+    #: None skips that pass.
+    knowledge_base = None
+    #: Error codes tolerated at intake: E202 (overlapping Choice guards)
+    #: is an error for a process *author* — branch uniqueness is broken —
+    #: but this machine resolves it deterministically by first-match, so
+    #: enactment proceeds (the finding is still attached to the record).
+    tolerated_findings = frozenset({"E202"})
 
     #: Name of the authentication service used when credentials are set.
     auth_name = WELL_KNOWN["authentication"]
@@ -253,6 +263,32 @@ class CoordinationService(CoreService):
     ) -> Generator[Any, Any, dict[str, Any]]:
         recorder = self.env.spans
         process: ProcessDescription | None = content.get("process")
+        findings = []
+        if process is not None:
+            # Semantic intake gate: user-supplied processes are analyzed
+            # before any enactment work; error findings (minus the
+            # tolerated set) refuse the case with a diagnostic reply.
+            # Planner-produced processes skip this — imperfect plans are
+            # the re-planning loop's job, not intake's.
+            initial = content.get("initial_data")
+            findings = analyze_process(
+                process,
+                kb=self.knowledge_base,
+                initial_data=set(initial) if initial else None,
+            )
+            refused = [
+                f
+                for f in findings
+                if f.severity is Severity.ERROR
+                and f.code not in self.tolerated_findings
+            ]
+            if refused:
+                self.metrics.inc("cases_refused", agent=self.name)
+                raise ServiceError(
+                    f"case {content.get('task', process.name)!r} refused: "
+                    f"process {process.name!r} failed semantic analysis: "
+                    + "; ".join(str(f) for f in refused)
+                )
         if process is None:
             # No process description supplied (the Task's "Need Planning"
             # flag): obtain one from the planning service first — the
@@ -270,6 +306,8 @@ class CoordinationService(CoreService):
         if case_span is not None:
             case_span.name = record.task
         self.records.append(record)
+        for finding in findings:
+            record.log(self.engine.now, "lint", str(finding))
         work: dict[str, float] = dict(content.get("work", {}))
 
         failed_activities: list[str] = []
@@ -319,7 +357,7 @@ class CoordinationService(CoreService):
                     raise ServiceError(
                         f"enactment of {record.task!r} failed at activity "
                         f"{failure.activity!r} and cannot re-plan"
-                    )
+                    ) from failure
                 failed_activities.append(
                     self._planner_activity_name(current, failure.activity)
                 )
@@ -348,7 +386,7 @@ class CoordinationService(CoreService):
             case_span.attrs.update(
                 activities_run=record.activities_run, replans=record.replans
             )
-        return {
+        reply = {
             "status": "completed",
             "data": case.snapshot(),
             "payload_keys": dict(case.payload_keys),
@@ -356,6 +394,9 @@ class CoordinationService(CoreService):
             "replans": record.replans,
             "events": list(record.events),
         }
+        if findings:
+            reply["findings"] = [f.to_dict() for f in findings]
+        return reply
 
     def handle_task_status(self, message: Message):
         """Poll a task's progress/result by name.

@@ -124,6 +124,12 @@ class PlanningService(CoreService):
         )
         wall_started = time.perf_counter() if span is not None else 0.0
         result = GPPlanner(config, rng=self.rng).plan(problem)
+        if result.analysis_rejected:
+            self.metrics.inc(
+                "analysis_rejected",
+                agent=self.name,
+                amount=result.analysis_rejected,
+            )
         plan = result.best_plan
         fitness = result.best_fitness
         repaired_away: tuple[str, ...] = ()
@@ -153,6 +159,7 @@ class PlanningService(CoreService):
             "goal": fitness.goal,
             "solved": fitness.validity == 1.0 and fitness.goal == 1.0,
             "generations": result.generations_run,
+            "analysis_rejected": result.analysis_rejected,
             "repaired_away": list(repaired_away),
         }
 

@@ -20,7 +20,8 @@ Tasks can be submitted straight from frame instances via
 
 from __future__ import annotations
 
-from typing import Any, Generator, Mapping
+from collections.abc import Generator, Mapping
+from typing import Any
 
 from repro.bus.policy import CallPolicy
 from repro.errors import ServiceError

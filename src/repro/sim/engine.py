@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import heapq
 from types import GeneratorType
-from typing import Any, Callable, Generator, Iterable
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 from repro.errors import SimulationError
 

@@ -14,7 +14,7 @@ experiments (DESIGN.md A5) need controllable failure injection:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -77,10 +77,9 @@ def resolution_angstroms(
         return pixel_size / max(centers[0], 1e-6)
     x0, x1 = centers[first - 1], centers[first]
     y0, y1 = fsc[first - 1], fsc[first]
-    if y0 == y1:
-        crossing = x1
-    else:
-        crossing = x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
+    crossing = (
+        x1 if y0 == y1 else x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
+    )
     crossing = max(crossing, 1e-6)
     return float(pixel_size / crossing)
 

@@ -1,0 +1,99 @@
+"""``repro-grid lint``: exit codes, text and JSON output, sidecars."""
+
+import json
+
+from repro.cli import main
+
+CLEAN = "BEGIN; A1; A2; END"
+DEAD_GUARD = (
+    "BEGIN; {CHOICE {COND D1.Value > 8 and D1.Value < 3} {A} {COND true} {B} "
+    "MERGE}; END"
+)
+
+
+def lint(tmp_path, text, *args, name="wf.process"):
+    path = tmp_path / name
+    path.write_text(text)
+    return main(["lint", str(path), *args]), str(path)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    code, path = lint(tmp_path, CLEAN)
+    assert code == 0
+    assert f"OK: {path}: no findings" in capsys.readouterr().out
+
+
+def test_error_findings_exit_one(tmp_path, capsys):
+    code, _ = lint(tmp_path, DEAD_GUARD)
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "E201" in out and "can never hold" in out
+
+
+def test_warning_only_exits_zero(tmp_path, capsys):
+    sidecar = tmp_path / "wf.json"
+    sidecar.write_text(
+        json.dumps(
+            {
+                "initial_data": [],
+                "activities": {
+                    "A1": {"outputs": ["D8"]},
+                    "A2": {"outputs": ["D8"]},
+                },
+            }
+        )
+    )
+    code, _ = lint(tmp_path, CLEAN, "--bindings", str(sidecar))
+    assert code == 0
+    assert "W402" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    code, path = lint(tmp_path, DEAD_GUARD, "--format", "json")
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["file"] == path
+    assert doc["errors"] == 1 and doc["warnings"] == 0
+    (finding,) = doc["findings"]
+    assert finding["code"] == "E201"
+    assert finding["name"] == "unsatisfiable-choice"
+    assert finding["severity"] == "error"
+
+
+def test_unreadable_file_exits_two(capsys):
+    assert main(["lint", "/no/such/file.process"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_unparsable_file_exits_two(tmp_path, capsys):
+    code, _ = lint(tmp_path, "BEGIN; {FORK {A} JOIN")  # unbalanced
+    assert code == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_bad_bindings_exit_two(tmp_path, capsys):
+    sidecar = tmp_path / "wf.json"
+    sidecar.write_text("{not json")
+    code, _ = lint(tmp_path, CLEAN, "--bindings", str(sidecar))
+    assert code == 2
+    assert "cannot load bindings" in capsys.readouterr().err
+
+
+def test_bindings_wake_up_semantic_passes(tmp_path, capsys):
+    sidecar = tmp_path / "wf.json"
+    sidecar.write_text(
+        json.dumps(
+            {
+                "initial_data": ["D1"],
+                "activities": {
+                    "A1": {"service": "POD", "inputs": ["D1"], "outputs": ["D8"]},
+                    "A2": {"inputs": ["D8"]},
+                },
+                "services": [{"name": "OTHER"}, {"name": "A2"}],
+            }
+        )
+    )
+    code, _ = lint(tmp_path, CLEAN, "--bindings", str(sidecar), "--format", "json")
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert [f["code"] for f in doc["findings"]] == ["E501"]

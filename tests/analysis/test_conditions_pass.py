@@ -1,0 +1,77 @@
+"""Choice-guard satisfiability findings (E201 / E202)."""
+
+from repro.analysis import condition_findings
+from repro.process.conditions import TRUE, Not
+from repro.process.model import ActivityKind, ProcessDescription
+from repro.process.parser import parse_condition
+
+
+def choice(*branches):
+    """BEGIN -> CHOICE with one (condition, id) branch per argument, all
+    merging -> END.  ``condition`` may be None (default arm) or text."""
+    pd = ProcessDescription("choice")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("C", ActivityKind.CHOICE)
+    pd.add("M", ActivityKind.MERGE)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "C")
+    for i, (condition, tid) in enumerate(branches):
+        name = f"A{i}"
+        pd.add(name, ActivityKind.END_USER)
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        pd.connect("C", name, condition, id=tid)
+        pd.connect(name, "M")
+    pd.connect("M", "End")
+    return pd
+
+
+def codes(findings):
+    return sorted((f.code, f.locus) for f in findings)
+
+
+def test_unsatisfiable_guard_flagged():
+    pd = choice(("D1.Value > 8 and D1.Value < 3", "t-dead"), (None, "t-else"))
+    assert codes(condition_findings(pd)) == [("E201", "t-dead")]
+
+
+def test_disjoint_guards_are_clean():
+    pd = choice(("D1.Value > 5", "t-hi"), ("D1.Value < 0", "t-lo"))
+    assert condition_findings(pd) == []
+
+
+def test_overlapping_guards_flagged_on_second():
+    pd = choice(("D1.Value > 0", "t-a"), ("D1.Value > 5", "t-b"))
+    assert codes(condition_findings(pd)) == [("E202", "t-b")]
+
+
+def test_default_arms_exempt_from_overlap():
+    # The planner emits literal-true guards on selective branches; neither
+    # None nor TRUE arms participate in the overlap check.
+    pd = choice(("D1.Value > 0", "t-a"), (TRUE, "t-true"), (None, "t-none"))
+    assert condition_findings(pd) == []
+
+
+def test_identical_guards_overlap():
+    pd = choice(("D1.Value > 0", "t-a"), ("D1.Value > 0", "t-b"))
+    assert codes(condition_findings(pd)) == [("E202", "t-b")]
+
+
+def test_not_guards_stay_silent():
+    # Negation is outside the exact fragment: no verdict, no finding.
+    pd = choice(
+        (Not(parse_condition("D1.Value > 0")), "t-not"),
+        ("D1.Value > 0", "t-pos"),
+    )
+    assert condition_findings(pd) == []
+
+
+def test_conditions_on_non_choice_ignored_here():
+    # E103 is the structural pass's job; this pass only reads Choices.
+    pd = ProcessDescription("stray")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("A", ActivityKind.END_USER)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "A", parse_condition("D1.Value > 8 and D1.Value < 3"))
+    pd.connect("A", "End")
+    assert condition_findings(pd) == []

@@ -1,0 +1,92 @@
+"""Defect corpus: one minimal process per finding code, exact loci.
+
+Each fixture under ``corpus/`` is either a Section-2 ``.process`` file
+with a ``.json`` bindings sidecar (semantic codes) or a ``.graph.json``
+explicit-graph document (structural codes the language cannot express).
+The fixture's ``expect`` list is the *complete* expected finding set —
+asserting equality both ways guards against missed detections and false
+positives.  A second test proves every shipped example/figure process is
+finding-free.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FINDING_CODES,
+    analyze_process,
+    analyze_source,
+    load_bindings,
+    process_from_graph,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+GRAPH_FIXTURES = sorted(CORPUS.glob("*.graph.json"))
+PROCESS_FIXTURES = sorted(CORPUS.glob("*.process"))
+
+
+def _findings_for(path: Path):
+    if path.suffix == ".process":
+        bindings = load_bindings(path.with_suffix(".json"))
+        findings = analyze_source(path.read_text(), bindings, name=path.stem)
+        expect = bindings.expect
+    else:
+        doc = json.loads(path.read_text())
+        findings = analyze_process(process_from_graph(doc))
+        expect = tuple(doc.get("expect") or ())
+    return findings, expect
+
+
+@pytest.mark.parametrize(
+    "path", GRAPH_FIXTURES + PROCESS_FIXTURES, ids=lambda p: p.stem
+)
+def test_fixture_findings_exact(path):
+    findings, expect = _findings_for(path)
+    got = sorted((f.code, f.locus) for f in findings)
+    want = sorted((e["code"], e["locus"]) for e in expect)
+    assert got == want, "\n".join(str(f) for f in findings)
+
+
+def test_corpus_demonstrates_every_code():
+    """Every code in the vocabulary has at least one corpus witness."""
+    covered = set()
+    for path in GRAPH_FIXTURES + PROCESS_FIXTURES:
+        _, expect = _findings_for(path)
+        covered.update(e["code"] for e in expect)
+    assert covered == set(FINDING_CODES)
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(REPO.glob("examples/processes/*.process"))
+    + sorted(REPO.glob("figures/*.process")),
+    ids=lambda p: p.stem,
+)
+def test_shipped_processes_are_clean(path):
+    """Zero false positives on every process description we ship."""
+    sidecar = path.with_suffix(".bindings.json")
+    bindings = load_bindings(sidecar) if sidecar.exists() else None
+    findings = analyze_source(path.read_text(), bindings, name=path.stem)
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_figure10_case_study_is_clean():
+    """The in-code Figure-10 workflow passes the full pass set (with KB)."""
+    from repro.virolab import (
+        DATA_CLASSIFICATIONS,
+        INITIAL_DATA,
+        case_study_kb,
+        process_description,
+    )
+
+    findings = analyze_process(
+        process_description(),
+        kb=case_study_kb(),
+        initial_data=set(INITIAL_DATA),
+        classifications=DATA_CLASSIFICATIONS,
+    )
+    assert findings == [], "\n".join(str(f) for f in findings)

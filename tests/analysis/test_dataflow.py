@@ -1,0 +1,172 @@
+"""Def/use dataflow: E401 / W402 / E301 on hand-built graphs."""
+
+from repro.analysis import dataflow_findings
+from repro.analysis.dataflow import bindings_known, natural_loop_body
+from repro.process.model import ActivityKind, ProcessDescription
+from repro.process.parser import parse_condition
+
+
+def chain(*specs):
+    """BEGIN -> end-user activities (name, inputs, outputs) -> END."""
+    pd = ProcessDescription("chain")
+    pd.add("Begin", ActivityKind.BEGIN)
+    prev = "Begin"
+    for name, inputs, outputs in specs:
+        pd.add(name, ActivityKind.END_USER, None, inputs, outputs)
+        pd.connect(prev, name)
+        prev = name
+    pd.add("End", ActivityKind.END)
+    pd.connect(prev, "End")
+    return pd
+
+
+def codes(findings):
+    return sorted((f.code, f.locus) for f in findings)
+
+
+def test_silent_without_bindings():
+    pd = chain(("A", (), ()), ("B", (), ()))
+    assert not bindings_known(pd)
+    assert dataflow_findings(pd) == []
+
+
+def test_never_written_data_presumed_initial():
+    pd = chain(("A", ("D1",), ("D8",)))
+    assert dataflow_findings(pd) == []  # D1 arrives with the case
+
+
+def test_explicit_initial_data_makes_presumption_checkable():
+    pd = chain(("A", ("D1",), ("D8",)))
+    assert codes(dataflow_findings(pd, initial_data=set())) == [("E401", "A")]
+    assert dataflow_findings(pd, initial_data={"D1"}) == []
+
+
+def test_e401_read_before_any_definition():
+    pd = chain(("A", (), ("D8",)), ("B", ("D9",), ()))
+    assert codes(dataflow_findings(pd, initial_data=set())) == [("E401", "B")]
+
+
+def test_accumulator_self_write_is_exempt():
+    # The read-modify-write idiom: B initializes-or-refines its own output.
+    pd = chain(("A", (), ("D8",)), ("B", ("model",), ("model",)))
+    assert dataflow_findings(pd, initial_data=set()) == []
+
+
+def test_choice_guard_read_is_a_use():
+    pd = ProcessDescription("guard")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("C", ActivityKind.CHOICE)
+    pd.add("A", ActivityKind.END_USER, None, (), ("D8",))
+    pd.add("Z", ActivityKind.END_USER)
+    pd.add("M", ActivityKind.MERGE)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "C")
+    pd.connect("C", "A", parse_condition("D9.Value > 0"))
+    pd.connect("C", "Z")
+    pd.connect("A", "M")
+    pd.connect("Z", "M")
+    pd.connect("M", "End")
+    findings = dataflow_findings(pd, initial_data=set())
+    assert codes(findings) == [("E401", "C")]
+    assert "guard of Choice" in findings[0].message
+
+
+def fork_join(a_outputs, b_outputs, reader_inputs):
+    pd = ProcessDescription("fj")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("F", ActivityKind.FORK)
+    pd.add("A", ActivityKind.END_USER, None, (), a_outputs)
+    pd.add("B", ActivityKind.END_USER, None, (), b_outputs)
+    pd.add("J", ActivityKind.JOIN)
+    pd.add("R", ActivityKind.END_USER, None, reader_inputs, ())
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "F")
+    pd.connect("F", "A")
+    pd.connect("F", "B")
+    pd.connect("A", "J")
+    pd.connect("B", "J")
+    pd.connect("J", "R")
+    pd.connect("R", "End")
+    return pd
+
+
+def test_join_unions_branch_definitions():
+    # Both branches run, so the reader sees the union of their outputs.
+    pd = fork_join(("D8",), ("D9",), ("D8", "D9"))
+    assert dataflow_findings(pd, initial_data=set()) == []
+
+
+def choice_merge(then_outputs, else_outputs, reader_inputs, then_inputs=()):
+    pd = ProcessDescription("cm")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("S", ActivityKind.END_USER, None, (), ("D0",))
+    pd.add("C", ActivityKind.CHOICE)
+    pd.add("A", ActivityKind.END_USER, None, then_inputs, then_outputs)
+    pd.add("B", ActivityKind.END_USER, None, (), else_outputs)
+    pd.add("M", ActivityKind.MERGE)
+    pd.add("R", ActivityKind.END_USER, None, reader_inputs, ())
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "S")
+    pd.connect("S", "C")
+    pd.connect("C", "A", parse_condition("D0.Value > 0"))
+    pd.connect("C", "B")
+    pd.connect("A", "M")
+    pd.connect("B", "M")
+    pd.connect("M", "R")
+    pd.connect("R", "End")
+    return pd
+
+
+def test_merge_intersects_branch_definitions():
+    # Only one arm runs: a read defined on one arm alone is an E401.
+    pd = choice_merge(("D8",), ("D9",), ("D8",))
+    assert codes(dataflow_findings(pd, initial_data=set())) == [("E401", "R")]
+    both = choice_merge(("D8",), ("D8",), ("D8",))
+    assert dataflow_findings(both, initial_data=set()) == []
+
+
+def test_w402_definition_clobbered_before_read():
+    pd = chain(("A", (), ("D8",)), ("B", (), ("D8",)))
+    assert codes(dataflow_findings(pd, initial_data=set())) == [("W402", "A")]
+
+
+def test_definition_surviving_to_end_is_a_product():
+    pd = chain(("A", (), ("D8",)))
+    assert dataflow_findings(pd, initial_data=set()) == []
+
+
+def test_read_on_one_path_keeps_definition_alive():
+    # The Choice's then-arm reads D8; the definition is not dead even
+    # though the else-arm clobbers it.
+    pd = choice_merge((), ("D0",), (), then_inputs=("D0",))
+    assert dataflow_findings(pd, initial_data=set()) == []
+
+
+def loop_process(body_outputs, condition_text):
+    pd = ProcessDescription("loop")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("M", ActivityKind.MERGE)
+    pd.add("A", ActivityKind.END_USER, None, (), body_outputs)
+    pd.add("C", ActivityKind.CHOICE)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "M")
+    pd.connect("M", "A")
+    pd.connect("A", "C")
+    pd.connect("C", "M", parse_condition(condition_text), id="t-back")
+    pd.connect("C", "End")
+    return pd
+
+
+def test_e301_loop_invariant_condition():
+    pd = loop_process(("D2",), "D9.Value > 8")
+    assert codes(dataflow_findings(pd)) == [("E301", "t-back")]
+
+
+def test_loop_condition_fed_by_body_is_fine():
+    pd = loop_process(("D9",), "D9.Value > 8")
+    assert dataflow_findings(pd) == []
+
+
+def test_natural_loop_body():
+    pd = loop_process(("D2",), "D9.Value > 8")
+    assert natural_loop_body(pd, "C", "M") == {"M", "A", "C"}

@@ -1,0 +1,119 @@
+"""Static GP pre-filter: sound doomed verdicts, bit-identical fitness."""
+
+import pytest
+
+from repro.analysis import PlanStaticFilter
+from repro.analysis.plan_filter import terminal_names
+from repro.plan import sequential, terminal
+from repro.planner import EvaluationEngine, GPConfig, GPPlanner
+from repro.planner.fitness import FitnessWeights, evaluate_tree
+from repro.planner.simulate import SimulationOptions
+from repro.virolab import planning_problem
+
+SMAX = 40
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return planning_problem()
+
+
+@pytest.fixture(scope="module")
+def filt(problem):
+    return PlanStaticFilter(
+        problem, FitnessWeights(), SMAX, SimulationOptions(), mode="exact"
+    )
+
+
+def test_terminal_names():
+    tree = sequential("POD", sequential("P3DR1", "POD"), terminal("POR"))
+    assert terminal_names(tree) == {"POD", "P3DR1", "POR"}
+
+
+def test_unknown_activity_only_is_doomed(filt):
+    assert filt.doomed(terminal("NOPE"))
+
+
+def test_downstream_only_activity_is_doomed(filt):
+    # POR needs a 3D model no terminal in the set can produce: the closure
+    # never validates it, whatever the controller structure.
+    assert filt.doomed(sequential("POR", "POR"))
+    assert filt.doomed(sequential("PSF", "POR"))
+
+
+def test_producer_chain_is_not_doomed(filt):
+    # POD is applicable in Sinit; POD -> P3DR -> POR becomes reachable.
+    assert not filt.doomed(terminal("POD"))
+    assert not filt.doomed(sequential("POD", "P3DR1", "POR"))
+
+
+def test_one_viable_terminal_saves_the_tree(filt):
+    # Soundness: a tree is doomed only if NO terminal can ever fire.
+    assert not filt.doomed(sequential("POR", "POD"))
+
+
+def test_exact_mode_matches_full_evaluation(problem, filt):
+    weights, options = FitnessWeights(), SimulationOptions()
+    for tree in (
+        terminal("NOPE"),
+        sequential("POR", "PSF"),
+        sequential("PSF", sequential("POR", "POR")),
+    ):
+        static = filt.fitness_for(tree)
+        assert static is not None
+        real = evaluate_tree(tree, problem, weights, SMAX, options)
+        assert static == real  # bit-identical, not approximately
+
+
+def test_viable_tree_returns_none(filt):
+    assert filt.fitness_for(terminal("POD")) is None
+
+
+def test_off_mode_never_dooms(problem):
+    off = PlanStaticFilter(
+        problem, FitnessWeights(), SMAX, SimulationOptions(), mode="off"
+    )
+    assert not off.doomed(terminal("NOPE"))
+
+
+def test_penalty_mode_floors_fitness(problem):
+    pen = PlanStaticFilter(
+        problem, FitnessWeights(), SMAX, SimulationOptions(), mode="penalty"
+    )
+    fitness = pen.fitness_for(sequential("POR", "POR"))
+    assert fitness.validity == 0.0 and fitness.goal == 0.0
+
+
+def test_bad_mode_rejected(problem):
+    with pytest.raises(ValueError):
+        PlanStaticFilter(
+            problem, FitnessWeights(), SMAX, SimulationOptions(), mode="maybe"
+        )
+
+
+def test_engine_counters_track_filtered_trees(problem):
+    engine = EvaluationEngine(problem, static_filter="exact")
+    doomed = sequential("POR", "POR")
+    viable = terminal("POD")
+    engine.evaluate_many([doomed, viable, doomed])
+    assert engine.analysis_rejected == 1  # one unique doomed structure
+    assert engine.evaluations == engine.cache_misses == 2
+    assert engine.cache_hits == 1
+    # Serial path: cached on repeat, filtered when new.
+    engine(doomed)
+    assert engine.cache_hits == 2
+    assert engine.analysis_rejected == 1
+
+
+def test_gp_run_identical_with_exact_filter(problem):
+    results = {}
+    for mode in ("off", "exact"):
+        cfg = GPConfig(population_size=30, generations=4, static_filter=mode)
+        results[mode] = GPPlanner(cfg, rng=3).plan(problem)
+    off, exact = results["off"], results["exact"]
+    assert exact.best_fitness == off.best_fitness
+    assert exact.best_plan.struct_key() == off.best_plan.struct_key()
+    assert exact.history == off.history
+    assert exact.evaluations == off.evaluations
+    assert exact.analysis_rejected > 0
+    assert off.analysis_rejected == 0

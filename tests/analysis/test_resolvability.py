@@ -1,0 +1,107 @@
+"""Ontology resolvability (E501 / W502) against a minimal KB."""
+
+from repro.analysis import resolvability_findings
+from repro.ontology.builtin import DATA, SERVICE, builtin_shell
+from repro.process.model import ActivityKind, ProcessDescription
+
+
+def kb_with(services, data=()):
+    kb = builtin_shell("test")
+    for name, inputs, outputs in services:
+        kb.new_instance(
+            SERVICE,
+            {
+                "Name": name,
+                "Type": "End-user",
+                "Input Data Set": list(inputs),
+                "Output Data Set": list(outputs),
+            },
+            id=f"SVC-{name}",
+        )
+    for name, classification in data:
+        kb.new_instance(
+            DATA, {"Name": name, "Classification": classification}, id=f"DATA-{name}"
+        )
+    return kb
+
+
+def one_activity(service, inputs=(), outputs=()):
+    pd = ProcessDescription("one")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("A1", ActivityKind.END_USER, service, inputs, outputs)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "A1")
+    pd.connect("A1", "End")
+    return pd
+
+
+def codes(findings):
+    return sorted((f.code, f.locus) for f in findings)
+
+
+def test_unknown_service_is_e501():
+    pd = one_activity("POD")
+    kb = kb_with([("OTHER", (), ())])
+    assert codes(resolvability_findings(pd, kb)) == [("E501", "A1")]
+
+
+def test_resolvable_service_is_clean():
+    pd = one_activity("POD")
+    kb = kb_with([("POD", (), ())])
+    assert resolvability_findings(pd, kb) == []
+
+
+def test_service_defaults_to_activity_name():
+    pd = one_activity(None)
+    kb = kb_with([("A1", (), ())])
+    assert resolvability_findings(pd, kb) == []
+
+
+def test_capability_mismatch_by_classification():
+    # Data names are case-local: the comparison resolves each name to its
+    # Classification, so D1 (2D Image) vs X1 (Parameter) is a mismatch
+    # even though the service resolves.
+    pd = one_activity("POD", inputs=("D1",), outputs=("D8",))
+    kb = kb_with(
+        [("POD", ("X1",), ("D8",))],
+        data=[("D1", "2D Image"), ("X1", "Parameter"), ("D8", "3D Model")],
+    )
+    findings = resolvability_findings(pd, kb)
+    assert codes(findings) == [("W502", "A1")]
+    assert "cannot consume" in findings[0].message
+
+
+def test_same_class_under_different_names_matches():
+    # Figure 10's P3DR2 feeds D3 where the service frame says D2 — same
+    # Classification, so no finding.
+    pd = one_activity("P3DR", inputs=("D3",))
+    kb = kb_with(
+        [("P3DR", ("D2",), ())],
+        data=[("D2", "P3DR-Parameter"), ("D3", "P3DR-Parameter")],
+    )
+    assert resolvability_findings(pd, kb) == []
+
+
+def test_classifications_map_overrides_kb():
+    pd = one_activity("POD", inputs=("D1",))
+    kb = kb_with([("POD", ("X1",), ())])
+    findings = resolvability_findings(
+        pd, kb, classifications={"D1": "2D Image", "X1": "2D Image"}
+    )
+    assert findings == []
+
+
+def test_unknown_classification_skipped():
+    # Neither the KB nor the caller knows D1's class: stay silent rather
+    # than guessing (a container may still accept it at runtime).
+    pd = one_activity("POD", inputs=("D1",))
+    kb = kb_with([("POD", ("X1",), ())])
+    assert resolvability_findings(pd, kb) == []
+
+
+def test_missing_output_capability():
+    pd = one_activity("POD", outputs=("D8",))
+    kb = kb_with([("POD", (), ())], data=[("D8", "3D Model")])
+    findings = resolvability_findings(pd, kb)
+    assert codes(findings) == [("W502", "A1")]
+    assert "cannot produce" in findings[0].message

@@ -1,0 +1,50 @@
+"""Parser <-> unparse round-trip over the corpus and shipped workflows.
+
+The AST nodes are frozen dataclasses, so ``parse(unparse(ast)) == ast``
+is checkable exactly: unparsing loses nothing the parser can see, and a
+second round trip is a fixed point.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.process.parser import parse_process
+from repro.process.structure import ast_to_process, process_to_ast
+from repro.process.unparse import unparse, unparse_pretty
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+PROCESS_FILES = (
+    sorted(CORPUS.glob("*.process"))
+    + sorted(REPO.glob("examples/processes/*.process"))
+    + sorted(REPO.glob("figures/*.process"))
+)
+
+
+@pytest.mark.parametrize("path", PROCESS_FILES, ids=lambda p: p.stem)
+def test_parse_unparse_fixed_point(path):
+    ast = parse_process(path.read_text())
+    text = unparse(ast)
+    again = parse_process(text)
+    assert again == ast
+    assert unparse(again) == text
+
+
+@pytest.mark.parametrize("path", PROCESS_FILES, ids=lambda p: p.stem)
+def test_pretty_form_parses_back(path):
+    ast = parse_process(path.read_text())
+    assert parse_process(unparse_pretty(ast)) == ast
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(REPO.glob("examples/processes/*.process"))
+    + sorted(REPO.glob("figures/*.process")),
+    ids=lambda p: p.stem,
+)
+def test_graph_roundtrip_preserves_structure(path):
+    # AST -> ATN graph -> AST is also lossless for well-structured files.
+    ast = parse_process(path.read_text())
+    assert process_to_ast(ast_to_process(ast, name=path.stem)) == ast

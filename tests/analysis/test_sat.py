@@ -1,0 +1,129 @@
+"""Exact 1-D satisfiability over the condition language."""
+
+from repro.analysis.sat import (
+    atoms_satisfiable,
+    conditions_overlap,
+    definitely_unsatisfiable,
+    expand_dnf,
+    possibly_true,
+)
+from repro.process.conditions import TRUE, And, Atom, Not, Or, Relation
+from repro.process.parser import parse_condition
+
+
+def atom(rel, value, data="D1", prop="Value"):
+    return Atom(data, prop, rel, value)
+
+
+class TestAtomsSatisfiable:
+    def test_empty_interval_is_unsat(self):
+        assert not atoms_satisfiable((atom(Relation.GT, 8), atom(Relation.LT, 3)))
+
+    def test_touching_bounds_need_both_inclusive(self):
+        assert atoms_satisfiable((atom(Relation.GE, 5), atom(Relation.LE, 5)))
+        assert not atoms_satisfiable((atom(Relation.GE, 5), atom(Relation.LT, 5)))
+
+    def test_single_point_excluded_by_ne(self):
+        assert not atoms_satisfiable(
+            (atom(Relation.GE, 5), atom(Relation.LE, 5), atom(Relation.NE, 5))
+        )
+
+    def test_dense_order_survives_finite_disequalities(self):
+        assert atoms_satisfiable(
+            (atom(Relation.GT, 0), atom(Relation.LT, 1), atom(Relation.NE, 0.5))
+        )
+
+    def test_conflicting_equalities(self):
+        assert not atoms_satisfiable((atom(Relation.EQ, 3), atom(Relation.EQ, 4)))
+
+    def test_pin_outside_bounds(self):
+        assert not atoms_satisfiable((atom(Relation.EQ, 3), atom(Relation.GT, 8)))
+        assert atoms_satisfiable((atom(Relation.EQ, 9), atom(Relation.GT, 8)))
+
+    def test_mixed_type_equality_conjunction_is_unsat(self):
+        # One scalar cannot be both the string "x" and the number 3.
+        assert not atoms_satisfiable((atom(Relation.EQ, "x"), atom(Relation.EQ, 3)))
+
+    def test_ne_against_other_type_is_free(self):
+        assert atoms_satisfiable((atom(Relation.EQ, "x"), atom(Relation.NE, 3)))
+
+    def test_ne_only_constraints_always_sat(self):
+        assert atoms_satisfiable((atom(Relation.NE, 1), atom(Relation.NE, 2)))
+
+    def test_string_ordering(self):
+        assert atoms_satisfiable((atom(Relation.GT, "a"), atom(Relation.LT, "b")))
+        assert not atoms_satisfiable((atom(Relation.GT, "b"), atom(Relation.LT, "a")))
+
+    def test_independent_properties_do_not_interact(self):
+        assert atoms_satisfiable(
+            (
+                atom(Relation.GT, 8, prop="Value"),
+                atom(Relation.LT, 3, prop="Size"),
+            )
+        )
+
+
+class TestExpandDnf:
+    def test_true_and_atom(self):
+        assert expand_dnf(TRUE) == [()]
+        a = atom(Relation.EQ, 1)
+        assert expand_dnf(a) == [(a,)]
+
+    def test_not_is_unknown(self):
+        assert expand_dnf(Not(atom(Relation.EQ, 1))) is None
+        assert expand_dnf(And((atom(Relation.EQ, 1), Not(atom(Relation.EQ, 2))))) is None
+
+    def test_and_over_or_distributes(self):
+        a, b, c = (atom(Relation.EQ, v) for v in (1, 2, 3))
+        dnf = expand_dnf(And((Or((a, b)), c)))
+        assert dnf == [(a, c), (b, c)]
+
+    def test_blowup_capped(self):
+        pair = Or((atom(Relation.EQ, 0), atom(Relation.EQ, 1)))
+        wide = And(tuple(pair for _ in range(8)))  # 2^8 disjuncts > cap
+        assert expand_dnf(wide) is None
+
+
+class TestVerdicts:
+    def test_definitely_unsatisfiable_is_definite(self):
+        cond = parse_condition("D1.Value > 8 and D1.Value < 3")
+        assert definitely_unsatisfiable(cond)
+
+    def test_satisfiable_condition_not_flagged(self):
+        assert not definitely_unsatisfiable(parse_condition("D1.Value > 8"))
+
+    def test_not_never_flagged(self):
+        assert not definitely_unsatisfiable(
+            Not(parse_condition("D1.Value > 8 and D1.Value < 3"))
+        )
+
+    def test_overlap(self):
+        a = parse_condition("D1.Value > 0")
+        b = parse_condition("D1.Value > 5")
+        c = parse_condition("D1.Value < 0")
+        assert conditions_overlap(a, b) is True
+        assert conditions_overlap(a, c) is False
+
+    def test_overlap_unknown_with_not(self):
+        a = parse_condition("D1.Value > 0")
+        assert conditions_overlap(a, Not(a)) is None
+
+
+class TestPossiblyTrue:
+    def test_missing_property_is_definitely_false(self):
+        assert not possibly_true(atom(Relation.EQ, 1), {})
+
+    def test_value_set_membership(self):
+        possible = {("D1", "Value"): {3, 9}}
+        assert possibly_true(atom(Relation.GT, 8), possible)
+        assert not possibly_true(atom(Relation.GT, 10), possible)
+
+    def test_and_or_combine(self):
+        possible = {("D1", "Value"): {3}, ("D2", "Value"): {7}}
+        both = And((atom(Relation.EQ, 3), atom(Relation.EQ, 7, data="D2")))
+        assert possibly_true(both, possible)
+        either = Or((atom(Relation.EQ, 99), atom(Relation.EQ, 7, data="D2")))
+        assert possibly_true(either, possible)
+
+    def test_not_cannot_be_refuted(self):
+        assert possibly_true(Not(atom(Relation.EQ, 1)), {})

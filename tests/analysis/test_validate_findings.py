@@ -1,0 +1,68 @@
+"""Structural validation as Findings: edge cases beyond the degree rules."""
+
+from repro.analysis import Severity
+from repro.process import check_process
+from repro.process.model import ActivityKind, ProcessDescription
+from repro.process.parser import parse_condition, parse_process
+from repro.process.structure import ast_to_process
+from repro.process.validate import check_process_findings
+
+
+def codes(findings):
+    return sorted((f.code, f.locus) for f in findings)
+
+
+def test_condition_on_non_choice_transition_is_e103():
+    pd = ProcessDescription("stray-guard")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("A", ActivityKind.END_USER)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "A", parse_condition("D1.Value > 0"), id="t-bad")
+    pd.connect("A", "End")
+    findings = check_process_findings(pd)
+    assert codes(findings) == [("E103", "t-bad")]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_disconnected_component_found_from_both_ends():
+    # A1 -> A2 floats free: unreachable from Begin (W101) and, because the
+    # reachability checks are independent, also unable to reach End (E105).
+    pd = ProcessDescription("island")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("A", ActivityKind.END_USER)
+    pd.add("End", ActivityKind.END)
+    pd.connect("Begin", "A")
+    pd.connect("A", "End")
+    pd.add("X1", ActivityKind.END_USER)
+    pd.add("X2", ActivityKind.END_USER)
+    pd.connect("X1", "X2")
+    pd.connect("X2", "X1")
+    findings = check_process_findings(pd)
+    assert codes(findings) == [
+        ("E105", "X1"),
+        ("E105", "X2"),
+        ("W101", "X1"),
+        ("W101", "X2"),
+    ]
+
+
+def test_nested_fork_in_iterative_is_well_structured():
+    # Figure 10's shape: a FORK block inside a do-while loop body.
+    ast = parse_process(
+        "BEGIN; A; {ITERATIVE {COND D12.Value > 8} "
+        "{B; {FORK {C1} {C2} JOIN}; D}}; END"
+    )
+    pd = ast_to_process(ast, name="nested")
+    assert check_process_findings(pd) == []
+
+
+def test_string_shim_renders_findings():
+    pd = ProcessDescription("no-end")
+    pd.add("Begin", ActivityKind.BEGIN)
+    pd.add("A", ActivityKind.END_USER)
+    pd.connect("Begin", "A")
+    strings = check_process(pd)
+    assert strings == [
+        str(f) for f in check_process_findings(pd)
+    ]
+    assert any(s.startswith("E101 error") for s in strings)

@@ -234,3 +234,71 @@ def test_choice_default_branch_when_no_condition_holds(grid):
     activities = [e[2] for e in record.events if e[1] == "activity"]
     assert any(a.startswith("POD") for a in activities)
     assert not any(a.startswith("POR") for a in activities)
+
+
+def test_intake_refuses_semantically_broken_process(grid):
+    """Error findings (here E201) refuse the case before any enactment."""
+    env, services, fleet = grid
+    from repro.process import WorkflowBuilder, parse_condition
+
+    dead = parse_condition("D1.Value > 8 and D1.Value < 3")
+    pd = (
+        WorkflowBuilder("doomed")
+        .choice(
+            (dead, lambda b: b.activity("POR")),
+            (None, lambda b: b.activity("POD")),
+        )
+        .build()
+    )
+    user = services.coordination
+    with pytest.raises(ServiceError) as err:
+        drive(
+            env,
+            user,
+            lambda: user.call(
+                "coordination",
+                "execute-task",
+                {"process": pd, "initial_data": dict(INITIAL), "task": "bad"},
+            ),
+        )
+    message = str(err.value)
+    assert "failed semantic analysis" in message and "E201" in message
+    assert services.coordination.records == []  # refused at intake
+    assert services.coordination.metrics.total("cases_refused") == 1
+
+
+def test_intake_tolerates_overlapping_guards_but_reports_them(grid):
+    """E202 is tolerated (first-match resolves it) yet still surfaced in
+    the reply and the enactment record."""
+    env, services, fleet = grid
+    from repro.process import WorkflowBuilder, parse_condition
+
+    never = parse_condition('D1.Classification = "nope"')
+    pd = (
+        WorkflowBuilder("dup-guards")
+        .choice(
+            (never, lambda b: b.activity("POR")),
+            (never, lambda b: b.activity("POD")),
+        )
+        .build()
+    )
+    user = services.coordination
+    result = drive(
+        env,
+        user,
+        lambda: user.call(
+            "coordination",
+            "execute-task",
+            {"process": pd, "initial_data": dict(INITIAL), "task": "dup"},
+        ),
+    )
+    assert result["status"] == "completed"
+    assert [f["code"] for f in result["findings"]] == ["E202"]
+    record = services.coordination.records[-1]
+    lint_events = [d for t, k, d in record.events if k == "lint"]
+    assert len(lint_events) == 1 and lint_events[0].startswith("E202")
+
+
+def test_intake_clean_case_reply_has_no_findings_key(grid):
+    result, env, services = execute(grid)
+    assert "findings" not in result
