@@ -13,8 +13,13 @@ from __future__ import annotations
 from repro.bus.policy import CallPolicy
 from repro.grid.agent import Agent
 from repro.grid.environment import GridEnvironment
+from repro.sim.engine import Signal
 
 __all__ = ["CoreService", "WELL_KNOWN"]
+
+#: Sentinel a coalesced-lookup leader fires when its RPC raised: joiners
+#: retry from scratch instead of receiving a bogus reply.
+_LOOKUP_FAILED = object()
 
 #: Conventional agent names for each core-service type.
 WELL_KNOWN: dict[str, str] = {
@@ -44,6 +49,9 @@ class CoreService(Agent):
         site: str = "core",
     ) -> None:
         super().__init__(env, name or WELL_KNOWN.get(self.service_type, self.service_type), site)
+        #: key -> Signal for an identical lookup currently in flight
+        #: (see :meth:`coalesced`).
+        self._inflight: dict = {}
         information = getattr(env, "information_service", None)
         if information is not None and information is not self:
             information.register_offering(
@@ -55,6 +63,47 @@ class CoreService(Agent):
 
     def handle_ping(self, message):
         return {"service": self.name, "type": self.service_type, "alive": True}
+
+    def coalesced(self, key, factory, counter: str | None = None):
+        """De-duplicate concurrent identical lookups (generator).
+
+        The first request for *key* (the leader) runs ``factory()`` — a
+        generator performing the lookup and filling whatever cache the
+        caller maintains — and fires a signal with the reply; requests
+        arriving while the leader is still parked join that signal instead
+        of issuing their own RPCs.  This kills the cache-stampede pattern
+        where N concurrent cases all miss the same cold key before the
+        first reply lands (the dominant miss source in ``many_cases``: the
+        fan-out's first activities all schedule at the same instant).
+
+        Only meaningful on opt-in cached paths: callers gate on their TTL
+        knob, so default-configuration message streams are untouched.
+        Joiners share the leader's reply object by reference, matching the
+        caches' no-mutate contract.  When the leader's lookup raises, the
+        signal fires a failure sentinel and each joiner retries from
+        scratch (hitting the cache, a newer leader, or missing on its
+        own), so one failed RPC fails only its own requester.
+        """
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            if counter is not None:
+                self.metrics.inc(counter, agent=self.name)
+            reply = yield inflight
+            if reply is not _LOOKUP_FAILED:
+                return reply
+            reply = yield from self.coalesced(key, factory, counter)
+            return reply
+        signal = Signal(self.engine, f"{self.name}.inflight")
+        self._inflight[key] = signal
+        try:
+            reply = yield from factory()
+        except BaseException:
+            self._inflight.pop(key, None)
+            signal.fire(_LOOKUP_FAILED)
+            raise
+        self._inflight.pop(key, None)
+        signal.fire(reply)
+        return reply
 
     def call_with_failover(
         self,

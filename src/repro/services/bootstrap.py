@@ -119,6 +119,8 @@ def standard_environment(
     planner_seed: int = 0,
     tracing: bool = True,
     spans: bool = False,
+    batched: bool = True,
+    coalesce: bool = False,
 ) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
     """One-call Figure-1 grid: core services + *containers* application
     containers (each on its own node, cycling through *sites*/*speeds*,
@@ -129,8 +131,14 @@ def standard_environment(
     selects the router fast path (no per-delivery TraceEvents) for
     throughput runs; id streams are unaffected.  ``spans=True`` turns on
     the workflow span recorder (see :mod:`repro.obs.spans`).
+    ``batched=False`` opts out of the engine's same-tick batch dispatch
+    (the legacy heap kernel, kept for the trace-identity gate);
+    ``coalesce=True`` opts in to direct same-tick signal resumption
+    (deterministic, different intra-tick interleaving — throughput runs).
     """
-    env = GridEnvironment(tracing=tracing, spans=spans)
+    env = GridEnvironment(
+        tracing=tracing, spans=spans, batched=batched, coalesce=coalesce
+    )
     credentials = ("coordination", "grid-secret") if secure else None
     services = build_core_services(
         env,

@@ -78,13 +78,15 @@ class BrokerageService(CoreService):
     # -- direct (bootstrap) API --------------------------------------------------- #
     def advertise(self, ad: ContainerAd) -> None:
         previous = self._ads.get(ad.container)
+        affected = set(ad.services)
         if previous is not None:
+            affected.update(previous.services)
             for svc in previous.services:
                 self._by_service.get(svc, set()).discard(ad.container)
         self._ads[ad.container] = ad
         for svc in ad.services:
             self._by_service.setdefault(svc, set()).add(ad.container)
-        self._registry_changed()
+        self._registry_changed(ad.container, affected)
 
     def withdraw(self, container: str) -> bool:
         """Deregister a container's advertisement (returns False when it
@@ -94,7 +96,7 @@ class BrokerageService(CoreService):
             return False
         for svc in ad.services:
             self._by_service.get(svc, set()).discard(container)
-        self._registry_changed()
+        self._registry_changed(container, set(ad.services))
         return True
 
     def subscribe_registry(self, agent: str) -> None:
@@ -102,20 +104,37 @@ class BrokerageService(CoreService):
         container (de)registration — cache-invalidation push."""
         self._subscribers.add(agent)
 
-    def _registry_changed(self) -> None:
+    def _registry_changed(
+        self, container: str | None = None, services: set[str] | None = None
+    ) -> None:
         self.registry_version += 1
         self._service_lists.clear()
-        for subscriber in sorted(self._subscribers):
-            self.send(
+        if not self._subscribers:
+            return
+        # The push names the affected container and services so subscribers
+        # can invalidate only the matching cache entries (a mid-run service
+        # deployment used to flush every cached fact in the deployment's
+        # blast radius, re-missing dozens of unrelated keys).
+        content: dict = {"version": self.registry_version}
+        if container is not None:
+            content["container"] = container
+            content["services"] = sorted(services or ())
+        # One pre-batched delivery list: the push fan-out rides a single
+        # engine event instead of one per subscriber (ordering unchanged).
+        self.env.router.route_many(
+            [
                 Message(
                     sender=self.name,
                     receiver=subscriber,
                     performative=Performative.INFORM,
                     action="registry-changed",
-                    content={"version": self.registry_version},
+                    content=dict(content),
                     size=100.0,
                 )
-            )
+                for subscriber in sorted(self._subscribers)
+            ],
+            cause=self._current_cause,
+        )
 
     def advertise_node(self, node: GridNode) -> None:
         """Record a node's Resource/Hardware frames in the broker KB."""
@@ -170,6 +189,21 @@ class BrokerageService(CoreService):
             bool(content.get("success", True)),
         )
         return {"recorded": True}
+
+    def on_unhandled(self, message: Message) -> None:
+        # One-way performance reports (the coordinator's async_reports
+        # fast path): same bookkeeping as the RPC handler, processed
+        # inline in the serve loop, no reply.
+        if message.action == "record-performance":
+            content = message.content
+            self.record(
+                content["service"],
+                content["container"],
+                float(content.get("duration", 0.0)),
+                bool(content.get("success", True)),
+            )
+            return
+        super().on_unhandled(message)
 
     def handle_performance(self, message: Message):
         content = message.content

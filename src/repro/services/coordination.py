@@ -32,7 +32,7 @@ from repro.analysis import Severity, analyze_process
 from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
-from repro.grid.messages import Message
+from repro.grid.messages import Message, Performative
 from repro.obs.spans import Span
 from repro.planner.problem import PlanningProblem
 from repro.process.ast_nodes import (
@@ -142,6 +142,21 @@ class CoordinationService(CoreService):
     #: Name of the authentication service used when credentials are set.
     auth_name = WELL_KNOWN["authentication"]
 
+    #: Coordinator-side match-reply cache TTL in simulated seconds.  0
+    #: (the default) keeps one match RPC per activity dispatch — and the
+    #: message stream byte-identical.  With a TTL (see
+    #: :meth:`enable_match_cache`) repeated dispatches of the same service
+    #: reuse the ranked candidate list without crossing the network; the
+    #: broker's ``registry-changed`` push flushes it on (de)registration.
+    match_cache_ttl: float = 0.0
+
+    #: When set, per-activity performance reports to the broker go as
+    #: one-way INFORM notifications instead of blocking RPCs — half the
+    #: messages, no reply wait, and the broker books them inline in its
+    #: serve loop (no handler process).  Default off: the RPC's reply is
+    #: part of the recorded protocol traces.
+    async_reports: bool = False
+
     def __init__(
         self,
         env: GridEnvironment,
@@ -156,6 +171,121 @@ class CoordinationService(CoreService):
         self._ticket: str | None = None
         self._ticket_expires = 0.0
         self._programs: OrderedDict[Any, EnactmentProgram] = OrderedDict()
+        #: (process fingerprint, initial-data keys) -> intake findings.
+        #: Analysis is pure and synchronous (no messages), so sharing one
+        #: result across the N cases of a workflow is trace-safe; follows
+        #: the program cache's size knob and LRU policy.
+        self._analysis_cache: OrderedDict[Any, list] = OrderedDict()
+        #: service -> (expires_at, candidate names best-first).
+        self._match_cache: dict[str, tuple[float, list[str]]] = {}
+
+    def enable_match_cache(self, ttl: float, broker=None) -> None:
+        """Cache matchmaker replies per service for *ttl* simulated
+        seconds; when *broker* (a BrokerageService) is given, subscribe to
+        its registry push so (de)registrations invalidate immediately."""
+        self.match_cache_ttl = ttl
+        if broker is not None:
+            broker.subscribe_registry(self.name)
+
+    def invalidate_matches(self, services: list[str] | None = None) -> None:
+        """Drop cached match replies — all of them, or (when the broker's
+        push names the affected *services*) only those services' entries."""
+        if services is None:
+            self._match_cache.clear()
+            return
+        cache = self._match_cache
+        for service in services:
+            cache.pop(service, None)
+
+    def on_unhandled(self, message: Message) -> None:
+        if message.action == "registry-changed":
+            self.invalidate_matches(message.content.get("services"))
+            return
+        super().on_unhandled(message)
+
+    def _candidates_for(self, service: str, span: Span | None):
+        """Ranked candidate containers for *service* (generator): the
+        matchmaker RPC, behind the opt-in coordinator-side TTL cache."""
+        ttl = self.match_cache_ttl
+        if ttl > 0.0:
+            entry = self._match_cache.get(service)
+            if entry is not None and self.engine.now < entry[0]:
+                self.metrics.inc("coord_match_cache_hit", agent=self.name)
+                return list(entry[1])
+
+            def fill():
+                self.metrics.inc("coord_match_cache_miss", agent=self.name)
+                match = yield from self._timed_call(
+                    "match", span, self.matchmaker_name, "match",
+                    {"service": service},
+                )
+                found = [c["container"] for c in match["candidates"]]
+                if found:
+                    self._match_cache[service] = (
+                        self.engine.now + ttl, list(found)
+                    )
+                return found
+
+            # Concurrent cold misses for one service share a single match
+            # RPC (see CoreService.coalesced).
+            candidates = yield from self.coalesced(
+                ("match", service), fill, "coord_match_cache_join"
+            )
+            return list(candidates)
+        match = yield from self._timed_call(
+            "match", span, self.matchmaker_name, "match", {"service": service},
+        )
+        return [c["container"] for c in match["candidates"]]
+
+    def _analyze(self, process: ProcessDescription, initial: set | None):
+        """Intake findings for *process* (cached per fingerprint +
+        initial-data keys; N cases of one workflow analyze once)."""
+        if self.program_cache_size <= 0:
+            return analyze_process(
+                process, kb=self.knowledge_base, initial_data=initial
+            )
+        key = (
+            process_fingerprint(process),
+            frozenset(initial) if initial else None,
+        )
+        cached = self._analysis_cache.get(key)
+        if cached is not None:
+            self._analysis_cache.move_to_end(key)
+            self.metrics.inc("analysis_cache_hit", agent=self.name)
+            return cached
+        findings = analyze_process(
+            process, kb=self.knowledge_base, initial_data=initial
+        )
+        self.metrics.inc("analysis_cache_miss", agent=self.name)
+        self._analysis_cache[key] = findings
+        while len(self._analysis_cache) > self.program_cache_size:
+            self._analysis_cache.popitem(last=False)
+        return findings
+
+    def _report_performance(
+        self, service: str, container: str, duration: float, success: bool
+    ):
+        """Report an activity outcome to the broker (generator).  Blocking
+        RPC by default; one-way INFORM under :attr:`async_reports`."""
+        content = {
+            "service": service,
+            "container": container,
+            "duration": duration,
+            "success": success,
+        }
+        if self.async_reports:
+            self.send(
+                Message(
+                    sender=self.name,
+                    receiver=self.broker_name,
+                    performative=Performative.INFORM,
+                    action="record-performance",
+                    content=content,
+                    size=1_000.0,
+                )
+            )
+            return
+        yield from self.call(self.broker_name, "record-performance", content)
 
     def _program_for(self, process: ProcessDescription) -> EnactmentProgram:
         """Compile *process* (or fetch the shared compilation): N cases of
@@ -271,10 +401,8 @@ class CoordinationService(CoreService):
             # Planner-produced processes skip this — imperfect plans are
             # the re-planning loop's job, not intake's.
             initial = content.get("initial_data")
-            findings = analyze_process(
-                process,
-                kb=self.knowledge_base,
-                initial_data=set(initial) if initial else None,
+            findings = self._analyze(
+                process, set(initial) if initial else None
             )
             refused = [
                 f
@@ -587,11 +715,9 @@ class CoordinationService(CoreService):
         for attempt in range(self.retry_limit + 1):
             container: str | None = None
             try:
-                match = yield from self._timed_call(
-                    "match", activity_span,
-                    self.matchmaker_name, "match", {"service": service},
+                candidates = yield from self._candidates_for(
+                    service, activity_span
                 )
-                candidates = [c["container"] for c in match["candidates"]]
                 if not candidates:
                     raise ServiceError(f"no container offers service {service!r}")
                 schedule = yield from self._timed_call(
@@ -625,15 +751,8 @@ class CoordinationService(CoreService):
                     policy=CallPolicy(timeout=self.activity_timeout),
                     container=container,
                 )
-                yield from self.call(
-                    self.broker_name,
-                    "record-performance",
-                    {
-                        "service": service,
-                        "container": container,
-                        "duration": self.engine.now - started,
-                        "success": True,
-                    },
+                yield from self._report_performance(
+                    service, container, self.engine.now - started, True
                 )
                 case.merge(result.get("outputs", {}), result.get("payload_keys", {}))
                 record.activities_run += 1
@@ -652,15 +771,8 @@ class CoordinationService(CoreService):
                     f"{name} attempt {attempt + 1} failed: {last_error}",
                 )
                 if container is not None:
-                    yield from self.call(
-                        self.broker_name,
-                        "record-performance",
-                        {
-                            "service": service,
-                            "container": container,
-                            "duration": 0.0,
-                            "success": False,
-                        },
+                    yield from self._report_performance(
+                        service, container, 0.0, False
                     )
         recorder.end(activity_span, status="error", retries=self.retry_limit)
         raise _ActivityFailed(name, last_error)

@@ -53,13 +53,22 @@ class MatchmakingService(CoreService):
         if broker is not None:
             broker.subscribe_registry(self.name)
 
-    def invalidate_candidates(self) -> None:
-        self._candidate_cache.clear()
+    def invalidate_candidates(self, services: list[str] | None = None) -> None:
+        """Drop cached candidate sets — all of them, or (when the broker's
+        push names the affected *services*) only the entries for those
+        services, whose provider lists actually changed."""
+        if services is None:
+            self._candidate_cache.clear()
+            return
+        affected = set(services)
+        cache = self._candidate_cache
+        for key in [k for k in cache if k[0] in affected]:
+            del cache[key]
 
     def on_unhandled(self, message: Message) -> None:
         # The broker's cache-invalidation push (no reply expected).
         if message.action == "registry-changed":
-            self.invalidate_candidates()
+            self.invalidate_candidates(message.content.get("services"))
             return
         super().on_unhandled(message)
 
@@ -88,8 +97,41 @@ class MatchmakingService(CoreService):
                     "service": service,
                     "candidates": [dict(c) for c in entry[1]],
                 }
-            self.metrics.inc("match_cache_miss", agent=self.name, action=service)
 
+            def fill():
+                self.metrics.inc(
+                    "match_cache_miss", agent=self.name, action=service
+                )
+                ranked = yield from self._rank_candidates(
+                    service, min_speed, wanted_site, require_alive,
+                    max_candidates,
+                )
+                self._candidate_cache[cache_key] = (
+                    self.engine.now + ttl,
+                    [dict(c) for c in ranked],
+                )
+                return ranked
+
+            # Concurrent cold misses on one constraint tuple collapse into
+            # a single broker+monitor sweep (the fan-out's first activities
+            # all match at the same instant).
+            ranked = yield from self.coalesced(
+                cache_key, fill, "match_cache_join"
+            )
+            return {
+                "service": service,
+                "candidates": [dict(c) for c in ranked],
+            }
+
+        ranked = yield from self._rank_candidates(
+            service, min_speed, wanted_site, require_alive, max_candidates
+        )
+        return {"service": service, "candidates": ranked}
+
+    def _rank_candidates(
+        self, service, min_speed, wanted_site, require_alive, max_candidates
+    ):
+        """The actual broker + monitor sweep behind a match (generator)."""
         found = yield from self.call(
             self.broker_name,
             "find-containers",
@@ -125,10 +167,4 @@ class MatchmakingService(CoreService):
                 }
             )
         candidates.sort(key=lambda c: (c["load"], -c["speed"], c["container"]))
-        ranked = candidates[:max_candidates]
-        if ttl > 0.0:
-            self._candidate_cache[cache_key] = (
-                self.engine.now + ttl,
-                [dict(c) for c in ranked],
-            )
-        return {"service": service, "candidates": ranked}
+        return candidates[:max_candidates]

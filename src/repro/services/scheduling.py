@@ -33,6 +33,17 @@ class SchedulingService(CoreService):
     #: 50% success rate looks twice as slow as its raw estimate.
     reliability_weight = 1.0
 
+    #: Candidate-fact cache TTL in simulated seconds.  0 (the default)
+    #: disables caching, keeping the monitor/broker message streams — and
+    #: therefore every recorded trace — exactly as before.  Throughput
+    #: deployments set a TTL (see :meth:`enable_fact_cache`): the
+    #: per-candidate status/performance lookups, by far the densest RPC
+    #: traffic in enactment, are then amortized across schedule requests.
+    #: Staleness is bounded by the TTL and partially compensated by the
+    #: scheduler's own pending-assignment tracking, which keeps spreading
+    #: load even against frozen occupancy facts.
+    fact_cache_ttl: float = 0.0
+
     def __init__(self, env, name=None, site="core"):
         super().__init__(env, name, site)
         #: Pending assignments per container: expiry times of work we have
@@ -41,6 +52,71 @@ class SchedulingService(CoreService):
         #: otherwise all observe zero load and herd onto one container —
         #: the Section-2 staleness problem in miniature.
         self._pending: dict[str, list[float]] = {}
+        #: ("status", container) / ("perf", service, container) ->
+        #: (expires_at, reply dict).
+        self._fact_cache: dict[tuple, tuple[float, dict]] = {}
+
+    def enable_fact_cache(self, ttl: float, broker=None) -> None:
+        """Turn on candidate-fact caching with the given TTL; when
+        *broker* (a BrokerageService) is given, also subscribe to its
+        ``registry-changed`` push so (de)registrations flush stale facts."""
+        self.fact_cache_ttl = ttl
+        if broker is not None:
+            broker.subscribe_registry(self.name)
+
+    def invalidate_facts(self, container: str | None = None) -> None:
+        """Drop cached facts — all of them, or (when the broker's push
+        names the affected *container*) only that container's status and
+        performance entries.  Monitor status and broker performance for
+        *other* containers are untouched by a (de)registration, so the
+        selective path keeps the dominant cached-fact population warm
+        across mid-run service deployments."""
+        if container is None:
+            self._fact_cache.clear()
+            return
+        cache = self._fact_cache
+        for key in [k for k in cache if k[-1] == container]:
+            del cache[key]
+
+    def on_unhandled(self, message: Message) -> None:
+        # The broker's cache-invalidation push (no reply expected).
+        if message.action == "registry-changed":
+            self.invalidate_facts(message.content.get("container"))
+            return
+        super().on_unhandled(message)
+
+    def _cached_call(self, key: tuple, to: str, action: str, content: dict):
+        """One fact-gathering RPC through the TTL cache (generator).
+
+        Cached replies are returned by reference, not copied — the
+        scheduling facts path only reads them.  (The hot hit path is
+        checked inline in :meth:`_schedule`; this method handles the miss
+        and the first fill.)  Concurrent misses on one key coalesce into a
+        single RPC via :meth:`~repro.services.base.CoreService.coalesced`
+        — without it, the N cases of a fan-out all cold-miss the same
+        facts at the same instant.
+        """
+        ttl = self.fact_cache_ttl
+        if ttl <= 0.0:
+            reply = yield from self.call(
+                to, action, content, policy=self.lookup_policy
+            )
+            return reply
+        entry = self._fact_cache.get(key)
+        if entry is not None and self.engine.now < entry[0]:
+            self.metrics.inc("sched_fact_cache_hit", agent=self.name)
+            return entry[1]
+
+        def fill():
+            self.metrics.inc("sched_fact_cache_miss", agent=self.name)
+            reply = yield from self.call(
+                to, action, content, policy=self.lookup_policy
+            )
+            self._fact_cache[key] = (self.engine.now + ttl, reply)
+            return reply
+
+        reply = yield from self.coalesced(key, fill, "sched_fact_cache_join")
+        return reply
 
     def _pending_load(self, container: str) -> int:
         entries = self._pending.get(container)
@@ -95,22 +171,43 @@ class SchedulingService(CoreService):
 
         # Gather per-candidate facts first (each gather yields to other
         # agents, so concurrent schedule requests interleave here)...
+        # Fact-cache hits are resolved inline: no generator frame and no
+        # RPC machinery for the (dominant, once warmed) cached path.  The
+        # clock is re-read per check because a miss's RPC advances it.
+        ttl = self.fact_cache_ttl
+        cache = self._fact_cache
+        metrics = self.metrics
+        count_hits = metrics.enabled
         facts: list[dict] = []
         for container in candidates:
-            status = yield from self.call(
-                self.monitor_name,
-                "status",
-                {"agent": container},
-                policy=self.lookup_policy,
-            )
+            key = ("status", container)
+            entry = cache.get(key) if ttl > 0.0 else None
+            if entry is not None and self.engine.now < entry[0]:
+                if count_hits:
+                    metrics.inc("sched_fact_cache_hit", agent=self.name)
+                status = entry[1]
+            else:
+                status = yield from self._cached_call(
+                    key,
+                    self.monitor_name,
+                    "status",
+                    {"agent": container},
+                )
             if not status.get("known") or not status.get("alive"):
                 continue
-            perf = yield from self.call(
-                self.broker_name,
-                "performance",
-                {"service": service, "container": container},
-                policy=self.lookup_policy,
-            )
+            key = ("perf", service, container)
+            entry = cache.get(key) if ttl > 0.0 else None
+            if entry is not None and self.engine.now < entry[0]:
+                if count_hits:
+                    metrics.inc("sched_fact_cache_hit", agent=self.name)
+                perf = entry[1]
+            else:
+                perf = yield from self._cached_call(
+                    key,
+                    self.broker_name,
+                    "performance",
+                    {"service": service, "container": container},
+                )
             reliability = float(perf.get("success_rate", 1.0))
             facts.append(
                 {

@@ -110,22 +110,54 @@ def run_many_cases(
     rounds: int = 3,
     tracing: bool = True,
     match_cache_ttl: float = 0.0,
+    sched_cache_ttl: float = 0.0,
+    coord_cache_ttl: float = 0.0,
     program_cache_size: int | None = None,
     max_events: int = 20_000_000,
     spans: bool = False,
     gauge_period: float = 0.0,
+    batched: bool = True,
+    coalesce: bool = False,
+    metrics: bool = True,
+    async_reports: bool = False,
+    parallel: int = 0,
+    first_case: int = 0,
 ) -> dict[str, Any]:
     """Enact *cases* concurrent instances of the shared workflow.
 
-    The three throughput knobs map onto the enactment fast paths:
+    The throughput knobs map onto the enactment fast paths:
     ``tracing=False`` selects the router fast path (no TraceEvents),
-    ``match_cache_ttl`` enables the matchmaker candidate cache (with the
-    broker's registry-changed push wired up for invalidation), and
+    ``match_cache_ttl`` enables the matchmaker candidate cache,
+    ``sched_cache_ttl`` the scheduler's candidate-fact cache and
+    ``coord_cache_ttl`` the coordinator's ranked-match cache (all three
+    wire up the broker's registry-changed push for invalidation), and
     ``program_cache_size`` overrides the coordinator's compiled-program
     cache (0 recompiles per enactment — the pre-compilation baseline).
+    ``batched=False`` opts out of the engine's same-tick batch dispatch
+    (the legacy heap kernel; the trace-identity gate compares both),
+    ``coalesce=True`` resumes fired signals' waiters directly instead of
+    through zero-delay wakeup events (deterministic, but intra-tick
+    interleaving — and thus id streams — differ from the default), and
+    ``metrics=False`` stops counter/histogram recording (trace-safe:
+    metrics never influence behaviour; the returned ``counters`` are
+    then all zero), and ``async_reports=True`` turns the coordinator's
+    per-activity broker performance reports into one-way notifications.
     The two observability knobs: ``spans=True`` records workflow spans
     (``repro trace export`` / ``repro profile`` run on this), and
     ``gauge_period > 0`` samples sim-time gauges at that period.
+
+    ``parallel=N`` (N > 1) partitions the case population into N
+    contiguous shards and enacts each shard in its own process with its
+    own environment — the multi-environment driver for very large
+    populations.  Shard results merge deterministically (outcomes in
+    global case order, counters summed, makespan = the slowest shard);
+    ``env``/``services``/``fleet`` are ``None`` in the merged result
+    since live environments do not cross process boundaries.  When a
+    worker pool cannot be spawned the driver degrades to a serial
+    in-process run of the same shards and reports ``pool_error``.
+
+    ``first_case`` offsets the global case index (shard workers use it so
+    every case keeps its population-level initial data and task name).
 
     Returns ``env``, ``services``, ``outcomes`` (per-case replies) and
     summary counts.  Raises :class:`WorkloadError` when any case fails —
@@ -133,10 +165,34 @@ def run_many_cases(
     """
     if cases < 1:
         raise WorkloadError("many_cases needs at least one case")
+    if parallel > 1:
+        return _run_many_cases_parallel(
+            cases=cases,
+            containers=containers,
+            rounds=rounds,
+            tracing=tracing,
+            match_cache_ttl=match_cache_ttl,
+            sched_cache_ttl=sched_cache_ttl,
+            coord_cache_ttl=coord_cache_ttl,
+            program_cache_size=program_cache_size,
+            max_events=max_events,
+            spans=spans,
+            gauge_period=gauge_period,
+            batched=batched,
+            coalesce=coalesce,
+            metrics=metrics,
+            async_reports=async_reports,
+            parallel=parallel,
+            first_case=first_case,
+        )
     env, services, fleet = standard_environment(
         many_cases_services(), containers=containers, tracing=tracing,
-        spans=spans,
+        spans=spans, batched=batched, coalesce=coalesce,
     )
+    if not metrics:
+        env.metrics.enabled = False
+    if async_reports:
+        services.coordination.async_reports = True
     if gauge_period > 0.0:
         env.attach_gauges(period=gauge_period)
     if program_cache_size is not None:
@@ -144,6 +200,14 @@ def run_many_cases(
     if match_cache_ttl > 0.0:
         services.matchmaking.enable_candidate_cache(
             match_cache_ttl, broker=services.brokerage
+        )
+    if sched_cache_ttl > 0.0:
+        services.scheduling.enable_fact_cache(
+            sched_cache_ttl, broker=services.brokerage
+        )
+    if coord_cache_ttl > 0.0:
+        services.coordination.enable_match_cache(
+            coord_cache_ttl, broker=services.brokerage
         )
     process = many_cases_process(rounds)
     outcomes: list[dict[str, Any] | None] = [None] * cases
@@ -154,14 +218,14 @@ def run_many_cases(
             "execute-task",
             {
                 "process": process,
-                "initial_data": many_cases_initial_data(index),
-                "task": f"case-{index}",
+                "initial_data": many_cases_initial_data(first_case + index),
+                "task": f"case-{first_case + index}",
             },
         )
         outcomes[index] = reply
 
     for index in range(cases):
-        env.engine.spawn(enact_case(index), name=f"user-{index}")
+        env.engine.spawn(enact_case(index), name=f"user-{first_case + index}")
     env.run(max_events=max_events)
 
     completed = sum(
@@ -171,7 +235,7 @@ def run_many_cases(
         raise WorkloadError(
             f"many_cases: only {completed}/{cases} cases completed"
         )
-    metrics = env.metrics
+    registry = env.metrics
     return {
         "env": env,
         "services": services,
@@ -191,11 +255,124 @@ def run_many_cases(
             "evicted": env.spans.evicted,
         },
         "counters": {
-            "program_cache_hit": metrics.total("program_cache_hit"),
-            "program_cache_miss": metrics.total("program_cache_miss"),
-            "match_cache_hit": metrics.total("match_cache_hit"),
-            "match_cache_miss": metrics.total("match_cache_miss"),
-            "messages_sent": metrics.total("messages_sent"),
-            "messages_delivered": metrics.total("messages_delivered"),
+            "program_cache_hit": registry.total("program_cache_hit"),
+            "program_cache_miss": registry.total("program_cache_miss"),
+            "match_cache_hit": registry.total("match_cache_hit"),
+            "match_cache_miss": registry.total("match_cache_miss"),
+            "match_cache_join": registry.total("match_cache_join"),
+            "sched_fact_cache_hit": registry.total("sched_fact_cache_hit"),
+            "sched_fact_cache_miss": registry.total("sched_fact_cache_miss"),
+            "sched_fact_cache_join": registry.total("sched_fact_cache_join"),
+            "coord_match_cache_hit": registry.total("coord_match_cache_hit"),
+            "coord_match_cache_miss": registry.total("coord_match_cache_miss"),
+            "coord_match_cache_join": registry.total("coord_match_cache_join"),
+            "messages_sent": registry.total("messages_sent"),
+            "messages_delivered": registry.total("messages_delivered"),
         },
+    }
+
+
+# -- multi-environment parallel driver ------------------------------------- #
+def _shard_bounds(cases: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous (first_case, size) shards covering ``range(cases)``;
+    earlier shards take the remainder so sizes differ by at most one."""
+    shards = max(1, min(shards, cases))
+    base, extra = divmod(cases, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, size))
+        start += size
+    return bounds
+
+
+def _run_shard(kwargs: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: one serial shard, summarized picklably.
+
+    Top-level (not a closure) so it crosses the process boundary; the
+    live environment stays behind — only plain data comes back.
+    """
+    result = run_many_cases(**kwargs)
+    return {
+        "outcomes": result["outcomes"],
+        "cases": result["cases"],
+        "completed": result["completed"],
+        "activities_run": result["activities_run"],
+        "messages": result["messages"],
+        "makespan": result["makespan"],
+        "engine_events": result["engine_events"],
+        "counters": result["counters"],
+    }
+
+
+def _run_many_cases_parallel(
+    *, cases: int, parallel: int, first_case: int, **workload: Any
+) -> dict[str, Any]:
+    """Partition the population into contiguous shards, enact each in its
+    own process, and merge deterministically (shard order == case order)."""
+    bounds = _shard_bounds(cases, parallel)
+    shard_kwargs = [
+        dict(
+            workload,
+            cases=size,
+            first_case=first_case + start,
+            parallel=0,
+        )
+        for start, size in bounds
+    ]
+    pool_error: str | None = None
+    summaries: list[dict[str, Any]] | None = None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(bounds)) as pool:
+            # map() preserves submission order, so the merge below sees
+            # shards exactly in global case order regardless of which
+            # worker finishes first.
+            summaries = list(pool.map(_run_shard, shard_kwargs))
+    except Exception as exc:  # pragma: no cover - depends on host sandboxing
+        pool_error = f"{type(exc).__name__}: {exc}"
+        summaries = None
+    if summaries is None:
+        # Deterministic fallback: the same shards, serially, in-process —
+        # identical merged outcomes, just no wall-clock overlap.
+        summaries = [_run_shard(kwargs) for kwargs in shard_kwargs]
+
+    outcomes: list[dict[str, Any] | None] = []
+    counters: dict[str, int] = {}
+    for summary in summaries:
+        outcomes.extend(summary["outcomes"])
+        for key, value in summary["counters"].items():
+            counters[key] = counters.get(key, 0) + value
+    completed = sum(summary["completed"] for summary in summaries)
+    if completed != cases:
+        raise WorkloadError(
+            f"many_cases: only {completed}/{cases} cases completed"
+        )
+    return {
+        "env": None,
+        "services": None,
+        "fleet": None,
+        "outcomes": outcomes,
+        "cases": cases,
+        "completed": completed,
+        "activities_run": sum(s["activities_run"] for s in summaries),
+        "messages": sum(s["messages"] for s in summaries),
+        "makespan": max(s["makespan"] for s in summaries),
+        "engine_events": sum(s["engine_events"] for s in summaries),
+        "parallel": len(bounds),
+        "shards": [
+            {"first_case": start, "cases": size}
+            for start, size in bounds
+        ],
+        "pool_error": pool_error,
+        "spans": {
+            "enabled": False,
+            "started": 0,
+            "closed": 0,
+            "open": 0,
+            "evicted": 0,
+        },
+        "counters": counters,
     }

@@ -86,15 +86,152 @@ class TestCandidateCache:
         )
         assert cached["completed"] == CASES
 
-    def test_registry_change_invalidates(self):
+    def test_registry_change_invalidates_selectively(self):
+        # The broker's push names the affected services: only their cached
+        # candidate sets drop; every other service's entries stay warm.
         result = run_many_cases(cases=2, containers=2, match_cache_ttl=1e9)
         services = result["services"]
         matchmaker = services.matchmaking
-        assert matchmaker._candidate_cache  # warm after the run
+        cached_services = {key[0] for key in matchmaker._candidate_cache}
+        assert "ingest" in cached_services  # warm after the run
+        assert len(cached_services) > 1
         from repro.services.brokerage import ContainerAd
 
         services.brokerage.advertise(
             ContainerAd("ac-new", "siteA", ["ingest"], 1.0, 0.0)
         )
         result["env"].run()  # deliver the registry-changed push
+        remaining = {key[0] for key in matchmaker._candidate_cache}
+        assert "ingest" not in remaining
+        assert remaining == cached_services - {"ingest"}
+
+    def test_registry_push_without_detail_flushes_everything(self):
+        # Backwards-compatible push shape (no container/services payload):
+        # subscribers fall back to a full flush.
+        result = run_many_cases(cases=2, containers=2, match_cache_ttl=1e9)
+        matchmaker = result["services"].matchmaking
+        assert matchmaker._candidate_cache
+        matchmaker.invalidate_candidates()
         assert not matchmaker._candidate_cache
+
+
+class TestMissCoalescing:
+    def test_concurrent_cold_misses_join_one_lookup(self):
+        # All cases fan out at t~0, so without in-flight coalescing every
+        # cold key misses once per case (the stampede).  With it, misses
+        # equal the distinct-key count and the rest join the leader's RPC.
+        result = run_many_cases(
+            cases=8,
+            containers=2,
+            sched_cache_ttl=300.0,
+            coord_cache_ttl=300.0,
+        )
+        counters = result["counters"]
+        assert counters["sched_fact_cache_join"] > 0
+        assert counters["coord_match_cache_join"] > 0
+        # Distinct fact keys only: ("status", c) and ("perf", service, c).
+        distinct = len(result["services"].scheduling._fact_cache)
+        assert counters["sched_fact_cache_miss"] == distinct
+        assert result["completed"] == 8
+
+
+class TestMetricsKillSwitch:
+    def test_disabled_registry_zero_counters_same_outcomes(self, default_run):
+        off = run_many_cases(cases=CASES, containers=2, metrics=False)
+        assert off["completed"] == CASES
+        assert all(value == 0 for value in off["counters"].values())
+        # Metrics never influence behaviour: identical per-case events.
+        assert [o["events"] for o in off["outcomes"]] == [
+            o["events"] for o in default_run["outcomes"]
+        ]
+
+
+class TestAsyncReports:
+    def test_one_way_reports_reach_broker_with_fewer_messages(self, default_run):
+        result = run_many_cases(cases=CASES, containers=2, async_reports=True)
+        assert result["completed"] == CASES
+        broker = result["services"].brokerage
+        recorded = sum(
+            perf.runs for perf in broker._performance.values()
+        )
+        assert recorded == result["activities_run"]
+        assert (
+            result["counters"]["messages_sent"]
+            < default_run["counters"]["messages_sent"]
+        )
+
+
+class TestCoalescedEngineWorkload:
+    def test_coalesce_completes_and_is_deterministic(self):
+        runs = [
+            run_many_cases(cases=4, containers=2, tracing=False, coalesce=True)
+            for _ in range(2)
+        ]
+        assert all(r["completed"] == 4 for r in runs)
+        assert runs[0]["makespan"] == runs[1]["makespan"]
+        assert runs[0]["engine_events"] == runs[1]["engine_events"]
+        assert [o["events"] for o in runs[0]["outcomes"]] == [
+            o["events"] for o in runs[1]["outcomes"]
+        ]
+
+
+class TestParallelDriver:
+    def test_shard_bounds(self):
+        from repro.workloads.many_cases import _shard_bounds
+
+        assert _shard_bounds(10, 3) == [(0, 4), (4, 3), (7, 3)]
+        assert _shard_bounds(6, 2) == [(0, 3), (3, 3)]
+        # Never more shards than cases; never an empty shard.
+        assert _shard_bounds(3, 8) == [(0, 1), (1, 1), (2, 1)]
+        assert _shard_bounds(5, 1) == [(0, 5)]
+
+    def test_parallel_merge_matches_serial(self):
+        serial = run_many_cases(cases=6, containers=2, tracing=False)
+        merged = run_many_cases(
+            cases=6, containers=2, tracing=False, parallel=2
+        )
+        assert merged["parallel"] == 2
+        assert merged["shards"] == [
+            {"first_case": 0, "cases": 3},
+            {"first_case": 3, "cases": 3},
+        ]
+        assert merged["completed"] == serial["completed"] == 6
+        assert merged["activities_run"] == serial["activities_run"]
+        # Per-case results are contention-independent; event timings are
+        # not (each shard runs with less queueing), so compare outcomes
+        # minus their timelines.
+        for mine, theirs in zip(merged["outcomes"], serial["outcomes"]):
+            assert mine["status"] == theirs["status"] == "completed"
+            assert mine["data"] == theirs["data"]
+            assert mine["activities_run"] == theirs["activities_run"]
+        # Live objects cannot cross process boundaries.
+        assert merged["env"] is None and merged["services"] is None
+
+    def test_first_case_offsets_preserved(self):
+        result = run_many_cases(
+            cases=5, containers=2, tracing=False, parallel=2
+        )
+        assert [shard["first_case"] for shard in result["shards"]] == [0, 3]
+        # Case identity survives sharding: the offset run names its task
+        # stream case-3.. and the merged outcome order is global.
+        offset = run_many_cases(
+            cases=2, containers=2, tracing=False, first_case=3
+        )
+        assert offset["completed"] == 2
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class Boom:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no pool for you")
+
+        # The driver imports the pool class at call time, so patching the
+        # stdlib module intercepts it.
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor", Boom
+        )
+        result = run_many_cases(
+            cases=4, containers=2, tracing=False, parallel=2
+        )
+        assert result["completed"] == 4
+        assert result["pool_error"] is not None
+        assert "no pool for you" in result["pool_error"]
