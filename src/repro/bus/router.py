@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.agent import Agent
     from repro.grid.messages import Message
     from repro.grid.network import Network
+    from repro.grid.sharding import ShardRouter
     from repro.sim.engine import Engine
     from repro.sim.failures import BernoulliFailures
 
@@ -74,6 +75,12 @@ class Router:
         #: entirely.  Identity assignment is untouched, so message/trace id
         #: streams stay bit-for-bit identical either way.
         self.record_trace = record_trace
+        #: Optional shard resolver (see :class:`~repro.grid.sharding.
+        #: ShardRouter`): consulted once per routed message to rewrite a
+        #: *logical* receiver name to the owning shard's agent.  None (the
+        #: default) and single-shard rings leave every message untouched,
+        #: so unsharded and N=1 message streams are byte-identical.
+        self.sharding: "ShardRouter | None" = None
         self.dropped: list["Message"] = []
         self._conversations = itertools.count(1)
         self._message_ids = itertools.count(1)
@@ -110,6 +117,14 @@ class Router:
         by the drop oracle — are dropped; the sender's timeout handles it.
         """
         self.prepare(message, cause)
+        sharding = self.sharding
+        if sharding is not None:
+            resolved = sharding.resolve(message)
+            if resolved is not None and resolved != message.receiver:
+                object.__setattr__(message, "receiver", resolved)
+                self.metrics.inc(
+                    "shard_routed", agent=resolved, action=message.action
+                )
         self.metrics.inc("messages_sent", agent=message.sender, action=message.action)
         agents = self._agents
         target = agents.get(message.receiver)
@@ -145,8 +160,16 @@ class Router:
         batch_delay: float | None = None
         agents = self._agents
         metrics_inc = self.metrics.inc
+        sharding = self.sharding
         for message in messages:
             self.prepare(message, cause)
+            if sharding is not None:
+                resolved = sharding.resolve(message)
+                if resolved is not None and resolved != message.receiver:
+                    object.__setattr__(message, "receiver", resolved)
+                    metrics_inc(
+                        "shard_routed", agent=resolved, action=message.action
+                    )
             metrics_inc("messages_sent", agent=message.sender, action=message.action)
             target = agents.get(message.receiver)
             if target is None:

@@ -288,6 +288,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cases(args: argparse.Namespace) -> int:
+    """Enact the many-cases workload, optionally on the sharded grid."""
+    from repro.workloads.many_cases import run_many_cases, shard_assignment
+
+    result = run_many_cases(
+        cases=args.cases,
+        containers=args.containers,
+        rounds=args.rounds,
+        tracing=not args.no_tracing,
+        shards=args.shards,
+    )
+    print(
+        f"{result['completed']}/{result['cases']} cases completed, "
+        f"{result['activities_run']} activities, "
+        f"makespan {result['makespan']:.1f}s sim"
+    )
+    if args.shards > 1:
+        per_shard = {
+            entry["shard"]: entry["cases"] for entry in result["shards"]
+        }
+        assignment = shard_assignment(args.cases, args.shards)
+        for shard in sorted(assignment):
+            sample = ", ".join(f"case-{i}" for i in assignment[shard][:3])
+            more = len(assignment[shard]) - 3
+            suffix = f", +{more} more" if more > 0 else ""
+            print(
+                f"  {shard}: {per_shard.get(shard, 0)} cases "
+                f"({sample}{suffix})"
+            )
+        if result.get("pool_error"):
+            print(f"  (worker pool unavailable: {result['pool_error']}; "
+                  f"shards ran serially in-process)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-grid",
@@ -362,6 +397,24 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--cases", type=int, default=16)
     pp.add_argument("--containers", type=int, default=4)
 
+    pk = sub.add_parser(
+        "cases", help="enact the many-cases workload (optionally sharded)"
+    )
+    pk.add_argument("--cases", type=int, default=32)
+    pk.add_argument("--containers", type=int, default=4)
+    pk.add_argument("--rounds", type=int, default=3)
+    pk.add_argument("--no-tracing", action="store_true",
+                    help="router fast path (no per-delivery trace events)")
+    pk.add_argument(
+        "--shards", type=int, default=0,
+        help="coordination shards: each case is assigned to a shard by "
+        "consistent hash of its case id (case-<index>) over a ring of "
+        "labels s0..s{N-1}, so the case->shard mapping is deterministic "
+        "and independent of population size or enactment order; 1 runs "
+        "the single-shard grid (byte-identical traces to the default), "
+        "0 the unsharded grid",
+    )
+
     return parser
 
 
@@ -376,6 +429,7 @@ _HANDLERS = {
     "render": _cmd_render,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "cases": _cmd_cases,
 }
 
 

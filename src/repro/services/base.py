@@ -42,6 +42,12 @@ class CoreService(Agent):
 
     service_type: str = "core"
 
+    #: Shard label (e.g. ``"s2"``) when this instance is one replica of a
+    #: sharded service group, else None.  Metrics are already shard-aware
+    #: through the agent name; this feeds span attributes so profiles and
+    #: trace trees name the shard that carried a case.
+    shard: str | None = None
+
     def __init__(
         self,
         env: GridEnvironment,

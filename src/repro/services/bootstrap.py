@@ -15,8 +15,10 @@ from collections.abc import Sequence
 from repro.grid.container import ApplicationContainer, EndUserService
 from repro.grid.environment import GridEnvironment
 from repro.grid.node import HardwareProfile
+from repro.grid.sharding import ShardRing, ShardRouter
 from repro.planner.config import GPConfig
 from repro.services.authentication import AuthenticationService
+from repro.services.base import WELL_KNOWN
 from repro.services.brokerage import BrokerageService
 from repro.services.coordination import CoordinationService
 from repro.services.information import InformationService
@@ -25,11 +27,19 @@ from repro.services.monitoring import MonitoringService
 from repro.services.ontology_service import OntologyService
 from repro.services.planning import PlanningService
 from repro.services.scheduling import SchedulingService
+from repro.services.sharded import PartitionedBrokerageService
 from repro.services.simulation_service import SimulationService
 from repro.services.storage import PersistentStorageService
 from repro.sim.failures import BernoulliFailures
 
-__all__ = ["CoreServices", "build_core_services", "standard_environment"]
+__all__ = [
+    "CoreServices",
+    "ShardGroup",
+    "ShardedGridEnvironment",
+    "build_core_services",
+    "sharded_environment",
+    "standard_environment",
+]
 
 
 @dataclass
@@ -197,3 +207,305 @@ def standard_environment(
                 f"{svc.name}@{container.name}", "end-user", site, container.name
             )
     return env, services, fleet
+
+
+# -- sharded multi-coordinator grid ----------------------------------------- #
+@dataclass
+class ShardGroup:
+    """One coordination/scheduling shard: the per-case service replicas.
+
+    Each group carries its own coordinator, scheduler, matchmaker, broker
+    partition and ontology replica, wired to each other by concrete agent
+    names (the coordinator's ``matchmaker_name`` etc. point inside the
+    group), so a case routed to this shard runs its whole enactment loop
+    without crossing shards — except for registry lookups the group's
+    broker partition does not own, which scatter (see
+    :class:`~repro.services.sharded.PartitionedBrokerageService`).
+    """
+
+    shard: str
+    brokerage: PartitionedBrokerageService
+    matchmaking: MatchmakingService
+    scheduling: SchedulingService
+    coordination: CoordinationService
+    ontology: OntologyService
+
+
+@dataclass
+class ShardedGridEnvironment:
+    """A grid whose per-case core services are replicated across shards.
+
+    ``services`` is the familiar :class:`CoreServices` view — the shared
+    singletons (information, monitoring, storage, authentication,
+    simulation, planning, the ontology *primary*) plus shard group 0's
+    replicas for the sharded types; at ``shards=1`` it is exactly the
+    unsharded service set.  ``router`` is the consistent-hash resolver
+    installed on the bus; ``ring`` its membership.
+    """
+
+    env: GridEnvironment
+    services: CoreServices
+    groups: list[ShardGroup]
+    ring: ShardRing
+    router: ShardRouter
+    fleet: list[ApplicationContainer]
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return self.ring.shards
+
+    def group_for(self, case_id: str) -> ShardGroup:
+        """The shard group that owns *case_id* on the ring."""
+        owner = self.ring.owner(str(case_id))
+        for group in self.groups:
+            if group.shard == owner:
+                return group
+        raise KeyError(owner)  # pragma: no cover - ring and groups agree
+
+    def coordinator_for(self, case_id: str) -> str:
+        """Agent name of the coordination replica owning *case_id*."""
+        return self.group_for(case_id).coordination.name
+
+
+def _shard_name(base: str, label: str, shards: int) -> str:
+    """Agent name for *base* on shard *label* — unsuffixed at ``shards=1``
+    so the single-shard grid is byte-identical to the unsharded one."""
+    return base if shards == 1 else f"{base}@{label}"
+
+
+def sharded_environment(
+    end_user_services: Sequence[EndUserService],
+    shards: int = 1,
+    shard_labels: Sequence[str] | None = None,
+    containers: int = 3,
+    sites: Sequence[str] = ("siteA", "siteB", "siteC"),
+    speeds: Sequence[float] = (1.0, 2.0, 4.0),
+    cost_rates: Sequence[float] = (1.0, 2.5, 6.0),
+    slots: int = 4,
+    reservable: bool = False,
+    secure: bool = False,
+    failure_probability: float = 0.0,
+    failure_seed: int = 7,
+    planner_config: GPConfig | None = None,
+    planner_seed: int = 0,
+    tracing: bool = True,
+    spans: bool = False,
+    batched: bool = True,
+    coalesce: bool = False,
+) -> ShardedGridEnvironment:
+    """Figure-1 grid with *shards* replicated coordination/scheduling
+    groups behind one bus.
+
+    The singleton services of :func:`standard_environment` stay shared
+    (information, monitoring, storage, authentication, simulation,
+    planning, and the ontology *primary*); coordination, scheduling,
+    matchmaking and brokerage are replicated per shard.  Case traffic
+    addressed to the logical ``coordination`` name is rewritten at the
+    bus to the owning shard's coordinator by consistent hash of the case
+    id; the end-user service registry is partitioned across the broker
+    replicas by service name on the same ring, with cross-shard scatter
+    on a local miss.  Ontology replicas follow the primary through its
+    versioned delta stream and catch up over ``ontology-sync`` on join.
+
+    With ``shards=1`` every replica keeps its well-known unsharded name,
+    the ring rewrite is the identity, and the message stream — and
+    therefore every recorded protocol trace — is byte-identical to
+    :func:`standard_environment`.
+    """
+    if shards < 1:
+        raise ValueError("sharded_environment needs at least one shard")
+    labels = (
+        list(shard_labels)
+        if shard_labels is not None
+        else [f"s{index}" for index in range(shards)]
+    )
+    if len(labels) != shards or len(set(labels)) != shards:
+        raise ValueError("shard_labels must give one distinct label per shard")
+    ring = ShardRing(labels)
+
+    env = GridEnvironment(
+        tracing=tracing, spans=spans, batched=batched, coalesce=coalesce
+    )
+    credentials = ("coordination", "grid-secret") if secure else None
+
+    # Construction order mirrors build_core_services exactly (information
+    # first, coordination last) with each sharded type expanded in shard
+    # order in place of its singleton — at shards=1 the agent sequence,
+    # and with it every spawned process and id stream, is identical.
+    information = InformationService(env)
+    brokers = [
+        PartitionedBrokerageService(
+            env,
+            _shard_name(WELL_KNOWN["brokerage"], label, shards),
+            ring=ring if shards > 1 else None,
+            shard=label if shards > 1 else None,
+        )
+        for label in labels
+    ]
+    matchmakers = [
+        MatchmakingService(env, _shard_name(WELL_KNOWN["matchmaking"], label, shards))
+        for label in labels
+    ]
+    monitoring = MonitoringService(env)
+    ontology = OntologyService(env)
+    storage = PersistentStorageService(env)
+    authentication = AuthenticationService(env)
+    schedulers = [
+        SchedulingService(env, _shard_name(WELL_KNOWN["scheduling"], label, shards))
+        for label in labels
+    ]
+    simulation = SimulationService(env)
+    planning = PlanningService(env, config=planner_config, rng=planner_seed)
+    coordinators = [
+        CoordinationService(
+            env,
+            _shard_name(WELL_KNOWN["coordination"], label, shards),
+            credentials=credentials,
+        )
+        for label in labels
+    ]
+    replicas: list[OntologyService] = []
+    if shards > 1:
+        # Replicas join last: they subscribe to the primary's delta stream
+        # and catch up on whatever it published during bootstrap.
+        for label in labels:
+            replica = OntologyService(
+                env, f"{WELL_KNOWN['ontology']}@{label}", replica_of=ontology.name
+            )
+            ontology.subscribe_replica(replica.name)
+            replica.start_replication()
+            replicas.append(replica)
+
+    groups: list[ShardGroup] = []
+    peers = {label: broker.name for label, broker in zip(labels, brokers)}
+    for index, label in enumerate(labels):
+        broker = brokers[index]
+        matchmaker = matchmakers[index]
+        scheduler = schedulers[index]
+        coordinator = coordinators[index]
+        if shards > 1:
+            broker.set_peers(peers)
+            matchmaker.shard = label
+            matchmaker.broker_name = broker.name
+            scheduler.shard = label
+            scheduler.broker_name = broker.name
+            coordinator.shard = label
+            coordinator.matchmaker_name = matchmaker.name
+            coordinator.scheduler_name = scheduler.name
+            coordinator.broker_name = broker.name
+        groups.append(
+            ShardGroup(
+                shard=label,
+                brokerage=broker,
+                matchmaking=matchmaker,
+                scheduling=scheduler,
+                coordination=coordinator,
+                ontology=replicas[index] if shards > 1 else ontology,
+            )
+        )
+
+    services = CoreServices(
+        information=information,
+        brokerage=brokers[0],
+        matchmaking=matchmakers[0],
+        monitoring=monitoring,
+        ontology=ontology,
+        storage=storage,
+        authentication=authentication,
+        scheduling=schedulers[0],
+        simulation=simulation,
+        planning=planning,
+        coordination=coordinators[0],
+    )
+    env.core_services = services  # type: ignore[attr-defined]
+    if secure:
+        authentication.add_principal(*credentials)
+
+    # The bus-level routing seam: logical case traffic goes to the owning
+    # coordinator (keyed on the case/task id), logical registry traffic to
+    # the owning broker/matchmaker partition (keyed on the service name).
+    shard_router = ShardRouter(
+        ring,
+        targets={
+            WELL_KNOWN["coordination"]: {
+                label: coord.name
+                for label, coord in zip(labels, coordinators)
+            },
+            WELL_KNOWN["brokerage"]: dict(peers),
+            WELL_KNOWN["matchmaking"]: {
+                label: matchmaker.name
+                for label, matchmaker in zip(labels, matchmakers)
+            },
+        },
+        keys={
+            WELL_KNOWN["brokerage"]: ("service",),
+            WELL_KNOWN["matchmaking"]: ("service",),
+        },
+    )
+    env.router.sharding = shard_router
+
+    failures = (
+        BernoulliFailures(failure_probability, rng=failure_seed)
+        if failure_probability > 0
+        else None
+    )
+    from repro.services.brokerage import ContainerAd
+
+    fleet: list[ApplicationContainer] = []
+    for idx in range(containers):
+        site = sites[idx % len(sites)]
+        speed = speeds[idx % len(speeds)]
+        node = env.add_node(
+            f"node{idx + 1}",
+            site,
+            HardwareProfile(speed=speed),
+            slots=slots,
+            domain=site,
+            cost_rate=cost_rates[idx % len(cost_rates)],
+        )
+        if reservable:
+            node.enable_reservations()
+        container = ApplicationContainer(
+            env,
+            f"ac{idx + 1}",
+            node,
+            services={svc.name: svc for svc in end_user_services},
+            failures=failures,
+            require_auth=secure,
+        )
+        fleet.append(container)
+        for label, broker in zip(labels, brokers):
+            # Every partition keeps the full resource KB (nodes are few
+            # and shard-agnostic); service ads land on the ring owner.
+            broker.advertise_node(node)
+            owned = [
+                svc.name
+                for svc in end_user_services
+                if shards == 1 or ring.owner(svc.name) == label
+            ]
+            if owned:
+                broker.advertise(
+                    ContainerAd(
+                        container=container.name,
+                        site=site,
+                        services=owned,
+                        speed=speed,
+                        advertised_at=0.0,
+                        node=node.name,
+                    )
+                )
+        information.register_offering(
+            container.name, "application-container", site, container.name
+        )
+        for svc in end_user_services:
+            information.register_offering(
+                f"{svc.name}@{container.name}", "end-user", site, container.name
+            )
+    return ShardedGridEnvironment(
+        env=env,
+        services=services,
+        groups=groups,
+        ring=ring,
+        router=shard_router,
+        fleet=fleet,
+    )

@@ -376,6 +376,7 @@ class CoordinationService(CoreService):
             recorder.start(
                 content.get("task", ""), "case",
                 agent=self.name, trace_id=message.trace_id,
+                **({"shard": self.shard} if self.shard else {}),
             )
             if recorder.enabled
             else None

@@ -5,6 +5,7 @@ from repro.workloads.many_cases import (
     many_cases_process,
     many_cases_services,
     run_many_cases,
+    shard_assignment,
 )
 from repro.workloads.synthetic import (
     chain_problem,
@@ -19,6 +20,7 @@ __all__ = [
     "many_cases_process",
     "many_cases_services",
     "run_many_cases",
+    "shard_assignment",
     "chain_problem",
     "diamond_problem",
     "choice_problem",

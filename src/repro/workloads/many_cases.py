@@ -22,14 +22,16 @@ matchmaker's candidate cache and the router fast path are built for.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Any
 
 from repro.errors import WorkloadError
 from repro.grid.container import EndUserService
+from repro.grid.sharding import ShardRing
 from repro.process.builder import WorkflowBuilder
 from repro.process.conditions import Atom, Relation
 from repro.process.model import Activity, ProcessDescription
-from repro.services.bootstrap import standard_environment
+from repro.services.bootstrap import sharded_environment, standard_environment
 
 __all__ = [
     "many_cases_process",
@@ -122,6 +124,8 @@ def run_many_cases(
     async_reports: bool = False,
     parallel: int = 0,
     first_case: int = 0,
+    shards: int = 0,
+    case_indices: Sequence[int] | None = None,
 ) -> dict[str, Any]:
     """Enact *cases* concurrent instances of the shared workflow.
 
@@ -159,12 +163,52 @@ def run_many_cases(
     ``first_case`` offsets the global case index (shard workers use it so
     every case keeps its population-level initial data and task name).
 
+    ``shards=N`` (N > 1) runs the **sharded grid** instead: cases are
+    assigned to N coordination shards by consistent hash of their case id
+    (``case-<index>`` on the :class:`~repro.grid.sharding.ShardRing` over
+    labels ``s0..s{N-1}`` — a fixed, population-independent mapping), and
+    each shard enacts its slice in its own process with its own shard
+    group.  Results merge exactly like ``parallel``'s.  ``shards=1`` runs
+    serially in-process on a single-shard
+    :func:`~repro.services.bootstrap.sharded_environment`, whose message
+    stream is byte-identical to the unsharded grid — the trace-identity
+    gate for the sharded bootstrap.  ``shards`` and ``parallel`` are
+    mutually exclusive.  ``case_indices`` (used by shard workers) names
+    the exact global case indices to enact, overriding the contiguous
+    ``first_case`` range.
+
     Returns ``env``, ``services``, ``outcomes`` (per-case replies) and
     summary counts.  Raises :class:`WorkloadError` when any case fails —
     the workload is deterministic and must always complete.
     """
     if cases < 1:
         raise WorkloadError("many_cases needs at least one case")
+    if case_indices is not None and len(case_indices) != cases:
+        raise WorkloadError(
+            f"many_cases: {cases} cases but {len(case_indices)} case_indices"
+        )
+    if shards > 1 and parallel > 1:
+        raise WorkloadError("many_cases: shards and parallel are exclusive")
+    if shards > 1:
+        return _run_many_cases_sharded(
+            cases=cases,
+            containers=containers,
+            rounds=rounds,
+            tracing=tracing,
+            match_cache_ttl=match_cache_ttl,
+            sched_cache_ttl=sched_cache_ttl,
+            coord_cache_ttl=coord_cache_ttl,
+            program_cache_size=program_cache_size,
+            max_events=max_events,
+            spans=spans,
+            gauge_period=gauge_period,
+            batched=batched,
+            coalesce=coalesce,
+            metrics=metrics,
+            async_reports=async_reports,
+            first_case=first_case,
+            shards=shards,
+        )
     if parallel > 1:
         return _run_many_cases_parallel(
             cases=cases,
@@ -185,10 +229,17 @@ def run_many_cases(
             parallel=parallel,
             first_case=first_case,
         )
-    env, services, fleet = standard_environment(
-        many_cases_services(), containers=containers, tracing=tracing,
-        spans=spans, batched=batched, coalesce=coalesce,
-    )
+    if shards == 1:
+        grid = sharded_environment(
+            many_cases_services(), shards=1, containers=containers,
+            tracing=tracing, spans=spans, batched=batched, coalesce=coalesce,
+        )
+        env, services, fleet = grid.env, grid.services, grid.fleet
+    else:
+        env, services, fleet = standard_environment(
+            many_cases_services(), containers=containers, tracing=tracing,
+            spans=spans, batched=batched, coalesce=coalesce,
+        )
     if not metrics:
         env.metrics.enabled = False
     if async_reports:
@@ -211,21 +262,26 @@ def run_many_cases(
         )
     process = many_cases_process(rounds)
     outcomes: list[dict[str, Any] | None] = [None] * cases
+    indices = (
+        list(case_indices)
+        if case_indices is not None
+        else [first_case + index for index in range(cases)]
+    )
 
-    def enact_case(index: int):
+    def enact_case(slot: int, index: int):
         reply = yield from services.coordination.call(
             "coordination",
             "execute-task",
             {
                 "process": process,
-                "initial_data": many_cases_initial_data(first_case + index),
-                "task": f"case-{first_case + index}",
+                "initial_data": many_cases_initial_data(index),
+                "task": f"case-{index}",
             },
         )
-        outcomes[index] = reply
+        outcomes[slot] = reply
 
-    for index in range(cases):
-        env.engine.spawn(enact_case(index), name=f"user-{first_case + index}")
+    for slot, index in enumerate(indices):
+        env.engine.spawn(enact_case(slot, index), name=f"user-{index}")
     env.run(max_events=max_events)
 
     completed = sum(
@@ -365,6 +421,99 @@ def _run_many_cases_parallel(
         "shards": [
             {"first_case": start, "cases": size}
             for start, size in bounds
+        ],
+        "pool_error": pool_error,
+        "spans": {
+            "enabled": False,
+            "started": 0,
+            "closed": 0,
+            "open": 0,
+            "evicted": 0,
+        },
+        "counters": counters,
+    }
+
+
+# -- sharded-grid driver ----------------------------------------------------- #
+def shard_assignment(
+    cases: int, shards: int, first_case: int = 0
+) -> dict[str, list[int]]:
+    """Global case indices per shard label, by consistent hash of the case
+    id (``case-<index>``) over the ring of labels ``s0..s{shards-1}``.
+
+    The mapping depends only on the case id and the shard count — never on
+    the population size or enactment order — so any observer (the CLI, the
+    bench, a test) can recompute where a case ran.
+    """
+    ring = ShardRing([f"s{index}" for index in range(shards)])
+    assignment: dict[str, list[int]] = {label: [] for label in ring.shards}
+    for index in range(first_case, first_case + cases):
+        assignment[ring.owner(f"case-{index}")].append(index)
+    return assignment
+
+
+def _run_many_cases_sharded(
+    *, cases: int, shards: int, first_case: int, **workload: Any
+) -> dict[str, Any]:
+    """Enact the population on the sharded grid: one process per shard,
+    cases assigned by consistent hash, results merged deterministically."""
+    assignment = shard_assignment(cases, shards, first_case)
+    populated = [
+        (label, indices) for label, indices in assignment.items() if indices
+    ]
+    shard_kwargs = [
+        dict(
+            workload,
+            cases=len(indices),
+            case_indices=indices,
+            first_case=0,
+            shards=1,
+            parallel=0,
+        )
+        for _, indices in populated
+    ]
+    pool_error: str | None = None
+    summaries: list[dict[str, Any]] | None = None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(populated)) as pool:
+            summaries = list(pool.map(_run_shard, shard_kwargs))
+    except Exception as exc:  # pragma: no cover - depends on host sandboxing
+        pool_error = f"{type(exc).__name__}: {exc}"
+        summaries = None
+    if summaries is None:
+        summaries = [_run_shard(kwargs) for kwargs in shard_kwargs]
+
+    # Outcomes go back into global case order regardless of which shard
+    # carried them (the hash assignment interleaves indices).
+    outcomes: list[dict[str, Any] | None] = [None] * cases
+    counters: dict[str, int] = {}
+    for (label, indices), summary in zip(populated, summaries):
+        for index, outcome in zip(indices, summary["outcomes"]):
+            outcomes[index - first_case] = outcome
+        for key, value in summary["counters"].items():
+            counters[key] = counters.get(key, 0) + value
+    completed = sum(summary["completed"] for summary in summaries)
+    if completed != cases:
+        raise WorkloadError(
+            f"many_cases: only {completed}/{cases} cases completed"
+        )
+    return {
+        "env": None,
+        "services": None,
+        "fleet": None,
+        "outcomes": outcomes,
+        "cases": cases,
+        "completed": completed,
+        "activities_run": sum(s["activities_run"] for s in summaries),
+        "messages": sum(s["messages"] for s in summaries),
+        "makespan": max(s["makespan"] for s in summaries),
+        "engine_events": sum(s["engine_events"] for s in summaries),
+        "sharded": shards,
+        "shards": [
+            {"shard": label, "cases": len(indices)}
+            for label, indices in populated
         ],
         "pool_error": pool_error,
         "spans": {

@@ -235,3 +235,70 @@ class TestParallelDriver:
         assert result["completed"] == 4
         assert result["pool_error"] is not None
         assert "no pool for you" in result["pool_error"]
+
+
+class TestShardedDriver:
+    def test_shard_assignment_is_deterministic_and_total(self):
+        from repro.workloads import shard_assignment
+
+        first = shard_assignment(50, 4)
+        again = shard_assignment(50, 4)
+        assert first == again
+        indices = sorted(i for bucket in first.values() for i in bucket)
+        assert indices == list(range(50))
+        # Population-independent: a case keeps its shard when the
+        # population grows.
+        bigger = shard_assignment(200, 4)
+        for label, bucket in first.items():
+            assert set(bucket) <= set(bigger[label])
+
+    def test_single_shard_is_byte_identical_to_default(self):
+        default = run_many_cases(cases=4, containers=2)
+        sharded = run_many_cases(cases=4, containers=2, shards=1)
+        assert repr(sharded["outcomes"]) == repr(default["outcomes"])
+        fingerprint = [
+            [
+                (e.time, m.sender, m.receiver, m.action, m.conversation,
+                 m.message_id, m.trace_id, m.parent_id, repr(m.content))
+                for e in run["env"].router.trace.events()
+                for m in (e.message,)
+            ]
+            for run in (default, sharded)
+        ]
+        assert fingerprint[0] == fingerprint[1]
+
+    def test_sharded_merge_matches_serial(self):
+        serial = run_many_cases(cases=8, containers=2, tracing=False)
+        merged = run_many_cases(
+            cases=8, containers=2, tracing=False, shards=3
+        )
+        assert merged["sharded"] == 3
+        assert merged["completed"] == 8
+        assert sum(s["cases"] for s in merged["shards"]) == 8
+        for mine, theirs in zip(merged["outcomes"], serial["outcomes"]):
+            assert mine["status"] == theirs["status"] == "completed"
+            assert mine["data"] == theirs["data"]
+            assert mine["activities_run"] == theirs["activities_run"]
+        assert merged["env"] is None and merged["services"] is None
+
+    def test_shards_and_parallel_are_exclusive(self):
+        with pytest.raises(WorkloadError):
+            run_many_cases(cases=4, shards=2, parallel=2)
+
+    def test_case_indices_must_match_cases(self):
+        with pytest.raises(WorkloadError):
+            run_many_cases(cases=3, case_indices=[0, 1])
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class Boom:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no pool for you")
+
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor", Boom
+        )
+        result = run_many_cases(
+            cases=4, containers=2, tracing=False, shards=2
+        )
+        assert result["completed"] == 4
+        assert "no pool for you" in result["pool_error"]
