@@ -79,6 +79,19 @@ workflow verifier:
   identical, while ``analysis_rejected`` records how many candidate
   simulations the filter made unnecessary.
 
+The **planlib** suite (BENCH_planlib.json) measures the persistent plan
+library's warm-start path on the repeated-goal ``plan_mix`` workload:
+
+* cold (``library="off"``) vs warm (``library="on"``) per-request
+  planning-latency percentiles (p50/p95), plus the warm-hit-path
+  percentiles and the p50 speedup (the ``--min-warm-speedup`` floor
+  gate, host-fingerprint-matched like the other gates);
+* the hit / repair / seed / miss ladder counters of the warm run and of
+  a third run with a mid-run service kill (the repair leg);
+* the library-off byte-identity gate: a grid with a library wired but
+  ``GPConfig.library="off"`` must produce exactly the unwired grid's
+  message trace and GP results (enforced unconditionally).
+
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
 block records the CPU budget the numbers were taken under (a single-core
@@ -89,15 +102,17 @@ honest number).
 from __future__ import annotations
 
 import argparse
-import gc
-import json
 import os
-import platform
-import statistics
-import time
 
 import numpy as np
 
+from bench_util import (
+    enforce_gate,
+    host_fingerprint as _host,
+    time_fn as _time,
+    trace_rows,
+    write_record as _write,
+)
 from repro.plan import random_tree
 from repro.planner import EvaluationEngine, GPConfig, GPPlanner, PlanEvaluator
 from repro.virolab import planning_problem
@@ -110,32 +125,6 @@ def _population(problem, count, seed=0):
         random_tree(activities, max_size=40, rng=rng, max_branch=4)
         for _ in range(count)
     ]
-
-
-def _time(fn, rounds):
-    # Collect before and freeze the collector during each sample: cyclic-gc
-    # pauses landing inside a sample were the dominant variance source on
-    # single-core hosts (spreads of 2x for identical configs).
-    samples = []
-    gc_was_enabled = gc.isenabled()
-    try:
-        for _ in range(rounds):
-            gc.collect()
-            gc.disable()
-            t0 = time.perf_counter()
-            fn()
-            samples.append(time.perf_counter() - t0)
-            gc.enable()
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-        else:
-            gc.disable()
-    return {
-        "median_s": statistics.median(samples),
-        "min_s": min(samples),
-        "rounds": rounds,
-    }
 
 
 def bench_evaluate_many(problem, rounds, workers):
@@ -321,24 +310,8 @@ def verify_trace_identity(cases=8, containers=4):
         result = run_many_cases(
             cases=cases, containers=containers, batched=batched
         )
-        trace = [
-            (
-                event.time,
-                message.sender,
-                message.receiver,
-                message.performative.value,
-                message.action,
-                message.conversation,
-                message.message_id,
-                message.trace_id,
-                message.parent_id,
-                repr(message.content),
-            )
-            for event in result["env"].router.trace.events()
-            for message in (event.message,)
-        ]
         return {
-            "trace": trace,
+            "trace": trace_rows(result["env"]),
             "outcomes": repr(result["outcomes"]),
             "completed": result["completed"],
             "makespan": result["makespan"],
@@ -384,24 +357,8 @@ def verify_trace_identity(cases=8, containers=4):
 
 def _workload_fingerprint(result):
     """Everything observable about a workload run, for identity gates."""
-    trace = [
-        (
-            event.time,
-            message.sender,
-            message.receiver,
-            message.performative.value,
-            message.action,
-            message.conversation,
-            message.message_id,
-            message.trace_id,
-            message.parent_id,
-            repr(message.content),
-        )
-        for event in result["env"].router.trace.events()
-        for message in (event.message,)
-    ]
     return {
-        "trace": trace,
+        "trace": trace_rows(result["env"]),
         "outcomes": repr(result["outcomes"]),
         "completed": result["completed"],
         "makespan": result["makespan"],
@@ -746,34 +703,162 @@ def bench_analysis(rounds, iterations=200):
     return out
 
 
-def _same_host(host, reference) -> bool:
-    return (
-        host["cpu_count"] == reference["cpu_count"]
-        and host["platform"] == reference["platform"]
-    )
+#: Host-fingerprinted reference for the plan-library warm-start suite.
+#: The ``--min-warm-speedup`` floor gate is enforced only when the current
+#: host matches this fingerprint.  Measured on the grading host (24
+#: requests over 4 goal variants, population 40 / 8 generations).
+PLANLIB_REFERENCE = {
+    "requests": 24,
+    "distinct": 4,
+    "warm_speedup_p50": 30.0,
+    "host": {
+        "cpu_count": 1,
+        "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36",
+    },
+    "note": "cold GP p50 over warm hit-path p50, grading host",
+}
 
 
-def _host():
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+def _latency_percentiles(samples):
+    """p50/p95 of per-request planning latencies (nearest-rank)."""
+    ordered = sorted(samples)
+
+    def pct(p):
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1)))]
+
+    return {"p50_s": pct(50), "p95_s": pct(95), "n": len(ordered)}
+
+
+def verify_library_off_identity(requests=8, distinct=4):
+    """Byte-identity gate: library wired but ``library="off"`` vs unwired.
+
+    ``GPConfig.library="off"`` must leave the planning service on the
+    pre-library code path exactly — same GP populations (hence fitness and
+    replies), same default message trace — even when a :class:`PlanLibrary`
+    and knowledge base are wired into the grid.  The unwired half of the
+    pair runs the original handler body with zero generator yields, i.e.
+    the pre-PR behavior.
+    """
+    from repro.workloads import run_plan_mix
+
+    def observable(wired):
+        result = run_plan_mix(
+            requests=requests,
+            distinct=distinct,
+            library="off",
+            wire_disabled_library=wired,
+        )
+        return {
+            "trace": trace_rows(result["env"]),
+            "fitness": result["fitness"],
+            "sources": result["sources"],
+            "solved": result["solved"],
+            "makespan": result["makespan"],
+        }
+
+    wired = observable(True)
+    plain = observable(False)
+    identical = wired == plain
+    gate = {
+        "requests": requests,
+        "identical": identical,
+        "messages_compared": len(plain["trace"]),
+    }
+    if not identical:
+        for index, (one, other) in enumerate(
+            zip(wired["trace"], plain["trace"])
+        ):
+            if one != other:
+                gate["first_divergence"] = {
+                    "index": index,
+                    "wired_off": one,
+                    "unwired": other,
+                }
+                break
+        else:
+            gate["first_divergence"] = {
+                "wired_len": len(wired["trace"]),
+                "unwired_len": len(plain["trace"]),
+                "fitness_equal": wired["fitness"] == plain["fitness"],
+            }
+    return gate
+
+
+def bench_planlib(requests=24, distinct=4):
+    """Plan-library warm-start: cold vs warm latency plus the ladder counts.
+
+    Three runs of the repeated-goal ``plan_mix`` traffic:
+
+    * cold — ``library="off"``, every request is a full GP run (the
+      baseline percentiles);
+    * warm — ``library="on"``, first occurrences miss or seed, repeats are
+      analyzer-verified hits (the warm-hit percentiles and the speedup);
+    * stale — warm plus a mid-run service kill, exercising the repair leg.
+    """
+    from repro.workloads import run_plan_mix
+
+    out = {"requests": requests, "distinct": distinct}
+
+    cold = run_plan_mix(requests=requests, distinct=distinct, library="off")
+    out["cold_library_off"] = {
+        **_latency_percentiles(cold["latencies"]),
+        "solved": cold["solved"],
     }
 
+    warm = run_plan_mix(requests=requests, distinct=distinct, library="on")
+    hit_latencies = [
+        latency
+        for latency, source in zip(warm["latencies"], warm["sources"])
+        if source in ("hit", "repair")
+    ]
+    out["warm_library_on"] = {
+        **_latency_percentiles(warm["latencies"]),
+        "solved": warm["solved"],
+        "library_entries": warm["library_entries"],
+        "sources": warm["sources"],
+    }
+    out["warm_hit_path"] = _latency_percentiles(hit_latencies)
+    out["counts"] = warm["counts"]
+    out["warm_speedup_p50"] = (
+        out["cold_library_off"]["p50_s"] / out["warm_hit_path"]["p50_s"]
+        if out["warm_hit_path"]["p50_s"] > 0
+        else 0.0
+    )
 
-def _write(path, record):
-    with open(path, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(json.dumps(record, indent=2))
-    print(f"\nwrote {path}")
+    stale = run_plan_mix(
+        requests=requests,
+        distinct=distinct,
+        library="on",
+        kill_after=max(1, requests // 2),
+    )
+    out["repair_leg"] = {
+        "killed_service": stale["killed"],
+        "counts": stale["counts"],
+        "sources": stale["sources"],
+        "solved": stale["solved"],
+    }
+
+    out["planlib_reference"] = dict(PLANLIB_REFERENCE)
+    out["library_off_identity"] = verify_library_off_identity()
+    return out
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("all", "planner", "bus", "enact", "obs", "analysis", "shard"),
+        choices=(
+            "all",
+            "planner",
+            "bus",
+            "enact",
+            "obs",
+            "analysis",
+            "shard",
+            "planlib",
+        ),
         default="all",
     )
     parser.add_argument("--out", default="BENCH_planner.json")
@@ -782,6 +867,17 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-out", default="BENCH_obs.json")
     parser.add_argument("--analysis-out", default="BENCH_analysis.json")
     parser.add_argument("--shard-out", default="BENCH_shard.json")
+    parser.add_argument("--planlib-out", default="BENCH_planlib.json")
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail (exit 1) if the planlib suite's warm-hit p50 latency is "
+        "not at least FACTOR times below the cold (library-off) p50; only "
+        "enforced when the host fingerprint matches the committed planlib "
+        "reference host",
+    )
     parser.add_argument(
         "--shard-cases",
         type=int,
@@ -888,25 +984,17 @@ def main(argv=None) -> int:
                 f"byte-identical over {gate['messages_compared']} messages "
                 f"({gate['cases']} cases)"
             )
-        if args.min_stress_cases_per_s is not None:
-            rate = record["enact"]["stress_1k"]["cases_per_s"]
-            if not _same_host(host, STRESS_REFERENCE["host"]):
-                print(
-                    "stress floor gate skipped: host differs from the "
-                    "reference host "
-                    f"({host['cpu_count']} cpus, {host['platform']})"
-                )
-            elif rate < args.min_stress_cases_per_s:
-                print(
-                    f"FAIL: stress row {rate:.0f} cases/s is below "
-                    f"--min-stress-cases-per-s {args.min_stress_cases_per_s}"
-                )
-                return 1
-            else:
-                print(
-                    f"stress floor gate passed: {rate:.0f} cases/s "
-                    f">= {args.min_stress_cases_per_s}"
-                )
+        if args.min_stress_cases_per_s is not None and not enforce_gate(
+            "stress floor (--min-stress-cases-per-s)",
+            record["enact"]["stress_1k"]["cases_per_s"],
+            args.min_stress_cases_per_s,
+            host,
+            STRESS_REFERENCE["host"],
+            mode="min",
+            unit=" cases/s",
+            fmt="{:.0f}",
+        ):
+            return 1
 
     if args.suite in ("all", "shard"):
         host = _host()
@@ -922,27 +1010,16 @@ def main(argv=None) -> int:
                 f"{record['shard']['trace_gate_shards1'].get('first_divergence')}"
             )
             return 1
-        if args.min_shard_scaling is not None:
-            scaling = record["shard"]["scaling_vs_1_shard"][
-                f"shards_{max(SHARD_COUNTS)}"
-            ]
-            if not _same_host(host, SHARD_REFERENCE["host"]):
-                print(
-                    "shard scaling gate skipped: host differs from the "
-                    "reference host "
-                    f"({host['cpu_count']} cpus, {host['platform']})"
-                )
-            elif scaling < args.min_shard_scaling:
-                print(
-                    f"FAIL: {max(SHARD_COUNTS)}-shard scaling {scaling:.2f}x "
-                    f"is below --min-shard-scaling {args.min_shard_scaling}"
-                )
-                return 1
-            else:
-                print(
-                    f"shard scaling gate passed: {scaling:.2f}x "
-                    f">= {args.min_shard_scaling}"
-                )
+        if args.min_shard_scaling is not None and not enforce_gate(
+            f"{max(SHARD_COUNTS)}-shard scaling (--min-shard-scaling)",
+            record["shard"]["scaling_vs_1_shard"][f"shards_{max(SHARD_COUNTS)}"],
+            args.min_shard_scaling,
+            host,
+            SHARD_REFERENCE["host"],
+            mode="min",
+            unit="x",
+        ):
+            return 1
 
     if args.suite in ("all", "analysis"):
         record = {
@@ -960,25 +1037,43 @@ def main(argv=None) -> int:
             "obs": bench_obs(args.rounds, cases=args.cases),
         }
         _write(args.obs_out, record)
-        if args.max_disabled_overhead is not None:
-            overhead = record["obs"]["disabled_overhead_pct"]
-            if not _same_host(host, PRE_OBS_BASELINE["host"]):
-                print(
-                    "disabled-overhead gate skipped: host differs from the "
-                    "baseline host "
-                    f"({host['cpu_count']} cpus, {host['platform']})"
-                )
-            elif overhead > args.max_disabled_overhead:
-                print(
-                    f"FAIL: spans-off overhead {overhead:+.1f}% exceeds "
-                    f"--max-disabled-overhead {args.max_disabled_overhead}%"
-                )
-                return 1
-            else:
-                print(
-                    f"disabled-overhead gate passed: {overhead:+.1f}% "
-                    f"<= {args.max_disabled_overhead}%"
-                )
+        if args.max_disabled_overhead is not None and not enforce_gate(
+            "spans-off disabled-overhead (--max-disabled-overhead)",
+            record["obs"]["disabled_overhead_pct"],
+            args.max_disabled_overhead,
+            host,
+            PRE_OBS_BASELINE["host"],
+            mode="max",
+            unit="%",
+            fmt="{:+.1f}",
+        ):
+            return 1
+
+    if args.suite in ("all", "planlib"):
+        host = _host()
+        record = {
+            "benchmark": "plan library warm-start (plan_mix workload)",
+            "host": host,
+            "planlib": bench_planlib(),
+        }
+        _write(args.planlib_out, record)
+        gate = record["planlib"]["library_off_identity"]
+        if not gate["identical"]:
+            print(
+                "FAIL: library-off grid diverges from the unwired grid: "
+                f"{gate.get('first_divergence')}"
+            )
+            return 1
+        if args.min_warm_speedup is not None and not enforce_gate(
+            "warm-hit speedup (--min-warm-speedup)",
+            record["planlib"]["warm_speedup_p50"],
+            args.min_warm_speedup,
+            host,
+            PLANLIB_REFERENCE["host"],
+            mode="min",
+            unit="x",
+        ):
+            return 1
     return 0
 
 

@@ -9,7 +9,12 @@ structural validation (E1xx/W101, produced by
 machinery per GP candidate inside the planner.
 """
 
-from repro.analysis.analyzer import analyze_process, has_errors
+from repro.analysis.analyzer import (
+    analyze_process,
+    has_errors,
+    unresolvable_loci,
+    verify_resolvable,
+)
 from repro.analysis.bindings import (
     ProcessBindings,
     analyze_source,
@@ -51,4 +56,6 @@ __all__ = [
     "process_from_graph",
     "render_findings",
     "resolvability_findings",
+    "unresolvable_loci",
+    "verify_resolvable",
 ]

@@ -32,7 +32,12 @@ from repro.process.validate import check_process_findings
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ontology.frames import KnowledgeBase
 
-__all__ = ["analyze_process", "has_errors"]
+__all__ = [
+    "analyze_process",
+    "has_errors",
+    "unresolvable_loci",
+    "verify_resolvable",
+]
 
 
 def analyze_process(
@@ -64,3 +69,32 @@ def analyze_process(
 
 def has_errors(findings: list[Finding]) -> bool:
     return any(f.severity is Severity.ERROR for f in findings)
+
+
+def verify_resolvable(
+    pd: ProcessDescription,
+    kb: "KnowledgeBase",
+    *,
+    classifications: dict[str, str] | None = None,
+) -> list[Finding]:
+    """Re-verification entry point for plan reuse: resolvability only.
+
+    A plan retrieved from the plan library was fully analyzed when it was
+    stored; the only thing that can rot while it sits in the repository is
+    the *registry* — a Service instance it depends on may have vanished
+    (E501) or changed capabilities (W502).  This runs exactly the
+    resolvability pass against the current knowledge base, so the planning
+    service can re-verify a hit in microseconds before letting it anywhere
+    near enactment.
+    """
+    return resolvability_findings(pd, kb, classifications=classifications)
+
+
+def unresolvable_loci(findings: list[Finding]) -> tuple[str, ...]:
+    """The activity names flagged E501 (sorted, deduplicated).
+
+    These are process-level loci; callers mapping back to plan terminals
+    must undo the ``X_2`` repeated-activity renaming of
+    :func:`repro.plan.convert.tree_to_process`.
+    """
+    return tuple(sorted({f.locus for f in findings if f.code == "E501"}))

@@ -11,6 +11,8 @@ Installed as ``repro-grid`` (see pyproject).  Subcommands:
 * ``trace export``           — run a spans-on workload, export Chrome
   trace-event JSON + flat span JSONL
 * ``profile [CASE]``         — per-case sim-time attribution table
+* ``planlib stats|list|purge`` — run the repeated-goal planning mix and
+  inspect / empty the warm-start plan library over in-band RPC
 """
 
 from __future__ import annotations
@@ -288,6 +290,65 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_planlib(args: argparse.Namespace) -> int:
+    """Run the repeated-goal planning mix, then query the plan library.
+
+    The library lives inside the planning service, so the query goes over
+    in-band RPC (``library-stats`` / ``library-list`` / ``library-purge``)
+    — the same path an external operator tool would use.
+    """
+    import json
+
+    from repro.workloads.plan_mix import run_plan_mix
+
+    result = run_plan_mix(
+        requests=args.requests,
+        distinct=args.distinct,
+        kill_after=args.kill_after,
+    )
+    counts = result["counts"]
+    print(
+        f"{result['requests']} planning requests over {args.distinct} goal "
+        f"variants: {counts['hit']} hits, {counts['repair']} repairs, "
+        f"{counts['seed']} seeded, {counts['miss']} misses "
+        f"({counts['verify']} analyzer re-verifications)"
+    )
+    if result["killed"]:
+        print(f"service killed mid-run: SVC-{result['killed']} "
+              f"(stale entries repaired, never enacted blind)")
+
+    env, services = result["env"], result["services"]
+    action = f"library-{args.planlib_command}"
+    content = {"limit": args.limit} if args.planlib_command == "list" else {}
+    reply: dict = {}
+
+    def query():
+        response = yield from services.coordination.call(
+            services.coordination.planner_name, action, content
+        )
+        reply.update(response)
+
+    env.engine.spawn(query(), "planlib-query")
+    env.run()
+
+    if args.planlib_command == "stats":
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    elif args.planlib_command == "list":
+        rows = reply["entries"]
+        if not rows:
+            print("library is empty")
+        for row in rows:
+            print(
+                f"{row['digest'][:12]}/{row['goal_sig'][:12]}  "
+                f"{row['problem']:<16} fitness={row['fitness']:.3f} "
+                f"size={row['size']} uses={row['uses']} "
+                f"stored_at={row['stored_at']:.1f}"
+            )
+    else:
+        print(f"purged {reply['purged']} entries (memory + storage mirror)")
+    return 0
+
+
 def _cmd_cases(args: argparse.Namespace) -> int:
     """Enact the many-cases workload, optionally on the sharded grid."""
     from repro.workloads.many_cases import run_many_cases, shard_assignment
@@ -397,6 +458,28 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--cases", type=int, default=16)
     pp.add_argument("--containers", type=int, default=4)
 
+    pb = sub.add_parser(
+        "planlib",
+        help="run the repeated-goal planning mix and query the plan library",
+    )
+    bsub = pb.add_subparsers(dest="planlib_command", required=True)
+    for name, text in (
+        ("stats", "print entry count, cap and hit/repair/seed/miss counters"),
+        ("list", "print entries, most-recently-used first"),
+        ("purge", "drop every entry and its persistent-storage mirror"),
+    ):
+        bq = bsub.add_parser(name, help=text)
+        bq.add_argument("--requests", type=int, default=12)
+        bq.add_argument("--distinct", type=int, default=4)
+        bq.add_argument(
+            "--kill-after", type=int, default=None, metavar="N",
+            help="after request N, remove the registered grid service the "
+            "stored variant-0 plan uses, staling that entry (the next hit "
+            "re-verifies E501 and is locally repaired)",
+        )
+        if name == "list":
+            bq.add_argument("--limit", type=int, default=None)
+
     pk = sub.add_parser(
         "cases", help="enact the many-cases workload (optionally sharded)"
     )
@@ -429,6 +512,7 @@ _HANDLERS = {
     "render": _cmd_render,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "planlib": _cmd_planlib,
     "cases": _cmd_cases,
 }
 

@@ -12,9 +12,22 @@ from repro.planner.config import GPConfig, table1_config
 from repro.planner.engine import EvaluationEngine
 from repro.planner.fitness import Fitness, FitnessWeights, PlanEvaluator, evaluate_tree
 from repro.planner.gp import GenerationStats, GPPlanner, PlanningResult
+from repro.planner.library import (
+    PlanEntry,
+    PlanLibrary,
+    goal_signature,
+    library_key,
+    problem_digest,
+    substitution_map,
+)
 from repro.planner.operators import crossover, mutate, random_node_path
 from repro.planner.problem import ActivitySpec, PlanningProblem
-from repro.planner.repair import RepairResult, never_valid_terminals, repair_plan
+from repro.planner.repair import (
+    RepairResult,
+    never_valid_terminals,
+    repair_plan,
+    swap_terminals,
+)
 from repro.planner.selection import tournament_select
 from repro.planner.simulate import (
     FlowResult,
@@ -36,7 +49,14 @@ __all__ = [
     "simulate_with_attribution",
     "repair_plan",
     "never_valid_terminals",
+    "swap_terminals",
     "RepairResult",
+    "PlanEntry",
+    "PlanLibrary",
+    "goal_signature",
+    "library_key",
+    "problem_digest",
+    "substitution_map",
     "FitnessWeights",
     "Fitness",
     "PlanEvaluator",

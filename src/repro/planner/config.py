@@ -40,6 +40,22 @@ class GPConfig:
     without simulating them, bit-identical to full evaluation;
     ``"penalty"`` short-circuits them to a floor fitness (changes
     traces); ``"off"`` disables the filter."""
+    library: str = "off"
+    """Plan-library warm starts (:mod:`repro.planner.library`): ``"off"``
+    (default) plans every request from scratch — GP populations, fitness
+    and message traces are bit-identical to a grid with no library wired
+    at all; ``"on"`` lets the planning service consult the persistent
+    repository (verified hits skip GP entirely, near-misses seed the
+    initial population) and :meth:`GPPlanner.plan` honor *seeds*."""
+    seed_fraction: float = 0.5
+    """Greatest fraction of the initial population filled from library
+    seeds when warm-starting; the rest stays random to preserve
+    exploration.  Ignored while ``library="off"``."""
+    seed_mutation_rate: float = 0.2
+    """Per-node mutation rate applied to the extra copies of each seed
+    placed in the initial population (the first copy of every seed enters
+    verbatim).  Deliberately far above *mutation_rate*: seeds should spread
+    through the neighborhood of the stored solution, not clone it."""
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -63,6 +79,14 @@ class GPConfig:
                 f"static_filter must be 'off', 'exact' or 'penalty', "
                 f"got {self.static_filter!r}"
             )
+        if self.library not in ("off", "on"):
+            raise PlanningError(
+                f"library must be 'off' or 'on', got {self.library!r}"
+            )
+        if not 0.0 <= self.seed_fraction <= 1.0:
+            raise PlanningError("seed fraction must be in [0, 1]")
+        if not 0.0 <= self.seed_mutation_rate <= 1.0:
+            raise PlanningError("seed mutation rate must be in [0, 1]")
 
     def with_(self, **changes) -> "GPConfig":
         """A copy with the given fields replaced (ablation sweeps)."""

@@ -18,6 +18,7 @@ conventional when the paper does not specify a pairing.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -107,18 +108,59 @@ class GPPlanner:
         self.rng = as_rng(rng)
 
     # -- initialization (Section 3.4.2) ------------------------------------- #
-    def initial_population(self, problem: PlanningProblem) -> list[PlanNode]:
+    def initial_population(
+        self,
+        problem: PlanningProblem,
+        seeds: Sequence[PlanNode] = (),
+    ) -> list[PlanNode]:
+        """The generation-0 population.
+
+        Without *seeds* (or with ``config.library="off"``) this is the
+        paper's initializer — ``population_size`` random trees — and the
+        RNG stream is untouched by the seeding code, so the cold path is
+        bit-identical to pre-library behavior.  With seeds (plans
+        retrieved from the plan library), up to ``seed_fraction`` of the
+        slots warm-start the search: the first copy of each seed enters
+        verbatim, further copies are mutated variants at
+        ``seed_mutation_rate``, and the remaining slots stay random.
+        """
         cfg = self.config
         activities = list(problem.activity_names)
-        return [
+        usable = (
+            [tree for tree in seeds if tree.size <= cfg.smax]
+            if cfg.library != "off"
+            else []
+        )
+        population: list[PlanNode] = []
+        if usable:
+            n_seeded = min(
+                int(cfg.population_size * cfg.seed_fraction), cfg.population_size
+            )
+            for slot in range(n_seeded):
+                base = usable[slot % len(usable)]
+                if slot < len(usable):
+                    population.append(base)
+                else:
+                    population.append(
+                        mutate(
+                            base,
+                            activities,
+                            self.rng,
+                            cfg.smax,
+                            cfg.seed_mutation_rate,
+                            cfg.max_branch,
+                        )
+                    )
+        population.extend(
             random_tree(
                 activities,
                 max_size=cfg.smax,
                 rng=self.rng,
                 max_branch=cfg.max_branch,
             )
-            for _ in range(cfg.population_size)
-        ]
+            for _ in range(cfg.population_size - len(population))
+        )
+        return population
 
     # -- main loop ------------------------------------------------------------ #
     def plan(
@@ -126,6 +168,7 @@ class GPPlanner:
         problem: PlanningProblem,
         evaluator: PlanEvaluator | None = None,
         engine: EvaluationEngine | None = None,
+        seeds: Sequence[PlanNode] = (),
     ) -> PlanningResult:
         """Run the GP loop.
 
@@ -133,7 +176,10 @@ class GPPlanner:
         (batched, deduped, cached, and parallel when ``config.workers`` >
         0).  Passing *evaluator* shares its fitness cache with the engine;
         passing *engine* reuses pool and cache across calls (the caller
-        keeps ownership and closes it).
+        keeps ownership and closes it).  *seeds* are library-retrieved
+        plans folded into generation 0 (see :meth:`initial_population`);
+        they are ignored — RNG stream untouched — unless
+        ``config.library`` enables warm starts.
         """
         cfg = self.config
         owns_engine = engine is None
@@ -148,17 +194,20 @@ class GPPlanner:
                 static_filter=cfg.static_filter,
             )
         try:
-            return self._plan(problem, engine)
+            return self._plan(problem, engine, seeds)
         finally:
             if owns_engine:
                 engine.close()
 
     def _plan(
-        self, problem: PlanningProblem, engine: EvaluationEngine
+        self,
+        problem: PlanningProblem,
+        engine: EvaluationEngine,
+        seeds: Sequence[PlanNode] = (),
     ) -> PlanningResult:
         cfg = self.config
         activities = list(problem.activity_names)
-        population = self.initial_population(problem)
+        population = self.initial_population(problem, seeds)
         history: list[GenerationStats] = []
         generations_run = 0
 

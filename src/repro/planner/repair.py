@@ -20,15 +20,27 @@ what it buys.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.plan.convert import normalize
-from repro.plan.tree import Controller, PlanNode, Terminal, replace_at
+from repro.plan.tree import (
+    Controller,
+    PlanNode,
+    Terminal,
+    iter_nodes,
+    replace_at,
+)
 from repro.planner.fitness import Fitness, PlanEvaluator
 from repro.planner.problem import PlanningProblem
 from repro.planner.simulate import SimulationOptions, simulate_with_attribution
 
-__all__ = ["repair_plan", "RepairResult", "never_valid_terminals"]
+__all__ = [
+    "repair_plan",
+    "RepairResult",
+    "never_valid_terminals",
+    "swap_terminals",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,30 @@ def _delete_at(tree: PlanNode, path: tuple[int, ...]) -> PlanNode | None:
         return _delete_at(tree, parent_path)
     children = parent.children[:idx] + parent.children[idx + 1 :]
     return normalize(replace_at(tree, parent_path, Controller(parent.kind, children)))
+
+
+def swap_terminals(
+    tree: PlanNode, mapping: Mapping[str, str]
+) -> tuple[PlanNode, tuple[tuple[str, str], ...]]:
+    """The tree with every terminal named in *mapping* swapped — and
+    nothing else.
+
+    The plan library's local repair: when re-verification flags stored
+    terminals as unresolvable (their service vanished from the registry),
+    only those exact terminals are replaced by their substitute activity;
+    structure, controllers and every other terminal are untouched, so the
+    repaired plan stays in the immediate neighborhood of the verified
+    original.  Returns the new tree plus the ``(old, new)`` swaps in
+    tree order (empty when *mapping* touches nothing).
+    """
+    swaps: list[tuple[str, str]] = []
+    current = tree
+    for path, node in list(iter_nodes(tree)):
+        if isinstance(node, Terminal) and node.activity in mapping:
+            replacement = mapping[node.activity]
+            current = replace_at(current, path, Terminal(replacement))
+            swaps.append((node.activity, replacement))
+    return current, tuple(swaps)
 
 
 def repair_plan(

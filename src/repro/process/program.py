@@ -27,6 +27,7 @@ compilation.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Hashable
 
 from repro.process.ast_nodes import ChoiceNode, IterativeNode, Node
@@ -34,7 +35,12 @@ from repro.process.conditions import Condition, compile_condition
 from repro.process.model import ProcessDescription
 from repro.process.structure import process_to_ast
 
-__all__ = ["ActivityStep", "EnactmentProgram", "process_fingerprint"]
+__all__ = [
+    "ActivityStep",
+    "EnactmentProgram",
+    "process_digest",
+    "process_fingerprint",
+]
 
 
 class ActivityStep:
@@ -153,3 +159,20 @@ def process_fingerprint(process: ProcessDescription) -> Hashable:
         )
     )
     return (process.name, activities, transitions)
+
+
+def process_digest(process: ProcessDescription) -> str:
+    """A *stable* hex digest of the same canonical structure.
+
+    :func:`process_fingerprint` is the right key for in-memory caches —
+    cheap, hashable, never serialized — but its tuple form is not a value
+    you can store in the persistent-storage service or compare across
+    sessions.  ``process_digest`` hashes the canonical fingerprint (sorted
+    tuples of plain strings, so its ``repr`` is deterministic) with
+    keyed-nothing blake2b into a 32-hex-char string that is identical for
+    structurally-equal processes across processes and sessions.  The plan
+    library (:mod:`repro.planner.library`) keys its persistent entries on
+    it; in-memory caches keep using the tuple fingerprint.
+    """
+    canonical = repr(process_fingerprint(process))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()

@@ -16,7 +16,9 @@ from repro.grid.container import ApplicationContainer, EndUserService
 from repro.grid.environment import GridEnvironment
 from repro.grid.node import HardwareProfile
 from repro.grid.sharding import ShardRing, ShardRouter
+from repro.ontology.frames import KnowledgeBase
 from repro.planner.config import GPConfig
+from repro.planner.library import PlanLibrary
 from repro.services.authentication import AuthenticationService
 from repro.services.base import WELL_KNOWN
 from repro.services.brokerage import BrokerageService
@@ -80,9 +82,18 @@ def build_core_services(
     planner_config: GPConfig | None = None,
     planner_seed: int = 0,
     coordination_credentials: tuple[str, str] | None = None,
+    plan_library: PlanLibrary | None = None,
+    knowledge_base: KnowledgeBase | None = None,
 ) -> CoreServices:
     """Attach all eleven core services to *env* (information first — the
-    others register their offerings with it)."""
+    others register their offerings with it).
+
+    *plan_library* hands the planning service a warm-start plan repository
+    (persisted through the storage service); *knowledge_base* is the
+    registry view it re-verifies retrieved plans against — and the
+    coordination intake gate's resolvability context.  Both default to
+    None, which leaves planning byte-identical to a library-less grid.
+    """
     information = InformationService(env, site=site)
     services = CoreServices(
         information=information,
@@ -95,12 +106,19 @@ def build_core_services(
         scheduling=SchedulingService(env, site=site),
         simulation=SimulationService(env, site=site),
         planning=PlanningService(
-            env, site=site, config=planner_config, rng=planner_seed
+            env,
+            site=site,
+            config=planner_config,
+            rng=planner_seed,
+            library=plan_library,
+            knowledge_base=knowledge_base,
         ),
         coordination=CoordinationService(
             env, site=site, credentials=coordination_credentials
         ),
     )
+    if knowledge_base is not None:
+        services.coordination.knowledge_base = knowledge_base
     env.core_services = services  # type: ignore[attr-defined]
     return services
 
@@ -131,6 +149,8 @@ def standard_environment(
     spans: bool = False,
     batched: bool = True,
     coalesce: bool = False,
+    plan_library: PlanLibrary | None = None,
+    knowledge_base: KnowledgeBase | None = None,
 ) -> tuple[GridEnvironment, CoreServices, list[ApplicationContainer]]:
     """One-call Figure-1 grid: core services + *containers* application
     containers (each on its own node, cycling through *sites*/*speeds*,
@@ -155,6 +175,8 @@ def standard_environment(
         planner_config=planner_config,
         planner_seed=planner_seed,
         coordination_credentials=credentials,
+        plan_library=plan_library,
+        knowledge_base=knowledge_base,
     )
     if secure:
         services.authentication.add_principal(*credentials)
@@ -292,6 +314,8 @@ def sharded_environment(
     spans: bool = False,
     batched: bool = True,
     coalesce: bool = False,
+    plan_library: PlanLibrary | None = None,
+    knowledge_base: KnowledgeBase | None = None,
 ) -> ShardedGridEnvironment:
     """Figure-1 grid with *shards* replicated coordination/scheduling
     groups behind one bus.
@@ -355,7 +379,17 @@ def sharded_environment(
         for label in labels
     ]
     simulation = SimulationService(env)
-    planning = PlanningService(env, config=planner_config, rng=planner_seed)
+    # Planning stays a shared singleton across shards, so one library —
+    # like one broker registry — serves every shard group: a plan stored
+    # by a case on shard A warm-starts the same workflow on shard B, and
+    # the storage mirror makes it visible to out-of-process replicas too.
+    planning = PlanningService(
+        env,
+        config=planner_config,
+        rng=planner_seed,
+        library=plan_library,
+        knowledge_base=knowledge_base,
+    )
     coordinators = [
         CoordinationService(
             env,
@@ -418,6 +452,9 @@ def sharded_environment(
         coordination=coordinators[0],
     )
     env.core_services = services  # type: ignore[attr-defined]
+    if knowledge_base is not None:
+        for coordinator in coordinators:
+            coordinator.knowledge_base = knowledge_base
     if secure:
         authentication.add_principal(*credentials)
 

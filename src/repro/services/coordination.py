@@ -418,6 +418,7 @@ class CoordinationService(CoreService):
                     f"process {process.name!r} failed semantic analysis: "
                     + "; ".join(str(f) for f in refused)
                 )
+        plan_source: str | None = None
         if process is None:
             # No process description supplied (the Task's "Need Planning"
             # flag): obtain one from the planning service first — the
@@ -428,13 +429,28 @@ class CoordinationService(CoreService):
                 self.planner_name, "plan", {"problem": problem_for_plan},
             )
             process = reply["process"]
+            plan_source = reply.get("source")
+            if plan_source in ("hit", "repair") and not reply.get("verified"):
+                # A plan-library plan may only skip GP when the planning
+                # service re-verified it against the current registry in
+                # *this* exchange — a stale plan is never enacted blind.
+                self.metrics.inc("cases_refused", agent=self.name)
+                raise ServiceError(
+                    f"case {content.get('task', process.name)!r} refused: "
+                    f"library {plan_source} for {process.name!r} was not "
+                    "re-verified by the analyzer"
+                )
         case = _CaseData(content.get("initial_data"))
         case.payload_keys.update(content.get("payload_keys", {}))
         problem: PlanningProblem | None = content.get("problem")
         record = EnactmentRecord(task=content.get("task", process.name))
         if case_span is not None:
             case_span.name = record.task
+            if plan_source is not None:
+                case_span.attrs["plan_source"] = plan_source
         self.records.append(record)
+        if plan_source is not None:
+            record.log(self.engine.now, "plan-source", plan_source)
         for finding in findings:
             record.log(self.engine.now, "lint", str(finding))
         work: dict[str, float] = dict(content.get("work", {}))

@@ -25,28 +25,46 @@ successful execution").
 
 from __future__ import annotations
 
+import re
 import time
 from typing import Any
 
 import numpy as np
 
 from repro._util import as_rng
+from repro.analysis.analyzer import unresolvable_loci, verify_resolvable
+from repro.analysis.findings import Severity
 from repro.bus.policy import CallPolicy
 from repro.errors import ServiceError
 from repro.grid.environment import GridEnvironment
 from repro.grid.messages import Message
+from repro.ontology.builtin import SERVICE
+from repro.ontology.frames import KnowledgeBase
+from repro.ontology.query import Op, Query
 from repro.plan.convert import tree_to_process
-from repro.plan.tree import Controller, ControllerKind
+from repro.plan.tree import Controller, ControllerKind, PlanNode
 from repro.planner.config import GPConfig
+from repro.planner.fitness import PlanEvaluator
 from repro.planner.gp import GPPlanner
+from repro.planner.library import (
+    PlanEntry,
+    PlanLibrary,
+    goal_signature,
+    problem_digest,
+    substitution_map,
+)
 from repro.planner.problem import PlanningProblem
-from repro.planner.repair import repair_plan
+from repro.planner.repair import repair_plan, swap_terminals
 from repro.planner.state import WorldState
 from repro.process.conditions import TRUE, And, Condition, Not
 from repro.process.model import Activity
 from repro.services.base import CoreService, WELL_KNOWN
 
 __all__ = ["PlanningService"]
+
+#: ``X_2`` → ``X``: undo tree_to_process's repeated-activity renaming when
+#: mapping process-level finding loci back to plan terminal names.
+_RENAME_SUFFIX = re.compile(r"^(?P<base>.+)_(?P<n>[0-9]+)$")
 
 
 class PlanningService(CoreService):
@@ -61,6 +79,8 @@ class PlanningService(CoreService):
     #: steps 6-7): silent peers must not hang the re-planning exchange.
     probe_policy = CallPolicy(timeout=60.0)
 
+    storage_name = WELL_KNOWN["storage"]
+
     def __init__(
         self,
         env: GridEnvironment,
@@ -69,6 +89,8 @@ class PlanningService(CoreService):
         config: GPConfig | None = None,
         rng: int | np.random.Generator | None = 0,
         repair_plans: bool = True,
+        library: PlanLibrary | None = None,
+        knowledge_base: KnowledgeBase | None = None,
     ) -> None:
         super().__init__(env, name, site)
         self.config = config or GPConfig()
@@ -76,6 +98,17 @@ class PlanningService(CoreService):
         #: Post-process evolved plans with the never-valid-terminal repair
         #: pass (see :mod:`repro.planner.repair`) before emitting them.
         self.repair_plans = repair_plans
+        #: Warm-start plan repository (see :mod:`repro.planner.library`).
+        #: The ladder only runs when a library is wired *and* the request's
+        #: ``GPConfig.library`` is ``"on"`` — with either off, planning is
+        #: byte-identical to a grid that never heard of the library.
+        self.library = library
+        #: Current registry view for re-verifying retrieved plans.  Without
+        #: it, library hits cannot be re-verified and are therefore *never
+        #: enacted directly* — they demote to GP seeds.
+        self.knowledge_base = knowledge_base
+        #: Digests whose storage namespace this replica has already pulled.
+        self._synced_digests: set[str] = set()
         self.plans_created = 0
         self.replans_created = 0
 
@@ -110,6 +143,7 @@ class PlanningService(CoreService):
         problem: PlanningProblem,
         config: GPConfig,
         trace_id: str | None = None,
+        seeds: tuple[PlanNode, ...] = (),
     ) -> dict[str, Any]:
         # The GP run is synchronous (zero simulated time); the span records
         # it as an instant with *wall-clock* cost in its attributes — the
@@ -123,7 +157,7 @@ class PlanningService(CoreService):
             else None
         )
         wall_started = time.perf_counter() if span is not None else 0.0
-        result = GPPlanner(config, rng=self.rng).plan(problem)
+        result = GPPlanner(config, rng=self.rng).plan(problem, seeds=seeds)
         if result.analysis_rejected:
             self.metrics.inc(
                 "analysis_rejected",
@@ -163,19 +197,291 @@ class PlanningService(CoreService):
             "repaired_away": list(repaired_away),
         }
 
+    # -- plan library (warm starts) ----------------------------------------------- #
+    def _library_enabled(self, config: GPConfig) -> bool:
+        return self.library is not None and config.library == "on"
+
+    def _base_activity(self, locus: str, problem: PlanningProblem) -> str:
+        """The plan-terminal name behind a process-activity locus."""
+        if locus in problem.activities:
+            return locus
+        match = _RENAME_SUFFIX.match(locus)
+        if match and match.group("base") in problem.activities:
+            return match.group("base")
+        return locus
+
+    def _resolvable_services(self, problem: PlanningProblem) -> list[str]:
+        """Services of T with at least one Service instance registered."""
+        kb = self.knowledge_base
+        assert kb is not None
+        resolvable: list[str] = []
+        for name in sorted(problem.activities):
+            service = problem.activities[name].service or name
+            if Query(SERVICE).where("Name", Op.EQ, service).run(kb):
+                resolvable.append(service)
+        return resolvable
+
+    def _verify_entry(self, entry: PlanEntry) -> tuple[bool, list]:
+        """Analyzer re-verification of a retrieved plan against the current
+        registry.  No knowledge base ⇒ unverifiable ⇒ not enactable."""
+        assert self.library is not None
+        self.library.count("verify")
+        self.metrics.inc("planlib_verify", agent=self.name)
+        if self.knowledge_base is None:
+            return False, []
+        findings = verify_resolvable(entry.process, self.knowledge_base)
+        clean = not any(f.severity is Severity.ERROR for f in findings)
+        return clean, findings
+
+    def _repair_entry(
+        self, entry: PlanEntry, problem: PlanningProblem, findings: list
+    ) -> tuple[PlanEntry, tuple[tuple[str, str], ...]] | None:
+        """Swap exactly the E501-flagged terminals for resolvable
+        substitutes; None when any flagged activity has no viable swap."""
+        if self.knowledge_base is None:
+            return None
+        flagged = sorted(
+            {self._base_activity(locus, problem) for locus in unresolvable_loci(findings)}
+        )
+        if not flagged:
+            return None
+        mapping = substitution_map(
+            problem, flagged, self._resolvable_services(problem)
+        )
+        if sorted(mapping) != flagged:
+            return None
+        plan, swapped = swap_terminals(entry.plan, mapping)
+        process = tree_to_process(
+            plan,
+            name=f"plan-{problem.name}",
+            library=self._activity_library(problem),
+            condition_provider=self._condition_provider(problem),
+        )
+        after = verify_resolvable(process, self.knowledge_base)
+        if any(f.severity is Severity.ERROR for f in after):
+            return None
+        fitness = PlanEvaluator(problem)(plan)
+        repaired = PlanEntry(
+            digest=entry.digest,
+            goal_sig=entry.goal_sig,
+            plan=plan,
+            process=process,
+            fitness=fitness.overall,
+            goals=entry.goals,
+            validity=fitness.validity,
+            goal=fitness.goal,
+            problem_name=problem.name,
+            stored_at=self.engine.now,
+        )
+        return repaired, swapped
+
+    def _entry_reply(self, entry: PlanEntry, verified: bool) -> dict[str, Any]:
+        """A planning reply shaped exactly like :meth:`_run_planner`'s."""
+        return {
+            "plan": entry.plan,
+            "process": entry.process,
+            "fitness": entry.fitness,
+            "validity": entry.validity,
+            "goal": entry.goal,
+            "solved": entry.validity == 1.0 and entry.goal == 1.0,
+            "generations": 0,
+            "analysis_rejected": 0,
+            "repaired_away": [],
+            "verified": verified,
+        }
+
+    def _library_sync(self, digest: str):
+        """Pull this digest's namespace from persistent storage (once).
+
+        Entries stored by other planning replicas (or previous lifetimes of
+        this one) become visible here; payloads failing the
+        ``process_digest`` integrity check are skipped.
+        """
+        lib = self.library
+        assert lib is not None
+        if digest in self._synced_digests:
+            return
+        self._synced_digests.add(digest)
+        listing = yield from self.call(
+            self.storage_name, "list-keys", {"prefix": f"planlib/{digest}/"}
+        )
+        for key in listing["keys"]:
+            parts = key.split("/")
+            if len(parts) != 3 or (parts[1], parts[2]) in lib:
+                continue
+            stored = yield from self.call(
+                self.storage_name, "retrieve", {"key": key}
+            )
+            entry = PlanEntry.from_payload(stored["payload"])
+            if entry is not None and lib.absorb(entry):
+                lib.count("sync")
+
+    def _library_store(self, entry: PlanEntry):
+        """Adopt an entry locally and mirror it (and evictions) to storage."""
+        lib = self.library
+        assert lib is not None
+        evicted = lib.put(entry)
+        lib.count("store")
+        self.metrics.inc("planlib_store", agent=self.name)
+        yield from self.call(
+            self.storage_name,
+            "store",
+            {"key": entry.storage_key, "payload": entry.to_payload()},
+        )
+        for victim in evicted:
+            yield from self.call(
+                self.storage_name, "delete", {"key": victim.storage_key}
+            )
+
+    def _plan_with_library(
+        self, problem: PlanningProblem, config: GPConfig, trace_id: str | None
+    ):
+        """The retrieve → verify → repair → seed ladder.
+
+        Exact hit: re-verified against the current registry, enacted
+        directly (never blind — an unverifiable or stale entry demotes).
+        Stale hit: E501-flagged terminals swapped locally, re-verified,
+        re-stored.  Near-miss: retrieved plans seed the GP initial
+        population.  Miss: full GP; the result is stored for next time.
+        """
+        lib = self.library
+        assert lib is not None
+        digest = problem_digest(problem)
+        goal_sig = goal_signature(problem.goals)
+        goal_texts = tuple(str(goal) for goal in problem.goals)
+        recorder = self.env.spans
+        span = (
+            recorder.start(
+                problem.name, "library", agent=self.name, trace_id=trace_id
+            )
+            if recorder.enabled
+            else None
+        )
+        yield from self._library_sync(digest)
+        entry = lib.get(digest, goal_sig)
+        source = "miss"
+        reply: dict[str, Any] | None = None
+        if entry is not None:
+            clean, findings = self._verify_entry(entry)
+            if clean:
+                source = "hit"
+                reply = self._entry_reply(entry, verified=True)
+            else:
+                repaired = self._repair_entry(entry, problem, findings)
+                if repaired is not None:
+                    fixed, swapped = repaired
+                    yield from self._library_store(fixed)
+                    source = "repair"
+                    reply = self._entry_reply(fixed, verified=True)
+                    reply["swapped"] = [list(pair) for pair in swapped]
+                else:
+                    # Stale and irreparable: drop it so the fresh plan
+                    # stored below replaces it, and fall through to GP
+                    # with the stale plan as a seed at most.
+                    lib.remove(digest, goal_sig)
+                    lib.count("reject")
+                    self.metrics.inc("planlib_reject", agent=self.name)
+        if reply is None:
+            seeds = [near.plan for near in lib.related(digest, goal_texts)]
+            if entry is not None and self.knowledge_base is None:
+                # Unverifiable exact hit: warm-start from it, don't enact it.
+                seeds.insert(0, entry.plan)
+            if seeds:
+                source = "seed"
+            reply = self._run_planner(
+                problem, config, trace_id=trace_id, seeds=tuple(seeds)
+            )
+            reply["verified"] = False
+            fresh = PlanEntry(
+                digest=digest,
+                goal_sig=goal_sig,
+                plan=reply["plan"],
+                process=reply["process"],
+                fitness=reply["fitness"],
+                goals=goal_texts,
+                validity=reply["validity"],
+                goal=reply["goal"],
+                problem_name=problem.name,
+                stored_at=self.engine.now,
+            )
+            yield from self._library_store(fresh)
+        lib.count(source)
+        self.metrics.inc(f"planlib_{source}", agent=self.name)
+        reply["source"] = source
+        if span is not None:
+            recorder.end(
+                span, source=source, digest=digest[:8], entries=len(lib)
+            )
+        return reply
+
     # -- message API ----------------------------------------------------------------- #
     def handle_plan(self, message: Message):
         """Figure 2: a standard planning request.
 
         Content: ``problem`` (PlanningProblem); optional ``config``
         (GPConfig).  Reply: the plan tree, the elaborated process
-        description and fitness telemetry.
+        description and fitness telemetry.  With the plan library enabled
+        the reply also carries ``source`` (hit/repair/seed/miss) and
+        ``verified``; with it off this handler yields nothing, so the
+        message exchange is byte-identical to pre-library behavior.
         """
         problem: PlanningProblem = message.content["problem"]
         config: GPConfig = message.content.get("config") or self.config
-        reply = self._run_planner(problem, config, trace_id=message.trace_id)
+        if self._library_enabled(config):
+            reply = yield from self._plan_with_library(
+                problem, config, message.trace_id
+            )
+        else:
+            reply = self._run_planner(problem, config, trace_id=message.trace_id)
         self.plans_created += 1
         return reply
+
+    def handle_library_stats(self, message: Message):
+        """Repository health: entry count, cap, and ladder counters."""
+        if self.library is None:
+            return {"enabled": False, "entries": 0, "counters": {}}
+        stats = self.library.stats()
+        return {
+            "enabled": True,
+            "entries": stats.entries,
+            "max_entries": stats.max_entries,
+            "counters": stats.counters,
+        }
+
+    def handle_library_list(self, message: Message):
+        """Entries, most-recently-used first (``repro-grid planlib list``)."""
+        limit = message.content.get("limit")
+        rows: list[dict[str, Any]] = []
+        if self.library is not None:
+            for entry in reversed(self.library.entries()):
+                rows.append(
+                    {
+                        "digest": entry.digest,
+                        "goal_sig": entry.goal_sig,
+                        "pd_digest": entry.pd_digest,
+                        "problem": entry.problem_name,
+                        "fitness": entry.fitness,
+                        "size": entry.plan.size,
+                        "uses": entry.uses,
+                        "stored_at": entry.stored_at,
+                    }
+                )
+                if limit is not None and len(rows) >= limit:
+                    break
+        return {"entries": rows}
+
+    def handle_library_purge(self, message: Message):
+        """Drop every entry here *and* its mirror in persistent storage."""
+        if self.library is None:
+            return {"purged": 0}
+        victims = self.library.entries()
+        purged = self.library.purge()
+        self._synced_digests.clear()
+        for victim in victims:
+            yield from self.call(
+                self.storage_name, "delete", {"key": victim.storage_key}
+            )
+        return {"purged": purged}
 
     def handle_replan(self, message: Message):
         """Figure 3: re-planning after a failed enactment.
@@ -270,7 +576,16 @@ class PlanningService(CoreService):
             activities=surviving,
             name=f"{problem.name}-replan",
         )
-        reply = self._run_planner(new_problem, config, trace_id=message.trace_id)
+        if self._library_enabled(config):
+            # The restricted problem digests differently from the original
+            # (T shrank), so replan results build their own library line.
+            reply = yield from self._plan_with_library(
+                new_problem, config, message.trace_id
+            )
+        else:
+            reply = self._run_planner(
+                new_problem, config, trace_id=message.trace_id
+            )
         reply["excluded_activities"] = sorted(unexecutable)
         self.replans_created += 1
         return reply

@@ -92,3 +92,20 @@ class PersistentStorageService(CoreService):
     def handle_list_keys(self, message: Message):
         prefix = message.content.get("prefix", "")
         return {"keys": [k for k in self.keys() if k.startswith(prefix)]}
+
+    def handle_list_meta(self, message: Message):
+        """Keys *and* their metadata under a prefix, without the payloads.
+
+        Inventory RPC for repository-style consumers (the plan library's
+        ``repro-grid planlib list`` walks its ``planlib/`` namespace this
+        way): one round trip instead of list-keys + N retrieves, and no
+        payload bytes on the wire.
+        """
+        prefix = message.content.get("prefix", "")
+        return {
+            "items": [
+                {"key": key, "meta": dict(self._meta.get(key, {}))}
+                for key in self.keys()
+                if key.startswith(prefix)
+            ]
+        }

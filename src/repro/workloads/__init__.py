@@ -7,6 +7,14 @@ from repro.workloads.many_cases import (
     run_many_cases,
     shard_assignment,
 )
+from repro.workloads.plan_mix import (
+    plan_mix_activities,
+    plan_mix_goals,
+    plan_mix_kb,
+    plan_mix_problem,
+    plan_mix_services,
+    run_plan_mix,
+)
 from repro.workloads.synthetic import (
     chain_problem,
     choice_problem,
@@ -21,6 +29,12 @@ __all__ = [
     "many_cases_services",
     "run_many_cases",
     "shard_assignment",
+    "plan_mix_activities",
+    "plan_mix_goals",
+    "plan_mix_kb",
+    "plan_mix_problem",
+    "plan_mix_services",
+    "run_plan_mix",
     "chain_problem",
     "diamond_problem",
     "choice_problem",

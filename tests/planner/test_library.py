@@ -1,0 +1,289 @@
+"""The plan library: keys, LRU repository, substitutions, GP seeding."""
+
+import pytest
+
+from repro.plan import sequential, terminal, tree_to_process
+from repro.planner import GPConfig, GPPlanner
+from repro.planner.library import (
+    PlanEntry,
+    PlanLibrary,
+    goal_signature,
+    library_key,
+    problem_digest,
+    storage_key,
+    substitution_map,
+)
+from repro.planner.problem import PlanningProblem
+from repro.process.program import process_digest
+from repro.workloads.plan_mix import (
+    plan_mix_activities,
+    plan_mix_goals,
+    plan_mix_problem,
+)
+
+
+def _process_for(tree, problem):
+    return tree_to_process(
+        tree,
+        name=f"plan-{problem.name}",
+        library={
+            name: spec.as_activity()
+            for name, spec in problem.activities.items()
+        },
+    )
+
+
+def _entry(problem, tree, fitness=0.9, **overrides):
+    kwargs = dict(
+        digest=problem_digest(problem),
+        goal_sig=goal_signature(problem.goals),
+        plan=tree,
+        process=_process_for(tree, problem),
+        fitness=fitness,
+        goals=tuple(str(goal) for goal in problem.goals),
+        problem_name=problem.name,
+    )
+    kwargs.update(overrides)
+    return PlanEntry(**kwargs)
+
+
+# -- key scheme ------------------------------------------------------------- #
+
+
+def test_process_digest_is_stable_across_sessions():
+    """The committed hex pins the digest: any canonicalization change that
+    would orphan persisted library entries must show up here."""
+    from repro.virolab import process_description
+
+    assert (
+        process_digest(process_description())
+        == "9ef297d8ba89163359e7d6f6d2fd37b3"
+    )
+
+
+def test_process_digest_tracks_content():
+    problem = plan_mix_problem(0)
+    one = _process_for(sequential("fetch", "clean"), problem)
+    other = _process_for(sequential("fetch", "archive"), problem)
+    assert process_digest(one) != process_digest(other)
+    assert process_digest(one) == process_digest(
+        _process_for(sequential("fetch", "clean"), problem)
+    )
+
+
+def test_goal_signature_order_insensitive():
+    goals = plan_mix_goals(1)
+    assert goal_signature(goals) == goal_signature(tuple(reversed(goals)))
+    assert goal_signature(goals) != goal_signature(plan_mix_goals(0))
+
+
+def test_problem_digest_ignores_name_and_initial_state():
+    base = plan_mix_problem(0)
+    renamed = PlanningProblem.build(
+        "another-name",
+        {"src": {"Status": "ready"}, "extra": {"Status": "ready"}},
+        plan_mix_goals(0),
+        plan_mix_activities(),
+    )
+    assert problem_digest(renamed) == problem_digest(base)
+    # All four goal variants share one digest: same activity set T.
+    assert problem_digest(plan_mix_problem(2)) == problem_digest(base)
+
+
+def test_problem_digest_tracks_activity_set():
+    base = plan_mix_problem(0)
+    smaller = PlanningProblem.build(
+        base.name,
+        {"src": {"Status": "ready"}},
+        plan_mix_goals(0),
+        plan_mix_activities()[:-1],
+    )
+    assert problem_digest(smaller) != problem_digest(base)
+
+
+def test_library_key_and_storage_key():
+    problem = plan_mix_problem(0)
+    digest, goal_sig = library_key(problem)
+    assert digest == problem_digest(problem)
+    assert goal_sig == goal_signature(problem.goals)
+    assert storage_key(digest, goal_sig) == f"planlib/{digest}/{goal_sig}"
+
+
+# -- entries and payload integrity ------------------------------------------ #
+
+
+def test_entry_payload_roundtrip():
+    problem = plan_mix_problem(0)
+    entry = _entry(problem, sequential("fetch", "clean"))
+    back = PlanEntry.from_payload(entry.to_payload())
+    assert back is not None
+    assert back.key == entry.key
+    assert back.plan == entry.plan
+    assert back.pd_digest == entry.pd_digest
+
+
+def test_entry_rejects_tampered_process():
+    problem = plan_mix_problem(0)
+    entry = _entry(problem, sequential("fetch", "clean"))
+    payload = entry.to_payload()
+    payload["process"] = _process_for(sequential("fetch", "archive"), problem)
+    assert PlanEntry.from_payload(payload) is None
+
+
+def test_entry_rejects_malformed_payload():
+    assert PlanEntry.from_payload({"digest": "x"}) is None
+    assert PlanEntry.from_payload({}) is None
+
+
+# -- the LRU repository ----------------------------------------------------- #
+
+
+def test_library_get_and_touch():
+    problem = plan_mix_problem(0)
+    lib = PlanLibrary()
+    entry = _entry(problem, sequential("fetch", "clean"))
+    assert lib.put(entry) == []
+    assert len(lib) == 1 and entry.key in lib
+    got = lib.get(*entry.key)
+    assert got is entry and got.uses == 1
+    assert lib.get("nope", "nope") is None
+
+
+def test_library_lru_eviction_reports_victims():
+    lib = PlanLibrary(max_entries=2)
+    entries = [
+        _entry(plan_mix_problem(variant), sequential("fetch", "clean"))
+        for variant in range(3)
+    ]
+    lib.put(entries[0])
+    lib.put(entries[1])
+    lib.get(*entries[0].key)  # refresh: entry 1 is now the LRU victim
+    evicted = lib.put(entries[2])
+    assert [victim.key for victim in evicted] == [entries[1].key]
+    assert entries[0].key in lib and entries[2].key in lib
+    assert lib.counters["evict"] == 1
+
+
+def test_library_related_ranks_overlap_and_digest():
+    lib = PlanLibrary()
+    v0, v1, v2 = (
+        _entry(plan_mix_problem(variant), sequential("fetch", "clean"))
+        for variant in range(3)
+    )
+    lib.put(v0)
+    lib.put(v2)
+    # v1's goals share two conditions with v0 and one with v2.
+    texts = tuple(str(goal) for goal in plan_mix_goals(1))
+    related = lib.related(v1.digest, texts)
+    assert [entry.goal_sig for entry in related] == [v0.goal_sig, v2.goal_sig]
+    # A foreign digest with disjoint goals is never related.
+    assert lib.related("f" * 32, ("nothing",)) == []
+
+
+def test_library_absorb_and_purge():
+    lib = PlanLibrary()
+    entry = _entry(plan_mix_problem(0), sequential("fetch", "clean"))
+    assert lib.absorb(entry) is True
+    assert lib.absorb(entry) is False  # already present
+    assert lib.purge() == 1
+    assert len(lib) == 0 and lib.stats().entries == 0
+
+
+def test_library_stats_snapshot():
+    lib = PlanLibrary(max_entries=7)
+    lib.count("hit")
+    stats = lib.stats()
+    assert stats.max_entries == 7
+    assert stats.counters["hit"] == 1
+    stats.counters["hit"] = 99  # a snapshot, not the live dict
+    assert lib.counters["hit"] == 1
+
+
+def test_library_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        PlanLibrary(max_entries=0)
+
+
+# -- repair substitutions --------------------------------------------------- #
+
+
+def test_substitution_map_picks_effect_equivalent_service():
+    problem = plan_mix_problem(0)
+    resolvable = [name for name in problem.activities if name != "publish"]
+    mapping = substitution_map(problem, ["publish"], resolvable)
+    assert mapping == {"publish": "publish_backup"}
+
+
+def test_substitution_map_omits_irreparable_activities():
+    problem = plan_mix_problem(0)
+    # No other activity produces 'raw', so a vanished fetch has no swap.
+    resolvable = [name for name in problem.activities if name != "fetch"]
+    assert substitution_map(problem, ["fetch"], resolvable) == {}
+    # Both publishers gone: publish is irreparable too.
+    resolvable = [
+        name
+        for name in problem.activities
+        if name not in ("publish", "publish_backup")
+    ]
+    assert substitution_map(problem, ["publish"], resolvable) == {}
+
+
+def test_substitution_map_unknown_activity_ignored():
+    problem = plan_mix_problem(0)
+    assert substitution_map(problem, ["ghost"], problem.activities) == {}
+
+
+# -- GP seeding ------------------------------------------------------------- #
+
+
+def _seed_plan():
+    return sequential("fetch", "clean", "analyze_a", "publish")
+
+
+def test_seeded_population_contains_seed_verbatim():
+    problem = plan_mix_problem(0)
+    cfg = GPConfig(population_size=12, generations=2, smax=12, library="on")
+    planner = GPPlanner(cfg, rng=3)
+    population = planner.initial_population(problem, seeds=(_seed_plan(),))
+    assert len(population) == cfg.population_size
+    assert _seed_plan() in population
+
+
+def test_seeding_respects_smax():
+    problem = plan_mix_problem(0)
+    cfg = GPConfig(population_size=12, generations=2, smax=3, library="on")
+    oversized = sequential(
+        "fetch", "clean", "analyze_a", "publish", "archive"
+    )
+    population = GPPlanner(cfg, rng=3).initial_population(
+        problem, seeds=(oversized,)
+    )
+    assert oversized not in population
+    assert all(tree.size <= cfg.smax for tree in population)
+
+
+def test_seeds_warm_start_beats_or_matches_seed_fitness():
+    problem = plan_mix_problem(0)
+    cfg = GPConfig(population_size=20, generations=3, smax=12, library="on")
+    from repro.planner import PlanEvaluator
+
+    # Score the seed exactly as the GP engine will (same Smax, same
+    # simulation options): the seeded run can never finish below it.
+    seed_fitness = PlanEvaluator(
+        problem, smax=cfg.smax, options=cfg.simulation
+    )(_seed_plan()).overall
+    result = GPPlanner(cfg, rng=5).plan(problem, seeds=(_seed_plan(),))
+    assert result.best_fitness.overall >= seed_fitness - 1e-12
+
+
+def test_library_off_ignores_seeds_bit_identically():
+    """``library="off"`` must not even *look* at seeds: the RNG stream and
+    therefore the whole run is identical to a seedless call."""
+    problem = plan_mix_problem(0)
+    cfg = GPConfig(population_size=16, generations=3, smax=12)  # off default
+    plain = GPPlanner(cfg, rng=11).plan(problem)
+    seeded = GPPlanner(cfg, rng=11).plan(problem, seeds=(_seed_plan(),))
+    assert seeded.best_plan == plain.best_plan
+    assert seeded.best_fitness == plain.best_fitness
+    assert seeded.history == plain.history
+    assert seeded.evaluations == plain.evaluations

@@ -1,10 +1,14 @@
-"""Plan repair: removing never-valid activities."""
+"""Plan repair: removing never-valid activities, swapping flagged terminals."""
 
 import pytest
 
 from repro.plan import normalize, selective, sequential, terminal
 from repro.planner import GPConfig, GPPlanner, PlanEvaluator
-from repro.planner.repair import never_valid_terminals, repair_plan
+from repro.planner.repair import (
+    never_valid_terminals,
+    repair_plan,
+    swap_terminals,
+)
 
 
 def test_clean_plan_untouched(case_problem):
@@ -74,3 +78,57 @@ def test_single_terminal_root_not_deleted(case_problem):
     # The root cannot be deleted; the plan stays (still useless, but valid
     # behaviour for the API).
     assert result.plan == terminal("ghost")
+
+
+def test_repair_collapses_to_single_terminal(case_problem):
+    # Deleting the only other child must collapse the sequential away
+    # entirely: the fixed point is a bare terminal, not a 1-ary controller.
+    result = repair_plan(sequential("ghost", "POD"), case_problem)
+    assert result.removed == ("ghost",)
+    assert result.plan == terminal("POD")
+
+
+def test_repair_fixed_point_with_no_removable_terminal(case_problem):
+    # Every terminal executes validly in some flow: the very first round
+    # finds no candidate and the plan comes back structurally unchanged.
+    tree = sequential("POD", "P3DR2")
+    result = repair_plan(tree, case_problem)
+    assert not result.changed
+    assert result.plan == normalize(tree)
+
+
+def test_repair_collapses_nested_degenerate_controllers(case_problem):
+    # The whole left selective is never-valid; repair must unwind both the
+    # inner and the outer construct without leaving degenerate nodes.
+    tree = sequential(
+        selective(sequential("ghost", "ghost"), "ghost"),
+        "POD",
+        "P3DR2",
+        "P3DR3",
+        "PSF",
+    )
+    result = repair_plan(tree, case_problem)
+    assert result.fitness.validity == 1.0
+    assert "ghost" not in result.plan.activities()
+    assert result.plan == normalize(
+        sequential("POD", "P3DR2", "P3DR3", "PSF")
+    )
+
+
+# -- terminal swapping (the plan library's local repair) -------------------- #
+
+
+def test_swap_terminals_swaps_exactly_the_mapped_names():
+    tree = sequential("a", selective("b", "a"), "c")
+    swapped, swaps = swap_terminals(tree, {"a": "z"})
+    assert swapped == sequential("z", selective("b", "z"), "c")
+    assert swaps == (("a", "z"), ("a", "z"))
+    # Structure and untouched terminals are preserved exactly.
+    assert swapped.size == tree.size
+
+
+def test_swap_terminals_noop_without_matches():
+    tree = sequential("a", "b")
+    swapped, swaps = swap_terminals(tree, {"x": "y"})
+    assert swapped == tree
+    assert swaps == ()

@@ -1,0 +1,102 @@
+"""The plan_mix workload: repeated-goal planning traffic for the library."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import run_plan_mix
+from repro.workloads.plan_mix import plan_mix_goals, plan_mix_problem
+
+FAST = dict(
+    population_size=24, generations=4, smax=12, containers=2
+)
+
+
+@pytest.fixture(scope="module")
+def warm_run():
+    return run_plan_mix(requests=10, distinct=4, **FAST)
+
+
+class TestWarmRun:
+    def test_every_request_answered(self, warm_run):
+        assert len(warm_run["replies"]) == 10
+        assert len(warm_run["latencies"]) == 10
+        assert all(latency > 0.0 for latency in warm_run["latencies"])
+
+    def test_ladder_shape(self, warm_run):
+        sources = warm_run["sources"]
+        # First request of a cold library is the one honest miss; later
+        # first-occurrences overlap earlier goal variants and plan as
+        # seeds; every repeat is a verified hit.
+        assert sources[0] == "miss"
+        assert set(sources[1:4]) == {"seed"}
+        assert sources[4:] == ["hit"] * 6
+
+    def test_counters_match_sources(self, warm_run):
+        counts = warm_run["counts"]
+        assert counts["miss"] == 1
+        assert counts["seed"] == 3
+        assert counts["hit"] == 6
+        assert counts["repair"] == 0
+        assert counts["store"] == 4
+        assert counts["verify"] == 6
+        assert warm_run["library_entries"] == 4
+
+    def test_hits_replay_the_stored_plan(self, warm_run):
+        schedule, replies = warm_run["schedule"], warm_run["replies"]
+        firsts = {}
+        for variant, reply in zip(schedule, replies):
+            if variant not in firsts:
+                firsts[variant] = reply
+            elif reply["source"] == "hit":
+                assert reply["plan"] == firsts[variant]["plan"]
+                assert reply["generations"] == 0
+
+
+def test_kill_after_exercises_repair():
+    # Default GP budget: the variant-0 plan must actually publish for the
+    # kill to land on a used service.
+    result = run_plan_mix(requests=8, distinct=2, kill_after=4, containers=2)
+    assert result["killed"] in ("publish", "publish_backup")
+    assert result["counts"]["repair"] >= 1
+    assert "repair" in result["sources"]
+    # A repaired plan never uses the killed publisher again.
+    for reply in result["replies"]:
+        if reply["source"] == "repair":
+            assert result["killed"] not in reply["plan"].activities()
+
+
+def test_library_off_runs_plain_gp():
+    result = run_plan_mix(requests=4, distinct=2, library="off", **FAST)
+    assert result["sources"] == [None] * 4
+    assert all(count == 0 for count in result["counts"].values())
+    assert result["library_entries"] == 0
+
+
+def test_wired_disabled_library_is_bit_identical_to_unwired():
+    plain = run_plan_mix(requests=4, distinct=2, library="off", **FAST)
+    wired = run_plan_mix(
+        requests=4,
+        distinct=2,
+        library="off",
+        wire_disabled_library=True,
+        **FAST,
+    )
+    assert wired["fitness"] == plain["fitness"]
+    assert wired["sources"] == plain["sources"]
+    assert wired["messages"] == plain["messages"]
+    assert wired["makespan"] == plain["makespan"]
+
+
+def test_goal_variants_cycle_and_share_digest():
+    assert plan_mix_goals(0) == plan_mix_goals(4)
+    from repro.planner.library import problem_digest
+
+    digests = {problem_digest(plan_mix_problem(v)) for v in range(4)}
+    assert len(digests) == 1  # one activity set T, four goal variants
+
+
+def test_rejects_degenerate_inputs():
+    with pytest.raises(WorkloadError):
+        run_plan_mix(requests=0)
+    with pytest.raises(WorkloadError):
+        run_plan_mix(requests=2, distinct=0)
