@@ -92,6 +92,20 @@ library's warm-start path on the repeated-goal ``plan_mix`` workload:
   ``GPConfig.library="off"`` must produce exactly the unwired grid's
   message trace and GP results (enforced unconditionally).
 
+The **prov** suite (BENCH_prov.json) measures the case flight recorder:
+
+* journal-off (the default) against the committed pre-prov baseline —
+  the ``--max-journal-overhead`` gate fails the run when the regression
+  exceeds the given percentage (host-fingerprint-matched only);
+* record-only and full-mirror rows (the honest price of each mode);
+* a 1k-case record-only append-throughput stress row (events/s) on the
+  fast-path knobs;
+* the enacted ``plan_mix`` acceptance workload replayed case-by-case
+  from storage blobs alone — replay wall time plus the journal-vs-span
+  agreement, enforced at >= 0.95 per case unconditionally;
+* the record-only byte-identity gate (also enforced by
+  ``--verify-traces``), recorded into the JSON itself.
+
 Each PR can re-run this and diff against the committed JSON to keep a
 perf trajectory.  Timings are medians of --rounds repetitions; the host
 block records the CPU budget the numbers were taken under (a single-core
@@ -845,6 +859,177 @@ def bench_planlib(requests=24, distinct=4):
     return out
 
 
+#: Host-fingerprinted reference for the flight-recorder overhead gate:
+#: the default (journal off) many_cases median measured immediately
+#: before the journal hooks landed in coordination / containers /
+#: transfer.  ``--max-journal-overhead`` compares the current
+#: journal-off median against this on the matching host only.
+PRE_PROV_BASELINE = {
+    "median_s": 0.176,
+    "min_s": 0.166,
+    "rounds": 7,
+    "host": {
+        "cpu_count": 1,
+        "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36",
+    },
+    "note": "many_cases default config, pre journal-instrumentation tree",
+}
+
+
+def verify_journal_trace_identity(cases=8, containers=4):
+    """Byte-identity gate: journal record-only vs journal off.
+
+    Record-only journaling (``journal="record"``) appends events purely
+    in Python — no storage RPCs, no simulation events — so the full
+    observable record (every delivered message plus per-case outcomes
+    and makespan) must match a journal-off run byte-for-byte.  (The
+    mirror mode ``journal=True`` adds real store RPCs at case end and is
+    deliberately excluded: its traffic is the documented price of
+    persistence.)
+    """
+    from repro.workloads import run_many_cases
+
+    def observable(journal):
+        result = run_many_cases(
+            cases=cases, containers=containers, journal=journal
+        )
+        return {
+            "trace": trace_rows(result["env"]),
+            "outcomes": repr(result["outcomes"]),
+            "completed": result["completed"],
+            "makespan": result["makespan"],
+        }
+
+    recorded = observable("record")
+    plain = observable(False)
+    identical = recorded == plain
+    gate = {
+        "cases": cases,
+        "containers": containers,
+        "identical": identical,
+        "messages_compared": len(plain["trace"]),
+    }
+    if not identical:
+        for index, (one, other) in enumerate(
+            zip(recorded["trace"], plain["trace"])
+        ):
+            if one != other:
+                gate["first_divergence"] = {
+                    "index": index,
+                    "journal_record": one,
+                    "journal_off": other,
+                }
+                break
+        else:
+            gate["first_divergence"] = {
+                "record_len": len(recorded["trace"]),
+                "off_len": len(plain["trace"]),
+                "outcomes_equal": recorded["outcomes"] == plain["outcomes"],
+            }
+    return gate
+
+
+def bench_prov(rounds, cases=32, containers=4, stress_cases=1000):
+    """Flight-recorder cost: journal modes, append throughput, replay.
+
+    * journal-off (the default) against the committed pre-prov baseline
+      (the ``--max-journal-overhead`` gate watches this row);
+    * record-only and full-mirror rows (the honest price of each mode);
+    * a 1k-case record-only stress row on the fast-path knobs — events
+      appended per second is the journal's append throughput;
+    * the enacted ``plan_mix`` acceptance workload: every case's journal
+      replayed from its storage blob alone, wall time recorded, and the
+      journal-vs-span agreement enforced at >= 0.95 per case
+      (unconditionally — agreement is host-independent).
+    """
+    import time as _walltime
+
+    from repro.obs.provenance import journal_replay
+    from repro.workloads import run_many_cases, run_plan_mix
+
+    out = {"cases": cases, "containers": containers}
+
+    # One untimed run first: the 1% overhead gate is tighter than the
+    # cold-process warm-up penalty (imports, allocator, bytecode), which
+    # would otherwise land entirely on the first-timed config.
+    run_many_cases(cases=cases, containers=containers)
+
+    configs = {
+        "journal_off": {},
+        "journal_record": {"journal": "record"},
+        "journal_mirror": {"journal": True},
+    }
+    for label, knobs in configs.items():
+        timing = _time(lambda knobs=knobs: run_many_cases(
+            cases=cases, containers=containers, **knobs
+        ), rounds)
+        timing["cases_per_s"] = cases / timing["median_s"]
+        out[label] = timing
+
+    baseline = PRE_PROV_BASELINE["median_s"]
+    out["pre_prov_baseline"] = dict(PRE_PROV_BASELINE)
+    out["journal_disabled_overhead_pct"] = (
+        (out["journal_off"]["median_s"] - baseline) / baseline * 100.0
+    )
+    out["record_overhead_pct"] = (
+        (out["journal_record"]["median_s"] - out["journal_off"]["median_s"])
+        / out["journal_off"]["median_s"] * 100.0
+    )
+    out["mirror_overhead_pct"] = (
+        (out["journal_mirror"]["median_s"] - out["journal_off"]["median_s"])
+        / out["journal_off"]["median_s"] * 100.0
+    )
+
+    # Append throughput: 1k cases on the fast-path knobs, record-only.
+    started = _walltime.perf_counter()
+    stress = run_many_cases(
+        cases=stress_cases, containers=8, journal="record", **FAST_PATH_KNOBS
+    )
+    elapsed = _walltime.perf_counter() - started
+    stats = stress["journal"]
+    out["stress_1k_record"] = {
+        "cases": stress_cases,
+        "completed": stress["completed"],
+        "elapsed_s": elapsed,
+        "events_appended": stats["appended"],
+        "events_per_s": stats["appended"] / elapsed if elapsed > 0 else 0.0,
+        "cases_per_s": stress_cases / elapsed if elapsed > 0 else 0.0,
+    }
+
+    # Replay: the enacted plan_mix acceptance workload, rebuilt from
+    # storage blobs alone and cross-checked against live spans.
+    mix = run_plan_mix(
+        requests=8, distinct=4, enact=True, journal=True, spans=True
+    )
+    services, env = mix["services"], mix["env"]
+    replays = []
+    started = _walltime.perf_counter()
+    for index in range(mix["requests"]):
+        replay = journal_replay(
+            services.storage, f"mix-{index}", recorder=env.spans
+        )
+        replays.append(replay)
+    replay_elapsed = _walltime.perf_counter() - started
+    agreements = [r["agreement"]["agreement"] for r in replays]
+    out["replay"] = {
+        "cases": mix["requests"],
+        "completed": mix["completed"],
+        "plan_sources": mix["sources"],
+        "journal_events": mix["journal"]["appended"],
+        "wall_s": replay_elapsed,
+        "events_per_s": (
+            sum(r["events"] for r in replays) / replay_elapsed
+            if replay_elapsed > 0
+            else 0.0
+        ),
+        "agreement_min": min(agreements),
+        "agreements": agreements,
+    }
+
+    out["journal_trace_identity"] = verify_journal_trace_identity()
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -858,6 +1043,7 @@ def main(argv=None) -> int:
             "analysis",
             "shard",
             "planlib",
+            "prov",
         ),
         default="all",
     )
@@ -868,6 +1054,16 @@ def main(argv=None) -> int:
     parser.add_argument("--analysis-out", default="BENCH_analysis.json")
     parser.add_argument("--shard-out", default="BENCH_shard.json")
     parser.add_argument("--planlib-out", default="BENCH_planlib.json")
+    parser.add_argument("--prov-out", default="BENCH_prov.json")
+    parser.add_argument(
+        "--max-journal-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if the prov suite's journal-off median exceeds "
+        "the committed pre-prov baseline by more than PCT percent; only "
+        "enforced when the host fingerprint matches the baseline host",
+    )
     parser.add_argument(
         "--min-warm-speedup",
         type=float,
@@ -984,6 +1180,18 @@ def main(argv=None) -> int:
                 f"byte-identical over {gate['messages_compared']} messages "
                 f"({gate['cases']} cases)"
             )
+            gate = verify_journal_trace_identity(cases=args.cases)
+            if not gate["identical"]:
+                print(
+                    "FAIL: record-only journal diverges from journal-off: "
+                    f"{gate.get('first_divergence')}"
+                )
+                return 1
+            print(
+                "journal trace gate passed: record-only and journal-off "
+                f"byte-identical over {gate['messages_compared']} messages "
+                f"({gate['cases']} cases)"
+            )
         if args.min_stress_cases_per_s is not None and not enforce_gate(
             "stress floor (--min-stress-cases-per-s)",
             record["enact"]["stress_1k"]["cases_per_s"],
@@ -1072,6 +1280,40 @@ def main(argv=None) -> int:
             PLANLIB_REFERENCE["host"],
             mode="min",
             unit="x",
+        ):
+            return 1
+
+    if args.suite in ("all", "prov"):
+        host = _host()
+        record = {
+            "benchmark": "case flight recorder (journal + provenance replay)",
+            "host": host,
+            "prov": bench_prov(args.rounds, cases=args.cases),
+        }
+        _write(args.prov_out, record)
+        gate = record["prov"]["journal_trace_identity"]
+        if not gate["identical"]:
+            print(
+                "FAIL: record-only journal diverges from journal-off: "
+                f"{gate.get('first_divergence')}"
+            )
+            return 1
+        agreement = record["prov"]["replay"]["agreement_min"]
+        if agreement < 0.95:
+            print(
+                "FAIL: journal replay disagrees with live spans "
+                f"(min agreement {agreement:.3f} < 0.95)"
+            )
+            return 1
+        if args.max_journal_overhead is not None and not enforce_gate(
+            "journal-off disabled-overhead (--max-journal-overhead)",
+            record["prov"]["journal_disabled_overhead_pct"],
+            args.max_journal_overhead,
+            host,
+            PRE_PROV_BASELINE["host"],
+            mode="max",
+            unit="%",
+            fmt="{:+.1f}",
         ):
             return 1
     return 0

@@ -246,15 +246,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         gauge_period=args.gauge_period,
     )
     recorder = result["env"].spans
+    source = recorder
+    exported = recorder.total_closed
+    if args.case is not None:
+        # One case only: its span tree plus every remote span (container,
+        # storage, planner) joined to it by trace_id.
+        roots = recorder.spans(kind="case", name=args.case)
+        if not roots:
+            print(f"no case span named {args.case!r}", file=sys.stderr)
+            return 1
+        traces = {root.trace_id for root in roots if root.trace_id is not None}
+        source = [span for span in recorder.closed if span.trace_id in traces]
+        exported = len(source)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     chrome_path = out / "trace.chrome.json"
     jsonl_path = out / "spans.jsonl"
-    events = write_chrome_trace(chrome_path, recorder)
-    lines = write_jsonl(jsonl_path, recorder)
+    events = write_chrome_trace(chrome_path, source)
+    lines = write_jsonl(jsonl_path, source)
+    scope = f" (case {args.case})" if args.case is not None else ""
     print(
         f"{result['completed']}/{result['cases']} cases, "
-        f"{recorder.total_closed} spans "
+        f"{exported} spans exported{scope} "
         f"(makespan {result['makespan']:.1f}s sim)"
     )
     print(f"wrote {chrome_path} ({events} events; open in chrome://tracing or ui.perfetto.dev)")
@@ -346,6 +359,116 @@ def _cmd_planlib(args: argparse.Namespace) -> int:
             )
     else:
         print(f"purged {reply['purged']} entries (memory + storage mirror)")
+    return 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Enact a journal-on workload, then print one case's flight record.
+
+    The timeline is fetched from the monitoring service over in-band RPC
+    (the ``journal`` action — the same path an external operator tool
+    would use), which lazily syncs non-resident cases from the storage
+    mirror; ``--purge`` then exercises the ``journal-purge`` retention
+    RPC and prints its exact counters.
+    """
+    import json
+
+    from repro.workloads.many_cases import run_many_cases
+
+    result = run_many_cases(
+        cases=args.cases, containers=args.containers, spans=True, journal=True
+    )
+    env, services = result["env"], result["services"]
+    reply: dict = {}
+
+    def query():
+        response = yield from services.coordination.call(
+            "monitoring", "journal", {"case": args.case}
+        )
+        reply.update(response)
+        if args.purge:
+            purged = yield from services.coordination.call(
+                "monitoring", "journal-purge", {}
+            )
+            reply["purge"] = purged
+
+    env.engine.spawn(query(), "journal-query")
+    env.run()
+
+    events = reply.get("events", [])
+    if not events:
+        print(f"no journal events for case {args.case!r}", file=sys.stderr)
+        return 1
+    print(f"case {args.case}: {len(events)} events")
+    for event in events:
+        attrs = dict(event["attrs"])
+        activity = attrs.pop("activity", "")
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        print(
+            f"  {event['seq']:5d} t={event['time']:9.3f} "
+            f"{event['kind']:<18} {event['agent']:<14} "
+            f"{activity:<14} {detail}"
+        )
+    print(json.dumps({"stats": reply["stats"]}, indent=2, sort_keys=True))
+    if args.purge:
+        purge = reply["purge"]
+        print(
+            f"purged {purge['purged_cases']} cases / "
+            f"{purge['purged_events']} events "
+            f"({purge['storage_deleted']} mirrored blobs deleted)"
+        )
+    return 0
+
+
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    """Enact a journal-on workload, then print a data artifact's lineage
+    (or an activity's descendants) as DOT or JSON, via monitoring RPC."""
+    import json
+
+    from repro.obs.provenance import provenance_dot
+
+    from repro.workloads.many_cases import run_many_cases
+
+    result = run_many_cases(
+        cases=args.cases, containers=args.containers, spans=True, journal=True
+    )
+    env, services = result["env"], result["services"]
+    reply: dict = {}
+    error: list[str] = []
+
+    def query():
+        from repro.errors import ServiceError
+
+        content = {"key": args.key}
+        if args.case is not None:
+            content["case"] = args.case
+        if args.descendants:
+            content["direction"] = "descendants"
+        try:
+            response = yield from services.coordination.call(
+                "monitoring", "lineage", content
+            )
+        except ServiceError as exc:
+            error.append(str(exc))
+            return
+        reply.update(response)
+
+    env.engine.spawn(query(), "lineage-query")
+    env.run()
+
+    if error:
+        print(error[0], file=sys.stderr)
+        return 1
+    if args.format == "dot":
+        print(provenance_dot(reply["activities"], reply["data"], reply["edges"]))
+    else:
+        payload = {
+            k: reply[k]
+            for k in ("key", "activities", "data", "edges")
+            if k in reply
+        }
+        payload["root"] = reply.get("root", reply.get("target"))
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
     return 0
 
 
@@ -449,6 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument("--containers", type=int, default=4)
     te.add_argument("--gauge-period", type=float, default=5.0)
     te.add_argument("--out", default="traces")
+    te.add_argument(
+        "--case", default=None, metavar="CASE_ID",
+        help="export only this case's spans (its tree plus remote spans "
+        "joined by trace_id) instead of the full recorder",
+    )
 
     pp = sub.add_parser(
         "profile", help="per-case sim-time attribution (spans-on workload)"
@@ -479,6 +607,39 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "list":
             bq.add_argument("--limit", type=int, default=None)
+
+    pj = sub.add_parser(
+        "journal",
+        help="enact a journal-on workload and print one case's flight record",
+    )
+    pj.add_argument("case", nargs="?", default="case-0",
+                    help="case id to show (default: case-0)")
+    pj.add_argument("--cases", type=int, default=16)
+    pj.add_argument("--containers", type=int, default=4)
+    pj.add_argument(
+        "--purge", action="store_true",
+        help="after printing, run the journal-purge retention RPC "
+        "(drops resident cases and deletes storage-mirrored blobs)",
+    )
+
+    pg = sub.add_parser(
+        "lineage",
+        help="print a data artifact's provenance lineage as DOT or JSON",
+    )
+    pg.add_argument("key", help="artifact id (case-0:out), bare data name, "
+                    "or payload storage key")
+    pg.add_argument("--case", default=None,
+                    help="scope the search to one case id")
+    pg.add_argument(
+        "--descendants", action="store_true",
+        help="treat KEY as an activity and print its forward closure",
+    )
+    pg.add_argument(
+        "--format", choices=("dot", "json"), default="dot",
+        help="output format (default: dot)",
+    )
+    pg.add_argument("--cases", type=int, default=16)
+    pg.add_argument("--containers", type=int, default=4)
 
     pk = sub.add_parser(
         "cases", help="enact the many-cases workload (optionally sharded)"
@@ -513,6 +674,8 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "planlib": _cmd_planlib,
+    "journal": _cmd_journal,
+    "lineage": _cmd_lineage,
     "cases": _cmd_cases,
 }
 

@@ -230,15 +230,16 @@ class ApplicationContainer(Agent):
             else None
         )
         try:
-            reply = yield from self._execute_activity(content, span)
+            reply = yield from self._execute_activity(content, span, message.trace_id)
         except ServiceError:
             recorder.end(span, status="error")
             raise
         recorder.end(span)
         return reply
 
-    def _execute_activity(self, content: dict, span):
+    def _execute_activity(self, content: dict, span, trace_id=None):
         recorder = self.env.spans
+        journal = self.env.journal
         service_name = content.get("service", "")
         activity = content.get("activity", service_name)
         service = self.services.get(service_name)
@@ -272,6 +273,16 @@ class ApplicationContainer(Agent):
         # renamed actual->formal before the run and outputs formal->actual
         # after it.  Without orders, names pass through unchanged (the
         # synthetic-services case, where formal == actual).
+        if journal.enabled:
+            # The container never sees the case id; the dispatch RPC's
+            # trace (bound at intake) files the event under the case.
+            journal.append_traced(
+                trace_id, "execute", agent=self.name,
+                activity=activity, service=service_name,
+                node=self.node.name, container=self.name,
+                inputs=sorted(content.get("inputs", {})),
+            )
+
         input_order: list[str] = list(content.get("input_order", ()))
         rename_in: dict[str, str] = {}
         if service.inputs and len(service.inputs) == len(input_order):
@@ -306,6 +317,12 @@ class ApplicationContainer(Agent):
                 self.env.storage_name, "retrieve", {"key": key}
             )
             recorder.end(fetch_span)
+            if journal.enabled:
+                journal.append_traced(
+                    trace_id, "transfer", agent=self.name,
+                    data=data_name, key=key, direction="fetch",
+                    node=self.node.name,
+                )
             fmt = (result.get("meta") or {}).get("format")
             if fmt:
                 spec = TransferSpec(
@@ -322,6 +339,11 @@ class ApplicationContainer(Agent):
                     dest_speed=self.node.hardware.speed,
                     metrics=self.metrics,
                     component=self.name,
+                    journal=journal,
+                    trace_id=trace_id,
+                    node=self.node.name,
+                    data=data_name,
+                    key=key,
                 )
                 if dest_seconds > 0:
                     migrate_span = (
@@ -420,6 +442,12 @@ class ApplicationContainer(Agent):
                 {"key": key, "payload": payload},
             )
             recorder.end(store_span)
+            if journal.enabled:
+                journal.append_traced(
+                    trace_id, "transfer", agent=self.name,
+                    data=data_name, key=key, direction="store",
+                    node=self.node.name,
+                )
             payload_keys[data_name] = key
 
         self.executions.append((self.engine.now, activity, service_name, True))

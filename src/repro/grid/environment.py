@@ -25,6 +25,7 @@ from repro.grid.messages import Message
 from repro.grid.network import LinkProfile, Network
 from repro.grid.node import GridNode, HardwareProfile
 from repro.obs.gauges import GaugeSampler
+from repro.obs.journal import CaseJournal
 from repro.obs.spans import SpanRecorder
 from repro.sim.engine import Engine
 
@@ -49,6 +50,8 @@ class GridEnvironment:
         span_capacity: int | None = None,
         batched: bool = True,
         coalesce: bool = False,
+        journal: bool | str = False,
+        journal_cases: int | None = None,
     ) -> None:
         # batched=False opts out of the engine's same-tick batch dispatch
         # (the legacy one-event-per-heap-pop kernel) — the comparison knob
@@ -67,6 +70,17 @@ class GridEnvironment:
             SpanRecorder(self.engine, enabled=spans, capacity=span_capacity)
             if span_capacity is not None
             else SpanRecorder(self.engine, enabled=spans)
+        )
+        # The case flight recorder follows the same default-off contract:
+        # journal=False disables it entirely, journal="record" records
+        # in memory only (recording is pure arithmetic — protocol traces
+        # stay byte-identical), journal=True additionally mirrors each
+        # completed case into the storage service as a JSONL blob.
+        self.journal = CaseJournal(
+            self.engine,
+            enabled=bool(journal),
+            mirror=journal is True or journal == "mirror",
+            **({"max_cases": journal_cases} if journal_cases is not None else {}),
         )
         #: The attached gauge sampler (None until :meth:`attach_gauges`).
         self.gauges: GaugeSampler | None = None

@@ -1,7 +1,7 @@
-"""Workflow telemetry: spans, sim-time gauges, watch rules, exporters.
+"""Workflow telemetry: spans, gauges, case journal, provenance, exporters.
 
 The observability subsystem on top of the message bus's metrics/trace
-plane (see DESIGN.md §5f):
+plane (see DESIGN.md §5f and §5k):
 
 * :mod:`repro.obs.spans` — the :class:`SpanRecorder` attached to every
   :class:`~repro.grid.environment.GridEnvironment` (disabled by default),
@@ -10,6 +10,13 @@ plane (see DESIGN.md §5f):
   per-node/per-agent gauges into :class:`~repro.sim.stats.TimeSeries`;
 * :mod:`repro.obs.profile` — per-case time attribution
   (:func:`case_profile`, served as monitoring's ``case-profile`` RPC);
+* :mod:`repro.obs.journal` — the opt-in append-only per-case
+  :class:`CaseJournal` (the case flight recorder), mirrored through the
+  storage service as schema-versioned JSONL blobs;
+* :mod:`repro.obs.provenance` — the :class:`ProvenanceGraph` derived
+  from the journal (activity → data-artifact DAG with lineage /
+  descendants / timeline queries) and the :func:`journal_replay`
+  post-mortem reconstructor cross-checked against live spans;
 * :mod:`repro.obs.export` — Chrome trace-event JSON and flat JSONL
   exporters (``repro-grid trace export``).
 """
@@ -22,7 +29,24 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.gauges import GaugeSampler
+from repro.obs.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    CaseJournal,
+    JournalEvent,
+    decode_events,
+    encode_events,
+    journal_storage_key,
+)
 from repro.obs.profile import case_profile, interval_union, render_profile
+from repro.obs.provenance import (
+    ActivityRun,
+    DataArtifact,
+    ProvenanceGraph,
+    journal_replay,
+    lineage_jsonl,
+    provenance_dot,
+    span_agreement,
+)
 from repro.obs.spans import (
     DEFAULT_SPAN_CAPACITY,
     Alert,
@@ -33,15 +57,28 @@ from repro.obs.spans import (
 
 __all__ = [
     "Alert",
+    "ActivityRun",
+    "CaseJournal",
     "DEFAULT_SPAN_CAPACITY",
+    "DataArtifact",
     "GaugeSampler",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalEvent",
+    "ProvenanceGraph",
     "Span",
     "SpanRecorder",
     "WatchRule",
     "case_profile",
     "chrome_trace",
+    "decode_events",
+    "encode_events",
     "interval_union",
+    "journal_replay",
+    "journal_storage_key",
+    "lineage_jsonl",
+    "provenance_dot",
     "render_profile",
+    "span_agreement",
     "spans_jsonl",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -147,6 +147,7 @@ def standard_environment(
     planner_seed: int = 0,
     tracing: bool = True,
     spans: bool = False,
+    journal: bool | str = False,
     batched: bool = True,
     coalesce: bool = False,
     plan_library: PlanLibrary | None = None,
@@ -167,7 +168,7 @@ def standard_environment(
     (deterministic, different intra-tick interleaving — throughput runs).
     """
     env = GridEnvironment(
-        tracing=tracing, spans=spans, batched=batched, coalesce=coalesce
+        tracing=tracing, spans=spans, journal=journal, batched=batched, coalesce=coalesce
     )
     credentials = ("coordination", "grid-secret") if secure else None
     services = build_core_services(
@@ -312,6 +313,7 @@ def sharded_environment(
     planner_seed: int = 0,
     tracing: bool = True,
     spans: bool = False,
+    journal: bool | str = False,
     batched: bool = True,
     coalesce: bool = False,
     plan_library: PlanLibrary | None = None,
@@ -348,7 +350,7 @@ def sharded_environment(
     ring = ShardRing(labels)
 
     env = GridEnvironment(
-        tracing=tracing, spans=spans, batched=batched, coalesce=coalesce
+        tracing=tracing, spans=spans, journal=journal, batched=batched, coalesce=coalesce
     )
     credentials = ("coordination", "grid-secret") if secure else None
 

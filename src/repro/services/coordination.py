@@ -33,6 +33,7 @@ from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
 from repro.grid.messages import Message, Performative
+from repro.obs.journal import JOURNAL_SCHEMA_VERSION, encode_events, journal_storage_key
 from repro.obs.spans import Span
 from repro.planner.problem import PlanningProblem
 from repro.process.ast_nodes import (
@@ -96,6 +97,8 @@ class EnactmentRecord:
     coordinator for experiment assertions)."""
 
     task: str
+    #: Journal case id ("" when the case journal is disabled).
+    case_id: str = ""
     events: list[tuple[float, str, str]] = field(default_factory=list)
     activities_run: int = 0
     activities_failed: int = 0
@@ -372,6 +375,7 @@ class CoordinationService(CoreService):
         """
         content = message.content
         recorder = self.env.spans
+        journal = self.env.journal
         case_span = (
             recorder.start(
                 content.get("task", ""), "case",
@@ -381,18 +385,91 @@ class CoordinationService(CoreService):
             if recorder.enabled
             else None
         )
+        case_id: str | None = None
+        if journal.enabled:
+            # Flight recorder: bind the case trace first, so every
+            # downstream emission (containers, transfers — they only see
+            # the trace id) lands in this case's journal.
+            case_id = self._journal_case_id(content, message.trace_id)
+            journal.bind(message.trace_id, case_id)
+            process = content.get("process")
+            journal.append(
+                case_id, "case-intake",
+                agent=self.name, trace_id=message.trace_id,
+                process=process.name if process is not None else None,
+                initial=sorted(content.get("initial_data") or ()),
+                payload_keys=sorted(content.get("payload_keys") or ()),
+                **({"shard": self.shard} if self.shard else {}),
+            )
         try:
-            result = yield from self._execute_task(content, case_span)
-        except ServiceError:
+            result = yield from self._execute_task(content, case_span, case_id)
+        except ServiceError as exc:
             recorder.end(case_span, status="error")
+            if case_id is not None:
+                journal.append(
+                    case_id, "case-fail", agent=self.name,
+                    trace_id=message.trace_id, error=str(exc),
+                )
+                if journal.mirror:
+                    yield from self._journal_flush(case_id)
             raise
         recorder.end(case_span)
+        if case_id is not None:
+            journal.append(
+                case_id, "case-complete", agent=self.name,
+                trace_id=message.trace_id,
+                activities_run=result.get("activities_run", 0),
+                replans=result.get("replans", 0),
+            )
+            if journal.mirror:
+                yield from self._journal_flush(case_id)
         return result
 
+    @staticmethod
+    def _journal_case_id(content: dict[str, Any], trace_id) -> str:
+        """Stable journal/provenance identity for a case request."""
+        task = content.get("task")
+        if task:
+            return str(task)
+        process = content.get("process")
+        if process is not None:
+            return process.name
+        problem = content.get("problem")
+        if problem is not None:
+            return problem.name
+        return f"case@{trace_id}"
+
+    def _journal_flush(self, case_id: str) -> Generator[Any, Any, None]:
+        """Mirror *case_id*'s journal into the storage service as one
+        schema-versioned JSONL blob under ``journal/<case_id>`` (shards
+        and replicas share the store, so any monitoring replica can
+        lazily sync the case back)."""
+        journal = self.env.journal
+        events = journal.events(case_id)
+        yield from self.call(
+            self.env.storage_name,
+            "store",
+            {
+                "key": journal_storage_key(case_id),
+                "payload": encode_events(case_id, events),
+                "meta": {
+                    "kind": "journal",
+                    "case": case_id,
+                    "events": len(events),
+                    "schema": JOURNAL_SCHEMA_VERSION,
+                },
+            },
+        )
+        journal.mark_flushed(case_id)
+
     def _execute_task(
-        self, content: dict[str, Any], case_span: Span | None
+        self,
+        content: dict[str, Any],
+        case_span: Span | None,
+        case_id: str | None = None,
     ) -> Generator[Any, Any, dict[str, Any]]:
         recorder = self.env.spans
+        journal = self.env.journal
         process: ProcessDescription | None = content.get("process")
         findings = []
         if process is not None:
@@ -413,6 +490,12 @@ class CoordinationService(CoreService):
             ]
             if refused:
                 self.metrics.inc("cases_refused", agent=self.name)
+                if case_id is not None:
+                    journal.append(
+                        case_id, "refusal", agent=self.name,
+                        reason="semantic-analysis",
+                        findings=[str(f) for f in refused],
+                    )
                 raise ServiceError(
                     f"case {content.get('task', process.name)!r} refused: "
                     f"process {process.name!r} failed semantic analysis: "
@@ -430,11 +513,23 @@ class CoordinationService(CoreService):
             )
             process = reply["process"]
             plan_source = reply.get("source")
+            if case_id is not None:
+                journal.append(
+                    case_id, "plan", agent=self.name,
+                    source=plan_source or "gp", process=process.name,
+                    solved=reply.get("solved"), fitness=reply.get("fitness"),
+                )
             if plan_source in ("hit", "repair") and not reply.get("verified"):
                 # A plan-library plan may only skip GP when the planning
                 # service re-verified it against the current registry in
                 # *this* exchange — a stale plan is never enacted blind.
                 self.metrics.inc("cases_refused", agent=self.name)
+                if case_id is not None:
+                    journal.append(
+                        case_id, "refusal", agent=self.name,
+                        reason="unverified-library-plan", source=plan_source,
+                        process=process.name,
+                    )
                 raise ServiceError(
                     f"case {content.get('task', process.name)!r} refused: "
                     f"library {plan_source} for {process.name!r} was not "
@@ -443,7 +538,9 @@ class CoordinationService(CoreService):
         case = _CaseData(content.get("initial_data"))
         case.payload_keys.update(content.get("payload_keys", {}))
         problem: PlanningProblem | None = content.get("problem")
-        record = EnactmentRecord(task=content.get("task", process.name))
+        record = EnactmentRecord(
+            task=content.get("task", process.name), case_id=case_id or ""
+        )
         if case_span is not None:
             case_span.name = record.task
             if plan_source is not None:
@@ -467,10 +564,22 @@ class CoordinationService(CoreService):
                 program = self._program_for(current)
             except ConversionError as exc:
                 recorder.end(compile_span, status="error")
+                if case_id is not None:
+                    journal.append(
+                        case_id, "compile", agent=self.name,
+                        process=current.name, error=str(exc),
+                    )
                 raise ServiceError(
                     f"process {current.name!r} is not well-structured: {exc}"
                 ) from exc
             recorder.end(compile_span, **program.stats())
+            if case_id is not None:
+                stats = program.stats()
+                journal.append(
+                    case_id, "compile", agent=self.name,
+                    process=current.name, activities=sorted(program.steps),
+                    choices=stats.get("choices", 0), loops=stats.get("loops", 0),
+                )
             record.log(self.engine.now, "enact", f"process {current.name}")
             enact_span = (
                 recorder.start(current.name, "enact", agent=self.name, parent=case_span)
@@ -512,6 +621,13 @@ class CoordinationService(CoreService):
                     self.engine.now, "replan",
                     f"excluding {sorted(set(failed_activities))}",
                 )
+                if case_id is not None:
+                    journal.append(
+                        case_id, "replan", agent=self.name,
+                        round=record.replans,
+                        excluded=sorted(set(failed_activities)),
+                        aborted=failure.activity,
+                    )
                 reply = yield from self._timed_call(
                     "replan", case_span,
                     self.planner_name,
@@ -712,6 +828,7 @@ class CoordinationService(CoreService):
         name = step.name
         service = step.service
         recorder = self.env.spans
+        journal = self.env.journal
         activity_span = (
             recorder.start(
                 name, "activity", agent=self.name, parent=parent, service=service
@@ -748,6 +865,12 @@ class CoordinationService(CoreService):
                     },
                 )
                 container = schedule["container"]
+                if journal.enabled and record.case_id:
+                    journal.append(
+                        record.case_id, "dispatch", agent=self.name,
+                        activity=name, service=service, container=container,
+                        inputs=sorted(inputs), attempt=attempt,
+                    )
                 started = self.engine.now
                 result = yield from self._timed_call(
                     "dispatch", activity_span,
@@ -777,6 +900,14 @@ class CoordinationService(CoreService):
                     self.engine.now, "activity",
                     f"{name} ({service}) on {container}",
                 )
+                if journal.enabled and record.case_id:
+                    journal.append(
+                        record.case_id, "activity-complete", agent=self.name,
+                        activity=name, service=service, container=container,
+                        outputs=sorted(result.get("outputs", {})),
+                        payload_keys=dict(result.get("payload_keys", {})),
+                        retries=attempt,
+                    )
                 recorder.end(
                     activity_span, container=container, retries=attempt
                 )
@@ -791,6 +922,11 @@ class CoordinationService(CoreService):
                     yield from self._report_performance(
                         service, container, 0.0, False
                     )
+        if journal.enabled and record.case_id:
+            journal.append(
+                record.case_id, "activity-fail", agent=self.name,
+                activity=name, service=service, reason=last_error,
+            )
         recorder.end(activity_span, status="error", retries=self.retry_limit)
         raise _ActivityFailed(name, last_error)
 

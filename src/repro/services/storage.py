@@ -50,6 +50,11 @@ class PersistentStorageService(CoreService):
         meta = {"owner": message.sender}
         if "format" in content:
             meta["format"] = dict(content["format"])
+        if "meta" in content:
+            # Caller-supplied metadata (e.g. the case journal's blob
+            # descriptors) rides along so list-meta can inventory a
+            # namespace without fetching payloads.
+            meta.update(content["meta"])
         self.put(key, content.get("payload"), **meta)
         # The request's wire size is the payload's nominal size — feed it
         # to the bus metrics so storage traffic shows up next to RPC load.

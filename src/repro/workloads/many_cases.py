@@ -117,6 +117,7 @@ def run_many_cases(
     program_cache_size: int | None = None,
     max_events: int = 20_000_000,
     spans: bool = False,
+    journal: bool | str = False,
     gauge_period: float = 0.0,
     batched: bool = True,
     coalesce: bool = False,
@@ -201,6 +202,7 @@ def run_many_cases(
             program_cache_size=program_cache_size,
             max_events=max_events,
             spans=spans,
+            journal=journal,
             gauge_period=gauge_period,
             batched=batched,
             coalesce=coalesce,
@@ -221,6 +223,7 @@ def run_many_cases(
             program_cache_size=program_cache_size,
             max_events=max_events,
             spans=spans,
+            journal=journal,
             gauge_period=gauge_period,
             batched=batched,
             coalesce=coalesce,
@@ -232,13 +235,14 @@ def run_many_cases(
     if shards == 1:
         grid = sharded_environment(
             many_cases_services(), shards=1, containers=containers,
-            tracing=tracing, spans=spans, batched=batched, coalesce=coalesce,
+            tracing=tracing, spans=spans, journal=journal,
+            batched=batched, coalesce=coalesce,
         )
         env, services, fleet = grid.env, grid.services, grid.fleet
     else:
         env, services, fleet = standard_environment(
             many_cases_services(), containers=containers, tracing=tracing,
-            spans=spans, batched=batched, coalesce=coalesce,
+            spans=spans, journal=journal, batched=batched, coalesce=coalesce,
         )
     if not metrics:
         env.metrics.enabled = False
@@ -310,6 +314,7 @@ def run_many_cases(
             "open": env.spans.open_count,
             "evicted": env.spans.evicted,
         },
+        "journal": env.journal.stats(),
         "counters": {
             "program_cache_hit": registry.total("program_cache_hit"),
             "program_cache_miss": registry.total("program_cache_miss"),
@@ -359,7 +364,23 @@ def _run_shard(kwargs: dict[str, Any]) -> dict[str, Any]:
         "makespan": result["makespan"],
         "engine_events": result["engine_events"],
         "counters": result["counters"],
+        "journal": result["journal"],
     }
+
+
+def _merge_journal_stats(summaries: list[dict[str, Any]]) -> dict[str, Any]:
+    """Sum per-shard journal accounting (counts add; enablement agrees
+    across shards by construction)."""
+    merged = {
+        "enabled": any(s["journal"]["enabled"] for s in summaries),
+        "mirror": any(s["journal"]["mirror"] for s in summaries),
+    }
+    for key in (
+        "cases", "events", "appended", "flushed", "cases_evicted",
+        "events_evicted", "events_lost", "unbound_dropped", "cases_synced",
+    ):
+        merged[key] = sum(s["journal"][key] for s in summaries)
+    return merged
 
 
 def _run_many_cases_parallel(
@@ -430,6 +451,7 @@ def _run_many_cases_parallel(
             "open": 0,
             "evicted": 0,
         },
+        "journal": _merge_journal_stats(summaries),
         "counters": counters,
     }
 
@@ -523,5 +545,6 @@ def _run_many_cases_sharded(
             "open": 0,
             "evicted": 0,
         },
+        "journal": _merge_journal_stats(summaries),
         "counters": counters,
     }

@@ -171,6 +171,8 @@ def run_plan_mix(
     planner_seed: int = 0,
     tracing: bool = True,
     spans: bool = False,
+    journal: bool | str = False,
+    enact: bool = False,
     wire_disabled_library: bool = False,
     max_events: int = 20_000_000,
 ) -> dict[str, Any]:
@@ -190,6 +192,17 @@ def run_plan_mix(
     ``sources`` (``hit``/``repair``/``seed``/``miss``, or None with the
     library off), the ``planlib_*`` metric counters, library stats, and
     the fitness telemetry of every reply.
+
+    ``enact=True`` sends each request through coordination's
+    ``execute-task`` (problem only, no process — the Figure-2 "Need
+    Planning" path) as case ``mix-<index>``, so the planned processes
+    are actually enacted on the fleet; combined with ``journal=True``
+    this is the flight-recorder acceptance workload — every case's
+    journal carries its ``plan`` event (with the library ``source``) and
+    a full dispatch/execute/transfer record that
+    :func:`repro.obs.provenance.journal_replay` can rebuild from storage
+    alone.  ``sources`` then comes from the journal rather than the
+    enactment replies.
     """
     if requests < 1:
         raise WorkloadError("plan_mix needs at least one request")
@@ -211,6 +224,7 @@ def run_plan_mix(
         planner_seed=planner_seed,
         tracing=tracing,
         spans=spans,
+        journal=journal,
         plan_library=plan_library,
         knowledge_base=kb,
     )
@@ -236,11 +250,22 @@ def run_plan_mix(
             ):
                 killed[0] = _kill_used_publisher(plan_library, kb)
             started = time.perf_counter()
-            reply = yield from services.coordination.call(
-                services.coordination.planner_name,
-                "plan",
-                {"problem": plan_mix_problem(variant)},
-            )
+            if enact:
+                reply = yield from services.coordination.call(
+                    "coordination",
+                    "execute-task",
+                    {
+                        "problem": plan_mix_problem(variant),
+                        "initial_data": _ready("src"),
+                        "task": f"mix-{index}",
+                    },
+                )
+            else:
+                reply = yield from services.coordination.call(
+                    services.coordination.planner_name,
+                    "plan",
+                    {"problem": plan_mix_problem(variant)},
+                )
             latencies[index] = time.perf_counter() - started
             replies[index] = reply
 
@@ -249,7 +274,22 @@ def run_plan_mix(
 
     if any(reply is None for reply in replies):
         raise WorkloadError("plan_mix: not every planning request completed")
-    sources = [reply.get("source") for reply in replies]
+    if enact:
+        # Enactment replies don't echo the plan source; the journal's
+        # per-case "plan" event is the provenance record of it.
+        sources = [
+            next(
+                (
+                    event.attrs.get("source")
+                    for event in env.journal.events(f"mix-{index}")
+                    if event.kind == "plan"
+                ),
+                None,
+            )
+            for index in range(requests)
+        ]
+    else:
+        sources = [reply.get("source") for reply in replies]
     registry = env.metrics
     counts = {
         kind: registry.total(f"planlib_{kind}")
@@ -264,8 +304,12 @@ def run_plan_mix(
         "latencies": latencies,
         "sources": sources,
         "replies": replies,
-        "fitness": [reply["fitness"] for reply in replies],
+        "fitness": [] if enact else [reply["fitness"] for reply in replies],
         "solved": sum(1 for reply in replies if reply.get("solved")),
+        "completed": sum(
+            1 for reply in replies if reply.get("status") == "completed"
+        ),
+        "journal": env.journal.stats(),
         "counts": counts,
         "killed": killed[0],
         "library_entries": len(plan_library) if plan_library is not None else 0,

@@ -1,0 +1,181 @@
+"""Unit tests for the case flight recorder (`repro.obs.journal`)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    CaseJournal,
+    decode_events,
+    encode_events,
+    journal_storage_key,
+)
+from repro.sim.engine import Engine
+
+
+def make_journal(enabled=True, mirror=False, max_cases=4096):
+    return CaseJournal(Engine(), enabled=enabled, mirror=mirror, max_cases=max_cases)
+
+
+class TestRecording:
+    def test_disabled_by_default_records_nothing(self):
+        journal = CaseJournal(Engine())
+        assert journal.enabled is False
+        assert journal.append("c1", "case-intake") is None
+        journal.bind("t-1", "c1")
+        assert journal.append_traced("t-1", "execute") is None
+        assert journal.events("c1") == []
+        stats = journal.stats()
+        assert stats["appended"] == 0
+        assert stats["cases"] == 0
+        assert stats["unbound_dropped"] == 0
+
+    def test_append_orders_events_with_global_seq(self):
+        journal = make_journal()
+        journal.append("c1", "case-intake", agent="coord")
+        journal.append("c2", "case-intake", agent="coord")
+        journal.append("c1", "dispatch", agent="coord", activity="a")
+        events = journal.events("c1")
+        assert [e.kind for e in events] == ["case-intake", "dispatch"]
+        assert events[0].seq < events[1].seq
+        assert journal.total_appended == 3
+        # LRU order: the append to c1 refreshed it past c2
+        assert journal.case_ids() == ("c2", "c1")
+
+    def test_bind_resolves_traced_appends_and_backfills_trace(self):
+        journal = make_journal()
+        journal.bind("trace-9", "c1")
+        journal.append("c1", "case-intake", trace_id="trace-9")
+        # trace omitted -> auto-filled from the intake binding
+        event = journal.append("c1", "dispatch", activity="a")
+        assert event.trace == "trace-9"
+        remote = journal.append_traced("trace-9", "execute", agent="ac1", node="n1")
+        assert remote.case == "c1"
+        assert remote.attrs["node"] == "n1"
+        assert journal.case_for_trace("trace-9") == "c1"
+        assert journal.trace_for_case("c1") == "trace-9"
+
+    def test_unbound_traced_append_is_dropped_and_counted(self):
+        journal = make_journal()
+        assert journal.append_traced("nope", "execute") is None
+        assert journal.unbound_dropped == 1
+        assert journal.stats()["unbound_dropped"] == 1
+
+
+class TestRetention:
+    def test_lru_eviction_exact_accounting(self):
+        journal = make_journal(max_cases=2)
+        for case in ("c1", "c2", "c3"):
+            journal.append(case, "case-intake")
+            journal.append(case, "case-complete")
+        assert journal.case_ids() == ("c2", "c3")
+        assert journal.cases_evicted == 1
+        assert journal.events_evicted == 2
+        # c1 was never mirrored: both events are lost
+        assert journal.events_lost == 2
+        assert journal.total_appended == 6
+
+    def test_appending_refreshes_lru_position(self):
+        journal = make_journal(max_cases=2)
+        journal.append("c1", "case-intake")
+        journal.append("c2", "case-intake")
+        journal.append("c1", "dispatch")  # c1 now most-recently-used
+        journal.append("c3", "case-intake")
+        assert journal.case_ids() == ("c1", "c3")
+
+    def test_flushed_cases_evict_without_loss(self):
+        journal = make_journal(max_cases=1)
+        journal.append("c1", "case-intake")
+        assert journal.mark_flushed("c1") == 1
+        journal.append("c2", "case-intake")
+        assert journal.events_evicted == 1
+        assert journal.events_lost == 0
+        assert journal.total_flushed == 1
+
+    def test_purge_drops_cases_but_keeps_counters(self):
+        journal = make_journal()
+        journal.append("c1", "case-intake")
+        journal.append("c2", "case-intake")
+        cases, events = journal.purge()
+        assert (cases, events) == (2, 2)
+        assert journal.case_ids() == ()
+        assert journal.total_appended == 2  # history preserved
+
+    def test_clear_resets_everything(self):
+        journal = make_journal()
+        journal.append("c1", "case-intake")
+        journal.clear()
+        assert journal.total_appended == 0
+        assert journal.case_ids() == ()
+
+
+class TestMirroring:
+    def test_mark_flushed_counts_only_fresh_events(self):
+        journal = make_journal()
+        journal.append("c1", "case-intake")
+        journal.append("c1", "dispatch")
+        assert journal.mark_flushed("c1") == 2
+        assert journal.pending_flush("c1") == 0
+        journal.append("c1", "case-complete")
+        assert journal.pending_flush("c1") == 1
+        assert journal.mark_flushed("c1") == 1
+        assert journal.total_flushed == 3
+
+    def test_absorb_installs_foreign_case_as_flushed(self):
+        journal = make_journal()
+        journal.append("src", "case-intake", trace_id="t-1")
+        blob = journal.encode_case("src")
+        case_id, events = decode_events(blob)
+
+        other = make_journal()
+        other.absorb(case_id, events)
+        assert other.has_case("src")
+        assert other.cases_synced == 1
+        assert other.pending_flush("src") == 0
+        assert other.case_for_trace("t-1") == "src"
+        # absorbing twice is a no-op
+        other.absorb(case_id, events)
+        assert other.cases_synced == 1
+
+
+class TestEncoding:
+    def test_roundtrip_preserves_events(self):
+        journal = make_journal()
+        journal.bind("t-5", "c1")
+        journal.append("c1", "case-intake", initial=["src"], process="p")
+        journal.append("c1", "dispatch", activity="a", inputs=["src"], attempt=0)
+        blob = encode_events("c1", journal.events("c1"))
+        assert isinstance(blob, bytes)
+        case_id, events = decode_events(blob)
+        assert case_id == "c1"
+        assert [e.as_dict() for e in events] == [
+            e.as_dict() for e in journal.events("c1")
+        ]
+
+    def test_header_carries_schema_and_count(self):
+        blob = encode_events("c1", []).decode("utf-8")
+        header = blob.split("\n")[0]
+        assert f'"schema":{JOURNAL_SCHEMA_VERSION}' in header
+        assert '"events":0' in header
+
+    def test_encoding_is_byte_stable(self):
+        journal = make_journal()
+        journal.append("c1", "case-intake", zeta=1, alpha=2)
+        assert journal.encode_case("c1") == journal.encode_case("c1")
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"",
+            b"not json\n",
+            b'{"no_schema": true}\n',
+            b'{"schema": 999, "case": "c1", "events": 0}\n',
+            b'{"schema": 1, "case": "c1", "events": 2}\n{"seq": 0}\n',
+        ],
+    )
+    def test_malformed_blobs_are_rejected(self, blob):
+        with pytest.raises(ObservabilityError):
+            decode_events(blob)
+
+    def test_storage_key_namespace(self):
+        assert journal_storage_key("case-0") == "journal/case-0"

@@ -87,3 +87,78 @@ def test_profile_prints_attribution_table(capsys):
     assert "case case-1" in out
     assert "coverage=" in out
     assert "activity" in out
+
+
+def test_trace_export_case_filter(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "traces"
+    assert main([
+        "trace", "export", "--cases", "2", "--containers", "2",
+        "--case", "case-1", "--out", str(out),
+    ]) == 0
+    stdout = capsys.readouterr().out
+    assert "case case-1" in stdout
+    lines = (out / "spans.jsonl").read_text().splitlines()
+    spans = [json.loads(line) for line in lines]
+    assert spans
+    # exactly one case root survives the filter, and it is case-1
+    case_roots = [s for s in spans if s["kind"] == "case"]
+    assert [s["name"] for s in case_roots] == ["case-1"]
+
+
+def test_trace_export_unknown_case_fails(tmp_path, capsys):
+    assert main([
+        "trace", "export", "--cases", "2", "--containers", "2",
+        "--case", "case-99", "--out", str(tmp_path / "t"),
+    ]) == 1
+    assert "case-99" in capsys.readouterr().err
+
+
+def test_journal_prints_timeline_and_stats(capsys):
+    assert main(["journal", "case-1", "--cases", "2", "--containers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "case-intake" in out
+    assert "case-complete" in out
+    assert "dispatch" in out
+    assert '"appended"' in out
+
+
+def test_journal_unknown_case_fails(capsys):
+    assert main(["journal", "ghost", "--cases", "2", "--containers", "2"]) == 1
+
+
+def test_journal_purge_reports_counters(capsys):
+    assert main([
+        "journal", "case-0", "--cases", "2", "--containers", "2", "--purge",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "purged" in out
+
+
+def test_lineage_dot_output(capsys):
+    assert main([
+        "lineage", "out", "--case", "case-0",
+        "--cases", "2", "--containers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.lstrip().startswith("digraph")
+    assert "->" in out
+
+
+def test_lineage_json_output(capsys):
+    import json
+
+    assert main([
+        "lineage", "out", "--case", "case-0", "--format", "json",
+        "--cases", "2", "--containers", "2",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["root"].endswith(":out")
+    assert payload["activities"]
+
+
+def test_lineage_unknown_key_fails(capsys):
+    assert main([
+        "lineage", "nothing-here", "--cases", "2", "--containers", "2",
+    ]) == 1

@@ -100,3 +100,20 @@ def test_rejects_degenerate_inputs():
         run_plan_mix(requests=0)
     with pytest.raises(WorkloadError):
         run_plan_mix(requests=2, distinct=0)
+
+
+def test_enact_mode_records_journaled_cases():
+    """Enactment mode drives each planned process through coordination;
+    with the journal on, each case carries its plan event and the
+    library source comes from the journal, not the enactment reply."""
+    result = run_plan_mix(
+        requests=4, distinct=2, enact=True, journal=True, spans=True, **FAST
+    )
+    assert result["completed"] == 4
+    assert result["fitness"] == []
+    stats = result["journal"]
+    assert stats["appended"] == stats["flushed"] > 0
+    assert all(source is not None for source in result["sources"])
+    assert result["sources"][0] == "miss"  # cold library, first variant
+    # repeats of a variant are verified hits
+    assert set(result["sources"][2:]) <= {"hit", "repair", "seed"}

@@ -38,6 +38,7 @@ DEFAULT_PATHS = (
     "src/repro/grid",
     "src/repro/services",
     "src/repro/planner",
+    "src/repro/obs",
 )
 
 ALLOW_MARKER = "# det: ok"
