@@ -658,7 +658,7 @@ def bench_obs(rounds, cases=32, containers=4):
 
 def bench_analysis(rounds, iterations=200):
     """Semantic-analyzer throughput and the GP pre-filter's effect."""
-    from repro.analysis import analyze_process
+    from repro.analysis import analyze_process, concurrency_findings
     from repro.virolab import (
         DATA_CLASSIFICATIONS,
         INITIAL_DATA,
@@ -690,6 +690,17 @@ def bench_analysis(rounds, iterations=200):
     assert not findings, [str(f) for f in findings]
     out["figure10_findings"] = len(findings)
 
+    # Concurrency verifier alone: region recovery + interference +
+    # deadlock + critical path over the Figure-10 fork, per process.
+    def concurrency_all():
+        for _ in range(iterations):
+            concurrency_findings(pd)
+
+    timing = _time(concurrency_all, rounds)
+    timing["analyses_per_s"] = iterations / timing["median_s"]
+    out[f"concurrency_pass_figure10_x{iterations}"] = timing
+    assert concurrency_findings(pd) == []
+
     # GP pre-filter: exact mode must leave the run byte-identical while
     # measurably reducing simulator work.
     problem = planning_problem()
@@ -714,7 +725,112 @@ def bench_analysis(rounds, iterations=200):
     out["simulations_avoided_pct"] = (
         exact.analysis_rejected / exact.evaluations * 100.0
     )
+
+    # Race filter mode on the plan_mix problem (analyze_a/analyze_b both
+    # produce "insight" from distinct services, so CONCURRENT pairings
+    # statically interfere): how many extra simulations the fork-
+    # interference floor skips on top of the doomed check.  Race mode
+    # changes traces by design (floored fitness), so this row reports
+    # counts, not identity.
+    from repro.workloads.plan_mix import plan_mix_problem
+
+    mix_problem = plan_mix_problem(0)
+    mix_runs = {}
+    for mode in ("exact", "race"):
+        cfg = GPConfig(
+            population_size=60, generations=8, smax=12, static_filter=mode
+        )
+        result = GPPlanner(cfg, rng=7).plan(mix_problem)
+        mix_runs[mode] = result
+        out[f"gp_plan_mix_filter_{mode}"] = {
+            "evaluations": result.evaluations,
+            "analysis_rejected": result.analysis_rejected,
+            "race_rejected": result.race_rejected,
+            "best_overall": result.best_fitness.overall,
+        }
+    race = mix_runs["race"]
+    assert mix_runs["exact"].race_rejected == 0
+    assert race.race_rejected > 0
+    out["race_simulations_additionally_skipped_pct"] = (
+        race.race_rejected / race.evaluations * 100.0
+    )
+
+    out["race_witness"] = _witness_precision()
     return out
+
+
+def _witness_precision():
+    """Enact a deliberately racy two-branch fork under ``journal=True``
+    and replay the journal against the static conflicts.
+
+    The intake gate would (correctly) refuse the specimen on its E601,
+    so the bench tolerates that code for this one grid — the point is to
+    measure how many statically-flagged races the runtime record bears
+    out (confirmed / checkable = the witness precision)."""
+    from repro.analysis import interference_conflicts, race_witness
+    from repro.grid.container import EndUserService
+    from repro.process.builder import WorkflowBuilder
+    from repro.process.model import Activity
+    from repro.services.bootstrap import standard_environment
+
+    library = {
+        "WA": Activity("WA", service="SVA", inputs=("d0",), outputs=("r",)),
+        "WB": Activity("WB", service="SVB", inputs=("d0",), outputs=("r",)),
+    }
+    pd = (
+        WorkflowBuilder("racy-fork")
+        .fork(lambda b: b.activity("WA"), lambda b: b.activity("WB"))
+        .build(library)
+    )
+    conflicts = interference_conflicts(pd)
+    services = [
+        EndUserService("SVA", work=3.0, effects={"r": {"Status": "ready"}}),
+        EndUserService("SVB", work=5.0, effects={"r": {"Status": "ready"}}),
+    ]
+    env, core, _ = standard_environment(services, containers=2, journal=True)
+    core.coordination.tolerated_findings = (
+        core.coordination.tolerated_findings | {"E601", "W602"}
+    )
+    outcome = {}
+
+    def enact():
+        outcome["reply"] = yield from core.coordination.call(
+            "coordination",
+            "execute-task",
+            {
+                "process": pd,
+                "initial_data": {"d0": {"Status": "ready"}},
+                "task": "racy-0",
+            },
+        )
+
+    env.engine.spawn(enact(), "driver")
+    env.run(max_events=2_000_000)
+    assert outcome["reply"]["status"] == "completed"
+    report = race_witness(env.journal.events("racy-0"), conflicts)
+    return {
+        "static_conflicts": len(conflicts),
+        "confirmed": report.confirmed,
+        "refuted": report.refuted,
+        "unobserved": report.unobserved,
+        "checkable": report.checkable,
+        "precision": report.precision,
+        "verdicts": [v.to_dict() for v in report.verdicts],
+    }
+
+
+#: Host-fingerprinted reference for the concurrency-witness gate: on the
+#: grading host the racy-fork specimen's two branches always overlap, so
+#: every checkable static race must be journal-confirmed.  The
+#: ``--min-witness-precision`` floor is enforced only on this host.
+ANALYSIS_REFERENCE = {
+    "witness_precision": 1.0,
+    "host": {
+        "cpu_count": 1,
+        "platform": "Linux-6.18.5-fc-v20-x86_64-with-glibc2.36",
+    },
+    "note": "racy two-branch fork enacted with journal=True, grading host",
+}
 
 
 #: Host-fingerprinted reference for the plan-library warm-start suite.
@@ -1075,6 +1191,16 @@ def main(argv=None) -> int:
         "reference host",
     )
     parser.add_argument(
+        "--min-witness-precision",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) if the analysis suite's race-witness precision "
+        "(journal-confirmed over checkable static races) falls below "
+        "FRACTION; only enforced when the host fingerprint matches the "
+        "committed analysis reference host",
+    )
+    parser.add_argument(
         "--shard-cases",
         type=int,
         default=10_000,
@@ -1230,12 +1356,22 @@ def main(argv=None) -> int:
             return 1
 
     if args.suite in ("all", "analysis"):
+        host = _host()
         record = {
             "benchmark": "semantic workflow verifier (analysis package)",
-            "host": _host(),
+            "host": host,
             "analysis": bench_analysis(args.rounds),
         }
         _write(args.analysis_out, record)
+        if args.min_witness_precision is not None and not enforce_gate(
+            "race-witness precision (--min-witness-precision)",
+            record["analysis"]["race_witness"]["precision"],
+            args.min_witness_precision,
+            host,
+            ANALYSIS_REFERENCE["host"],
+            mode="min",
+        ):
+            return 1
 
     if args.suite in ("all", "obs"):
         host = _host()

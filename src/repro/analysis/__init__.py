@@ -3,7 +3,8 @@
 One vocabulary of :class:`~repro.analysis.findings.Finding` codes spans
 structural validation (E1xx/W101, produced by
 :mod:`repro.process.validate`), guard satisfiability (E2xx), loop analysis
-(E301), dataflow (E401/W402) and ontology resolvability (E5xx/W502).
+(E301), dataflow (E401/W402), ontology resolvability (E5xx/W502) and
+fork concurrency (E601/W602/E611/E612/W621).
 :func:`analyze_process` runs every applicable pass;
 :class:`~repro.analysis.plan_filter.PlanStaticFilter` applies the same
 machinery per GP candidate inside the planner.
@@ -14,12 +15,27 @@ from repro.analysis.analyzer import (
     has_errors,
     unresolvable_loci,
     verify_resolvable,
+    verify_reusable,
 )
 from repro.analysis.bindings import (
     ProcessBindings,
     analyze_source,
     load_bindings,
     process_from_graph,
+)
+from repro.analysis.concurrency import (
+    Conflict,
+    ForkBranch,
+    ForkRegion,
+    WitnessReport,
+    WitnessVerdict,
+    concurrency_findings,
+    critical_activities,
+    fork_metrics,
+    fork_regions,
+    interference_conflicts,
+    race_witness,
+    tree_speedup,
 )
 from repro.analysis.conditions_pass import condition_findings
 from repro.analysis.dataflow import bindings_known, dataflow_findings
@@ -39,23 +55,36 @@ from repro.analysis.sat import (
 
 __all__ = [
     "FINDING_CODES",
+    "Conflict",
     "Finding",
+    "ForkBranch",
+    "ForkRegion",
     "PlanStaticFilter",
     "ProcessBindings",
     "Severity",
+    "WitnessReport",
+    "WitnessVerdict",
     "analyze_process",
     "analyze_source",
     "bindings_known",
+    "concurrency_findings",
     "condition_findings",
     "conditions_overlap",
+    "critical_activities",
     "dataflow_findings",
     "definitely_unsatisfiable",
+    "fork_metrics",
+    "fork_regions",
     "has_errors",
+    "interference_conflicts",
     "load_bindings",
     "possibly_true",
     "process_from_graph",
+    "race_witness",
     "render_findings",
     "resolvability_findings",
+    "tree_speedup",
     "unresolvable_loci",
     "verify_resolvable",
+    "verify_reusable",
 ]

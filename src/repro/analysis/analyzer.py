@@ -8,7 +8,9 @@
    transition table, so it runs even on structurally broken graphs);
 3. **dataflow** — E401/W402/E301 (runs only on structurally clean graphs:
    the must-reach fixpoint assumes a unique Begin and full reachability);
-4. **resolvability** — E501/W502, only when a knowledge base is supplied.
+4. **concurrency** — E601/W602/E611/E612/W621 (also gated on structural
+   cleanliness: fork-region recovery presumes well-structuredness);
+5. **resolvability** — E501/W502, only when a knowledge base is supplied.
 
 The pass set degrades gracefully with the information available: a bare
 parsed ``.process`` file gets structure + condition analysis; add
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.concurrency import concurrency_findings
 from repro.analysis.conditions_pass import condition_findings
 from repro.analysis.dataflow import dataflow_findings
 from repro.analysis.findings import Finding, Severity
@@ -37,6 +40,7 @@ __all__ = [
     "has_errors",
     "unresolvable_loci",
     "verify_resolvable",
+    "verify_reusable",
 ]
 
 
@@ -46,6 +50,7 @@ def analyze_process(
     kb: "KnowledgeBase | None" = None,
     initial_data: set[str] | None = None,
     classifications: dict[str, str] | None = None,
+    reservations: dict[str, tuple[str, ...]] | None = None,
     structured: bool = True,
 ) -> list[Finding]:
     """All findings for *pd*, structural first.
@@ -54,12 +59,15 @@ def analyze_process(
     None presumes any never-produced data arrives with the case.
     *classifications* — data name -> classification, supplementing the
     KB's Data instances for the W502 capability check.
+    *reservations* — activity -> ordered resources it reserves while
+    running, feeding the concurrency pass's lock-order check.
     """
     findings = check_process_findings(pd, structured=structured)
     structurally_clean = not findings
     findings.extend(condition_findings(pd))
     if structurally_clean:
         findings.extend(dataflow_findings(pd, initial_data=initial_data))
+        findings.extend(concurrency_findings(pd, reservations=reservations))
     if kb is not None:
         findings.extend(
             resolvability_findings(pd, kb, classifications=classifications)
@@ -88,6 +96,29 @@ def verify_resolvable(
     near enactment.
     """
     return resolvability_findings(pd, kb, classifications=classifications)
+
+
+def verify_reusable(
+    pd: ProcessDescription,
+    kb: "KnowledgeBase",
+    *,
+    classifications: dict[str, str] | None = None,
+    reservations: dict[str, tuple[str, ...]] | None = None,
+) -> list[Finding]:
+    """Re-verification for plan-library hits: resolvability *plus* the
+    concurrency pass.
+
+    Resolvability can rot while a plan sits in the library (the registry
+    moved); concurrency hazards cannot — but plans stored before the
+    E6xx codes existed were never screened for them, so the ladder
+    re-checks here.  The two passes differ in disposition: an E501 names
+    the terminal to swap (repairable), while an E6xx condemns the plan's
+    *shape* — the caller rejects such a hit outright rather than
+    repairing it.
+    """
+    findings = resolvability_findings(pd, kb, classifications=classifications)
+    findings.extend(concurrency_findings(pd, reservations=reservations))
+    return findings
 
 
 def unresolvable_loci(findings: list[Finding]) -> tuple[str, ...]:

@@ -18,14 +18,17 @@ pass set can run on a parsed file:
       "services": [
         {"name": "POD", "inputs": ["D1"], "outputs": ["D8"]}
       ],
+      "reserves": {"POD1": ["gpu", "scratch"]},
       "expect": [{"code": "W402", "locus": "POD1"}]
     }
 
 Every key is optional.  ``services`` builds a minimal
 :class:`~repro.ontology.frames.KnowledgeBase` (builtin Figure-12 shell +
 one Service instance each + Data instances for ``classifications``) for
-the resolvability pass; ``expect`` is ignored by the analyzer and read by
-the defect-corpus tests as the fixture's expected findings.
+the resolvability pass; ``reserves`` declares the ordered resources an
+activity holds while running (the concurrency pass's lock-order check);
+``expect`` is ignored by the analyzer and read by the defect-corpus tests
+as the fixture's expected findings.
 
 Fixtures needing *structurally broken* graphs (E101-E105 — inexpressible
 in the language, which parses only well-structured processes) use a
@@ -63,6 +66,7 @@ class ProcessBindings:
     library: dict[str, Activity] = field(default_factory=dict)
     classifications: dict[str, str] = field(default_factory=dict)
     kb: KnowledgeBase | None = None
+    reserves: dict[str, tuple[str, ...]] = field(default_factory=dict)
     expect: tuple[dict, ...] = ()
 
     @classmethod
@@ -103,6 +107,10 @@ class ProcessBindings:
             library=library,
             classifications=dict(doc.get("classifications") or {}),
             kb=kb,
+            reserves={
+                name: tuple(resources)
+                for name, resources in (doc.get("reserves") or {}).items()
+            },
             expect=tuple(doc.get("expect") or ()),
         )
 
@@ -164,4 +172,5 @@ def analyze_source(
         kb=bindings.kb,
         initial_data=bindings.initial_data,
         classifications=bindings.classifications or None,
+        reservations=bindings.reserves or None,
     )

@@ -27,6 +27,11 @@ E401  undefined-data-use               error
 W402  dead-data-definition             warning
 E501  unresolvable-service             error
 W502  capability-mismatch              warning
+E601  fork-interference                error
+W602  fork-read-write                  warning
+E611  fork-deadlock                    error
+E612  fork-join-starvation             error
+W621  fork-imbalance                   warning
 ===== ================================ ========
 
 Severity is fixed per code (the leading letter): ``E`` codes are errors —
@@ -73,6 +78,16 @@ FINDING_CODES: dict[str, tuple[str, str]] = {
              "no Service instance in the knowledge base offers the service"),
     "W502": ("capability-mismatch",
              "service cannot consume/produce the activity's data classes"),
+    "E601": ("fork-interference",
+             "sibling Fork branches write the same data key"),
+    "W602": ("fork-read-write",
+             "a Fork branch reads data a sibling branch writes"),
+    "E611": ("fork-deadlock",
+             "Fork branches form a transfer or lock-order cycle"),
+    "E612": ("fork-join-starvation",
+             "guard gap inside a Fork branch can starve its Join"),
+    "W621": ("fork-imbalance",
+             "fork critical path leaves little parallel speedup"),
 }
 
 

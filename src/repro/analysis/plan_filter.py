@@ -26,15 +26,27 @@ engine's ``analysis_rejected`` counter).
 without any simulation at all.  That *does* perturb goal-fitness credit
 from Sinit, so it is opt-in via ``GPConfig.static_filter``.
 
+``"race"`` mode is ``"exact"`` plus the concurrency verifier's
+interference check applied at the tree level: a CONCURRENT controller
+whose children hold spec-distinct terminals writing the same data key is
+*racy* — the enacted fork's outcome depends on branch completion order,
+so the plan is penalized to the floor before any simulation.  Like
+``"penalty"``, this perturbs fitness (racy plans may simulate as
+"solved" under the simulator's per-order enumeration), so it is opt-in;
+doomed trees still score bit-identically through the exact stub path.
+Racy rejections are counted separately (``race_rejected``).
+
 The closure depends only on the *set* of terminal names, which GP
-populations repeat endlessly, so verdicts are cached per name-set.
+populations repeat endlessly, so verdicts are cached per name-set; racy
+verdicts are cached per struct-key (the verdict depends on tree shape,
+not just the name set).
 """
 
 from __future__ import annotations
 
 from repro.analysis.sat import possibly_true
 from repro.plan.metrics import representation_efficiency
-from repro.plan.tree import PlanNode, Terminal
+from repro.plan.tree import Controller, ControllerKind, PlanNode, Terminal
 from repro.planner.fitness import Fitness, FitnessWeights
 from repro.planner.problem import PlanningProblem
 from repro.planner.simulate import SimulationOptions, simulate_plan
@@ -77,7 +89,7 @@ def terminal_names(tree: PlanNode) -> frozenset[str]:
 class PlanStaticFilter:
     """Per-problem static rejector shared by all evaluations of one run."""
 
-    MODES = ("off", "exact", "penalty")
+    MODES = ("off", "exact", "penalty", "race")
 
     def __init__(
         self,
@@ -96,8 +108,10 @@ class PlanStaticFilter:
         self.smax = smax
         self.options = options
         self.mode = mode
+        self.race_rejected = 0
         self._stub = _InertProblem(problem.initial_state)
         self._doomed_cache: dict[frozenset[str], bool] = {}
+        self._racy_cache: dict[tuple, bool] = {}
         #: Values every (data, property) pair holds in Sinit — the
         #: closure's seed, shared across all cached name sets.
         seed: dict[tuple[str, str], set] = {}
@@ -147,14 +161,79 @@ class PlanStaticFilter:
                             possible.setdefault((data, prop), set()).add(value)
         return not valid
 
+    def racy(self, tree: PlanNode) -> bool:
+        """Does any CONCURRENT controller of *tree* put spec-distinct
+        terminals with overlapping write sets on sibling branches?
+
+        Mirrors the graph-level E601 check of
+        :mod:`repro.analysis.concurrency` on the plan tree itself, before
+        conversion: terminals with *identical* specs (service, inputs,
+        outputs, effects) are replicas of one logical step and exempt —
+        same-name terminals under one fork always are.
+        """
+        if self.mode != "race":
+            return False
+        key = tree.struct_key()
+        verdict = self._racy_cache.get(key)
+        if verdict is None:
+            verdict = self._tree_racy(tree)
+            self._racy_cache[key] = verdict
+        return verdict
+
+    def _tree_racy(self, node: PlanNode) -> bool:
+        if isinstance(node, Terminal):
+            return False
+        assert isinstance(node, Controller)
+        if node.kind is ControllerKind.CONCURRENT and len(node.children) >= 2:
+            branches = [sorted(terminal_names(child)) for child in node.children]
+            for i in range(len(branches)):
+                for j in range(i + 1, len(branches)):
+                    for a in branches[i]:
+                        for b in branches[j]:
+                            if self._pair_races(a, b):
+                                return True
+        return any(self._tree_racy(child) for child in node.children)
+
+    def _pair_races(self, a: str, b: str) -> bool:
+        spec_a = self.problem.activities.get(a)
+        spec_b = self.problem.activities.get(b)
+        if spec_a is None or spec_b is None:
+            return False  # unknown terminals never execute (doomed's turf)
+        if not (set(spec_a.outputs) & set(spec_b.outputs)):
+            return False
+        try:
+            return self._race_spec(a, spec_a) != self._race_spec(b, spec_b)
+        except TypeError:
+            return True  # incomparable effect values defeat the exemption
+
+    @staticmethod
+    def _race_spec(name: str, spec) -> tuple:
+        effects = tuple(
+            (data, prop, spec.effects[data][prop])
+            for data in sorted(spec.effects)
+            for prop in sorted(spec.effects[data])
+        )
+        return (
+            spec.service or name,
+            frozenset(spec.inputs),
+            frozenset(spec.outputs),
+            effects,
+        )
+
     def fitness_for(self, tree: PlanNode) -> Fitness | None:
-        """The tree's fitness if it is statically doomed, else None
-        (caller simulates normally).
+        """The tree's fitness if it is statically doomed (or, in
+        ``"race"`` mode, racy), else None (caller simulates normally).
 
         ``"exact"`` mode returns a value bit-identical to full
         evaluation; ``"penalty"`` returns a floor score keeping only the
-        representation-efficiency term's size pressure.
+        representation-efficiency term's size pressure; racy trees always
+        take the penalty floor (there is no "exact" score for a plan
+        whose enacted outcome is order-dependent).
         """
+        if self.racy(tree):
+            self.race_rejected += 1
+            fr = representation_efficiency(tree, self.smax)
+            return Fitness(0.0, 0.0, fr, self.weights.efficiency * fr, False)
         if not self.doomed(tree):
             return None
         fr = representation_efficiency(tree, self.smax)

@@ -177,8 +177,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Semantic analysis of a process-description file.
 
-    Exit codes: 0 = clean (or warnings only), 1 = error findings,
-    2 = cannot read/parse the file or its bindings sidecar.
+    Exit codes: 0 = clean (or warnings only), 1 = error findings (any
+    finding at all under ``--fail-on-warn``), 2 = cannot read/parse the
+    file or its bindings sidecar.
     """
     import json
 
@@ -226,6 +227,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(render_findings(findings))
     else:
         print(f"OK: {args.file}: no findings")
+    if args.fail_on_warn and findings:
+        return 1
     return 1 if has_errors(findings) else 0
 
 
@@ -558,6 +561,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="output format (default: text)",
+    )
+    pl.add_argument(
+        "--fail-on-warn",
+        action="store_true",
+        help="exit 1 on any finding, warnings included (CI strict mode)",
     )
 
     pr = sub.add_parser("render", help="write DOT files for Figures 10-11")

@@ -39,7 +39,14 @@ class GPConfig:
     plan_filter`): ``"exact"`` (default) scores statically-doomed trees
     without simulating them, bit-identical to full evaluation;
     ``"penalty"`` short-circuits them to a floor fitness (changes
-    traces); ``"off"`` disables the filter."""
+    traces); ``"race"`` is ``"exact"`` plus a floor penalty for trees
+    whose CONCURRENT branches statically interfere (changes traces);
+    ``"off"`` disables the filter."""
+    critical_path_tiebreak: str = "off"
+    """``"on"`` breaks exact fitness ties between final candidates by the
+    concurrency verifier's parallel speedup bound (prefer the plan with
+    the shorter critical path).  ``"off"`` (default) keeps the historical
+    first-maximal choice, byte-identical to previous releases."""
     library: str = "off"
     """Plan-library warm starts (:mod:`repro.planner.library`): ``"off"``
     (default) plans every request from scratch — GP populations, fitness
@@ -74,10 +81,15 @@ class GPConfig:
             raise PlanningError("Smax must be >= 1")
         if self.workers < 0:
             raise PlanningError("workers must be >= 0")
-        if self.static_filter not in ("off", "exact", "penalty"):
+        if self.static_filter not in ("off", "exact", "penalty", "race"):
             raise PlanningError(
-                f"static_filter must be 'off', 'exact' or 'penalty', "
-                f"got {self.static_filter!r}"
+                f"static_filter must be 'off', 'exact', 'penalty' or "
+                f"'race', got {self.static_filter!r}"
+            )
+        if self.critical_path_tiebreak not in ("off", "on"):
+            raise PlanningError(
+                f"critical_path_tiebreak must be 'off' or 'on', "
+                f"got {self.critical_path_tiebreak!r}"
             )
         if self.library not in ("off", "on"):
             raise PlanningError(

@@ -171,6 +171,12 @@ class EvaluationEngine:
     def cache_hit_rate(self) -> float:
         return self.evaluator.cache_hit_rate
 
+    @property
+    def race_rejected(self) -> int:
+        """Trees floored by the ``"race"`` filter mode's interference
+        check (a subset of *analysis_rejected*; 0 in every other mode)."""
+        return self._filter.race_rejected if self._filter is not None else 0
+
     def __call__(self, tree: PlanNode) -> Fitness:
         """Single-tree evaluation through the shared cache (serial path —
         sequential callers like the hill climber can't batch)."""

@@ -77,6 +77,9 @@ class PlanningResult:
     avoided simulator work, not extra evaluations.  Excluded from
     equality (like *eval_time*): it describes how the run was computed,
     so filter-on and filter-off runs of one seed compare equal."""
+    race_rejected: int = field(default=0, compare=False)
+    """The subset of *analysis_rejected* floored by the ``"race"``
+    filter mode's fork-interference check (0 in every other mode)."""
     eval_time: float = field(default=0.0, compare=False)
     """Total wall-clock seconds spent in population evaluation."""
 
@@ -256,6 +259,8 @@ class GPPlanner:
             fitnesses = self._evaluate(engine, population)
 
         best_idx = int(np.argmax([f.overall for f in fitnesses]))
+        if cfg.critical_path_tiebreak == "on":
+            best_idx = self._speedup_tiebreak(population, fitnesses, best_idx)
         return PlanningResult(
             best_plan=population[best_idx],
             best_fitness=fitnesses[best_idx],
@@ -265,8 +270,29 @@ class GPPlanner:
             cache_hits=engine.cache_hits,
             cache_misses=engine.cache_misses,
             analysis_rejected=getattr(engine, "analysis_rejected", 0),
+            race_rejected=getattr(engine, "race_rejected", 0),
             eval_time=engine.eval_time,
         )
+
+    @staticmethod
+    def _speedup_tiebreak(
+        population: list[PlanNode], fitnesses: list[Fitness], best_idx: int
+    ) -> int:
+        """Among individuals whose overall fitness exactly ties the best,
+        prefer the greatest parallel speedup bound (shortest critical
+        path).  Ties on speedup keep the historical first-maximal pick,
+        so the off-mode choice is always a valid fallback."""
+        from repro.analysis.concurrency import tree_speedup
+
+        best = fitnesses[best_idx].overall
+        winner, winner_speedup = best_idx, tree_speedup(population[best_idx])
+        for idx, fitness in enumerate(fitnesses):
+            if idx == winner or fitness.overall != best:
+                continue
+            speedup = tree_speedup(population[idx])
+            if speedup > winner_speedup:
+                winner, winner_speedup = idx, speedup
+        return winner
 
     def _evaluate(
         self, engine: EvaluationEngine, population: list[PlanNode]

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from collections.abc import Generator
 from typing import Any
 
-from repro.analysis import Severity, analyze_process
+from repro.analysis import Severity, analyze_process, critical_activities
 from repro.bus.policy import CallPolicy
 from repro.errors import ConversionError, EnactmentError, ServiceError
 from repro.grid.environment import GridEnvironment
@@ -108,6 +108,9 @@ class EnactmentRecord:
     #: Final case data, set on completion — kept so intermittently
     #: connected users can poll for results after reconnecting.
     result: dict[str, dict] | None = None
+    #: Activities on the process's static critical path (empty unless the
+    #: coordinator's ``criticality_hints`` knob is on).
+    critical: frozenset = frozenset()
 
     def log(self, time: float, kind: str, detail: str) -> None:
         self.events.append((time, kind, detail))
@@ -140,7 +143,17 @@ class CoordinationService(CoreService):
     #: is an error for a process *author* — branch uniqueness is broken —
     #: but this machine resolves it deterministically by first-match, so
     #: enactment proceeds (the finding is still attached to the record).
-    tolerated_findings = frozenset({"E202"})
+    #: E612 (a guard-coverage gap inside a fork branch) likewise: this
+    #: coordinator falls through to the last arm when no guard holds, so
+    #: the join cannot actually starve here.
+    tolerated_findings = frozenset({"E202", "E612"})
+
+    #: When True, activities on the static critical path (the concurrency
+    #: verifier's :func:`~repro.analysis.concurrency.critical_activities`)
+    #: carry a ``criticality`` hint in their schedule requests, letting
+    #: the scheduler bias placement toward lightly loaded containers.
+    #: Default off: schedule-request payloads stay byte-identical.
+    criticality_hints: bool = False
 
     #: Name of the authentication service used when credentials are set.
     auth_name = WELL_KNOWN["authentication"]
@@ -580,6 +593,8 @@ class CoordinationService(CoreService):
                     process=current.name, activities=sorted(program.steps),
                     choices=stats.get("choices", 0), loops=stats.get("loops", 0),
                 )
+            if self.criticality_hints:
+                record.critical = critical_activities(current)
             record.log(self.engine.now, "enact", f"process {current.name}")
             enact_span = (
                 recorder.start(current.name, "enact", agent=self.name, parent=case_span)
@@ -862,6 +877,13 @@ class CoordinationService(CoreService):
                         "service": service,
                         "candidates": candidates,
                         "work": work.get(service, 10.0),
+                        # Only present when the hints knob is on — default
+                        # request payloads stay byte-identical.
+                        **(
+                            {"criticality": 1.0}
+                            if name in record.critical
+                            else {}
+                        ),
                     },
                 )
                 container = schedule["container"]

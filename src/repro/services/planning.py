@@ -32,7 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro._util import as_rng
-from repro.analysis.analyzer import unresolvable_loci, verify_resolvable
+from repro.analysis.analyzer import unresolvable_loci, verify_reusable
 from repro.analysis.findings import Severity
 from repro.bus.policy import CallPolicy
 from repro.errors import ServiceError
@@ -229,7 +229,10 @@ class PlanningService(CoreService):
         self.metrics.inc("planlib_verify", agent=self.name)
         if self.knowledge_base is None:
             return False, []
-        findings = verify_resolvable(entry.process, self.knowledge_base)
+        # Resolvability (the registry may have rotted under the entry) plus
+        # the concurrency pass (entries stored before the E6xx codes were
+        # never screened; a racy shape is rejected, not repaired).
+        findings = verify_reusable(entry.process, self.knowledge_base)
         clean = not any(f.severity is Severity.ERROR for f in findings)
         return clean, findings
 
@@ -257,7 +260,7 @@ class PlanningService(CoreService):
             library=self._activity_library(problem),
             condition_provider=self._condition_provider(problem),
         )
-        after = verify_resolvable(process, self.knowledge_base)
+        after = verify_reusable(process, self.knowledge_base)
         if any(f.severity is Severity.ERROR for f in after):
             return None
         fitness = PlanEvaluator(problem)(plan)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import PlanStaticFilter
 from repro.analysis.plan_filter import terminal_names
-from repro.plan import sequential, terminal
+from repro.plan import concurrent, sequential, terminal
 from repro.planner import EvaluationEngine, GPConfig, GPPlanner
 from repro.planner.fitness import FitnessWeights, evaluate_tree
 from repro.planner.simulate import SimulationOptions
@@ -103,6 +103,62 @@ def test_engine_counters_track_filtered_trees(problem):
     engine(doomed)
     assert engine.cache_hits == 2
     assert engine.analysis_rejected == 1
+
+
+class TestRaceMode:
+    @pytest.fixture(scope="class")
+    def race(self, problem):
+        return PlanStaticFilter(
+            problem, FitnessWeights(), SMAX, SimulationOptions(), mode="race"
+        )
+
+    def test_concurrent_write_write_is_racy(self, race):
+        # POD and POR both emit D8 from different services: running them
+        # on sibling CONCURRENT branches races on the orientation file.
+        assert race.racy(concurrent("POD", "POR"))
+
+    def test_replica_branches_are_not_racy(self, race):
+        # P3DR1..P3DR4 are copies of one logical step (one service, same
+        # data sets) — the paper's Figure-13 fan-out must stay admissible.
+        assert not race.racy(concurrent("P3DR1", "P3DR2", "P3DR3"))
+
+    def test_disjoint_outputs_are_not_racy(self, race):
+        assert not race.racy(concurrent("POD", "P3DR1"))
+
+    def test_sequential_composition_is_never_racy(self, race):
+        assert not race.racy(sequential("POD", "POR"))
+
+    def test_nested_concurrent_is_found(self, race):
+        tree = sequential("POD", concurrent("P3DR1", sequential("POR", "PSF")))
+        # POR (writes D8) vs ... P3DR1 writes D9 only - not racy
+        assert not race.racy(tree)
+        racy = sequential("P3DR1", concurrent("POD", sequential("POR", "PSF")))
+        assert race.racy(racy)
+
+    def test_racy_tree_gets_floor_fitness_and_counter(self, race):
+        before = race.race_rejected
+        fitness = race.fitness_for(concurrent("POD", "POR"))
+        assert fitness is not None
+        assert fitness.validity == 0.0 and fitness.goal == 0.0
+        assert race.race_rejected == before + 1
+
+    def test_other_modes_never_flag_races(self, filt):
+        assert not filt.racy(concurrent("POD", "POR"))
+        assert filt.race_rejected == 0
+
+
+def test_critical_path_tiebreak_prefers_shorter_critical_path(problem):
+    cfg_off = GPConfig(population_size=30, generations=4)
+    cfg_on = cfg_off.with_(critical_path_tiebreak="on")
+    off = GPPlanner(cfg_off, rng=3).plan(problem)
+    on = GPPlanner(cfg_on, rng=3).plan(problem)
+    # Same search (tie-break only touches the final argmax): identical
+    # fitness and history, and the winner never has a worse speedup bound.
+    assert on.best_fitness == off.best_fitness
+    assert on.history == off.history
+    from repro.analysis import tree_speedup
+
+    assert tree_speedup(on.best_plan) >= tree_speedup(off.best_plan)
 
 
 def test_gp_run_identical_with_exact_filter(problem):

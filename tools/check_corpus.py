@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Corpus completeness gate: every finding code has a corpus witness.
+
+The analyzer's finding vocabulary lives in
+:mod:`repro.analysis.findings` (``FINDING_CODES``); the defect corpus
+under ``tests/analysis/corpus/`` holds one minimal fixture per code
+whose ``expect`` list pins the complete finding set.  This gate keeps
+the two in lock-step:
+
+* a code registered in ``FINDING_CODES`` with **no** corpus witness
+  fails (new detections must ship a minimal demonstrating process);
+* an ``expect`` entry naming a code **not** in ``FINDING_CODES`` fails
+  (stale fixtures after a vocabulary change).
+
+It reads only the fixtures' ``expect`` metadata — the semantic check
+that each fixture actually *produces* those findings stays in
+``tests/analysis/test_corpus.py``; this script is the cheap CI
+tripwire that runs without pytest.
+
+Usage: ``python tools/check_corpus.py``.  Exit 1 on any gap.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+CORPUS = REPO / "tests" / "analysis" / "corpus"
+
+
+def expected_codes() -> dict[str, list[str]]:
+    """Map of finding code -> corpus fixtures that declare it."""
+    witnesses: dict[str, list[str]] = {}
+    for path in sorted(CORPUS.glob("*.json")):
+        doc = json.loads(path.read_text())
+        for entry in doc.get("expect") or ():
+            witnesses.setdefault(entry["code"], []).append(path.name)
+    return witnesses
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.analysis import FINDING_CODES
+
+    witnesses = expected_codes()
+    missing = sorted(set(FINDING_CODES) - set(witnesses))
+    unknown = sorted(set(witnesses) - set(FINDING_CODES))
+    for code in missing:
+        title, _ = FINDING_CODES[code]
+        print(f"no corpus witness for {code} ({title}) — add a minimal "
+              f"fixture under {CORPUS.relative_to(REPO)}/")
+    for code in unknown:
+        print(f"corpus expects unregistered code {code} "
+              f"(in {', '.join(witnesses[code])})")
+    if missing or unknown:
+        print(f"corpus gate: {len(missing)} missing, {len(unknown)} unknown")
+        return 1
+    print(
+        f"corpus gate: {len(FINDING_CODES)} finding codes, "
+        f"all witnessed ({sum(len(v) for v in witnesses.values())} "
+        f"expectations across {len(list(CORPUS.glob('*.json')))} fixtures)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,8 +3,7 @@
 
 The reproduction's core property is that runs are deterministic — same
 seeds, same traces, byte-identical telemetry.  Three habits quietly break
-that, and this checker bans them from ``src/repro/{sim,grid,services,
-planner}``:
+that, and this checker bans them from all of ``src/repro``:
 
 * ``DET001`` — wall-clock reads (``time.time()``, ``datetime.now()``,
   ``datetime.utcnow()``, ``datetime.today()``): simulated components must
@@ -23,8 +22,8 @@ planner}``:
 A line ending in a ``# det: ok`` comment is exempt (for the rare case
 that has a real reason, e.g. hashing wall time into a log file name).
 
-Usage: ``python tools/lint_determinism.py [paths...]`` — default paths
-are the four guarded packages.  Exit 1 when violations are found.
+Usage: ``python tools/lint_determinism.py [paths...]`` — the default
+path is the whole ``src/repro`` tree.  Exit 1 when violations are found.
 """
 
 from __future__ import annotations
@@ -33,13 +32,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PATHS = (
-    "src/repro/sim",
-    "src/repro/grid",
-    "src/repro/services",
-    "src/repro/planner",
-    "src/repro/obs",
-)
+DEFAULT_PATHS = ("src/repro",)
 
 ALLOW_MARKER = "# det: ok"
 
